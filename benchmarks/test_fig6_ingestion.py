@@ -1,0 +1,31 @@
+"""Figure 6 — TPC-H ingestion time for Hashing / StaticHash / DynaHash.
+
+Paper shape: all three approaches ingest at nearly the same rate (bucketing
+adds only a small overhead) and the time rises mildly as the cluster grows
+(write stalls on the slowest node).
+"""
+
+from conftest import print_figure
+
+from repro.bench import run_ingestion_experiment, series_table
+
+
+def test_fig6_ingestion_time(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ingestion_experiment(bench_scale), rounds=1, iterations=1
+    )
+    print_figure(
+        "Figure 6: ingestion time (simulated minutes)",
+        series_table(result.minutes, "nodes", "min"),
+    )
+
+    for strategy, by_nodes in result.minutes.items():
+        assert all(minutes > 0 for minutes in by_nodes.values())
+    # DynaHash and StaticHash stay close to the Hashing baseline (the paper
+    # reports only a small bucketing overhead on ingestion).
+    for nodes in bench_scale.node_counts:
+        baseline = result.minutes["Hashing"][nodes]
+        for strategy in ("StaticHash", "DynaHash"):
+            assert result.minutes[strategy][nodes] < baseline * 1.35
+    # DynaHash splits buckets dynamically while loading.
+    assert any(count > 0 for count in result.splits["DynaHash"].values())

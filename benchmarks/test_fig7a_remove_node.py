@@ -1,0 +1,38 @@
+"""Figure 7a — rebalance time when removing one node (N -> N-1).
+
+Paper shape: both bucketing approaches are several times cheaper than the
+global Hashing baseline, because they move only the displaced buckets instead
+of rewriting nearly every record.
+"""
+
+from conftest import print_figure
+
+from repro.bench import run_scaling_experiment, series_table
+
+
+def test_fig7a_remove_node(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_scaling_experiment(bench_scale), rounds=1, iterations=1
+    )
+    print_figure(
+        "Figure 7a: rebalance time, removing one node (simulated minutes)",
+        series_table(result.remove_minutes, "nodes", "min"),
+    )
+
+    for nodes in bench_scale.node_counts:
+        hashing = result.remove_minutes["Hashing"][nodes]
+        for strategy in ("StaticHash", "DynaHash"):
+            bucketed = result.remove_minutes[strategy][nodes]
+            assert bucketed < hashing / 2, (
+                f"{strategy} at {nodes} nodes should rebalance at least 2x faster "
+                f"than Hashing ({bucketed:.1f} vs {hashing:.1f} minutes)"
+            )
+        # Hashing rewrites (nearly) every record; bucketing moves only the
+        # removed node's share (~1/N of the records, so exactly half at N=2).
+        ratio = (
+            result.records_moved_remove["DynaHash"][nodes]
+            / max(1, result.records_moved_remove["Hashing"][nodes])
+        )
+        assert ratio <= 1.05 / nodes + 0.05, (
+            f"DynaHash moved {ratio:.2%} of what Hashing moved at {nodes} nodes"
+        )

@@ -1,0 +1,35 @@
+"""Figure 7c — DynaHash rebalance time under concurrent data ingestion.
+
+Paper shape: rebalancing a 4-node cluster down to 3 nodes takes longer as the
+controlled concurrent write rate on LineItem grows, because the concurrent
+writes compete for CPU/IO and their log records must be replicated to the
+destinations — but it still completes in a reasonable time at high rates.
+"""
+
+from conftest import print_figure
+
+from repro.bench import run_concurrent_write_experiment, series_table
+
+
+def test_fig7c_rebalance_under_concurrent_writes(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_concurrent_write_experiment(bench_scale, num_nodes=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 7c: DynaHash rebalance time vs concurrent write rate (simulated minutes)",
+        series_table(
+            {"DynaHash": result.minutes_by_rate}, "write rate (krecords/s)", "min"
+        ),
+    )
+
+    rates = sorted(result.minutes_by_rate)
+    times = [result.minutes_by_rate[rate] for rate in rates]
+    # Monotone (allowing tiny numerical noise): more concurrent writes, longer rebalance.
+    for earlier, later in zip(times, times[1:]):
+        assert later >= earlier * 0.98
+    # The highest write rate is clearly slower than the idle rebalance.
+    assert times[-1] > times[0]
+    # Concurrent writes to moving buckets were replicated, not lost.
+    assert result.replicated_records_by_rate[rates[-1]] > 0

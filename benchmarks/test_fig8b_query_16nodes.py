@@ -1,0 +1,39 @@
+"""Figure 8b — TPC-H query time on the original larger cluster (paper: 16 nodes).
+
+Paper shape: same story as Figure 8a, plus scale-up — because the data volume
+grows with the cluster, per-query times stay nearly constant as the cluster
+grows from 4 nodes to 16.
+"""
+
+from conftest import print_figure
+
+from repro.bench import per_query_table, run_query_experiment
+from repro.tpch import QUERY_NAMES
+
+
+def test_fig8b_query_time_original_large_cluster(benchmark, bench_scale, large_cluster_nodes):
+    def run():
+        small = run_query_experiment(bench_scale, num_nodes=4, downsize=False)
+        large = run_query_experiment(
+            bench_scale, num_nodes=large_cluster_nodes, downsize=False
+        )
+        return small, large
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        f"Figure 8b: TPC-H query time on {large_cluster_nodes} nodes (simulated seconds)",
+        per_query_table(large.seconds),
+    )
+
+    hashing = large.seconds["Hashing"]
+    dynahash = large.seconds["DynaHash"]
+    for query in QUERY_NAMES:
+        if query == "q18":
+            continue
+        assert dynahash[query] < hashing[query] * 1.15, query
+    assert dynahash["q18"] > hashing["q18"] * 1.05
+
+    # Scale-up: per-query time stays roughly flat as data and nodes grow together.
+    for query in QUERY_NAMES:
+        ratio = large.seconds["DynaHash"][query] / small.seconds["DynaHash"][query]
+        assert 0.5 < ratio < 2.0, f"{query} did not scale up (ratio {ratio:.2f})"

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the in-tree ``repro`` package importable.
+
+The benchmark environment is offline and cannot build editable wheels, so the
+test and benchmark suites fall back to importing straight from ``src/``.  When
+the package *is* properly installed this is harmless (the installed copy and
+the source tree are the same files).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

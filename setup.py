@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so modern PEP-517 editable installs (which build an
+editable wheel) are not available.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` — or a plain
+``python setup.py develop`` — perform a legacy editable install.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

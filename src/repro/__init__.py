@@ -1,0 +1,79 @@
+"""DynaHash reproduction: efficient data rebalancing for shared-nothing OLAP systems.
+
+This package reimplements, in simulation, the system described in
+*DynaHash: Efficient Data Rebalancing in Apache AsterixDB* (Luo & Carey,
+ICDE 2022):
+
+* :mod:`repro.lsm` — the LSM-tree storage substrate,
+* :mod:`repro.hashing` — extendible hashing / static bucketing / consistent
+  hashing partitioners,
+* :mod:`repro.bucketed` — the bucketed LSM-tree (Section IV),
+* :mod:`repro.cluster` — the AsterixDB-style shared-nothing cluster simulator,
+* :mod:`repro.rebalance` — the online rebalance operation (Section V),
+* :mod:`repro.query` + :mod:`repro.tpch` — the OLAP query engine and the
+  TPC-H workload used by the evaluation,
+* :mod:`repro.bench` — experiment drivers that regenerate every figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import SimulatedCluster, ClusterConfig, DynaHashStrategy
+
+    cluster = SimulatedCluster(ClusterConfig(num_nodes=4), strategy=DynaHashStrategy())
+    cluster.create_dataset("orders", primary_key="o_orderkey")
+    cluster.ingest("orders", rows)
+    report = cluster.remove_nodes(1)   # online rebalance
+    print(report.simulated_seconds)
+"""
+
+__version__ = "1.0.0"
+
+from .common import BucketingConfig, ClusterConfig, CostModelConfig, LSMConfig
+
+__all__ = [
+    "BucketingConfig",
+    "ClusterConfig",
+    "CostModelConfig",
+    "LSMConfig",
+    "__version__",
+]
+
+
+def _export_cluster_api() -> None:
+    """Populate the package namespace with the high-level API.
+
+    The cluster/rebalance modules import the storage substrate; keeping the
+    re-exports in a helper gives a single place to extend the public surface.
+    """
+    from .cluster import SimulatedCluster  # noqa: F401
+    from .rebalance import (  # noqa: F401
+        ConsistentHashStrategy,
+        DynaHashStrategy,
+        GlobalHashingStrategy,
+        StaticHashStrategy,
+    )
+
+    globals().update(
+        SimulatedCluster=SimulatedCluster,
+        DynaHashStrategy=DynaHashStrategy,
+        StaticHashStrategy=StaticHashStrategy,
+        GlobalHashingStrategy=GlobalHashingStrategy,
+        ConsistentHashStrategy=ConsistentHashStrategy,
+    )
+    __all__.extend(
+        [
+            "SimulatedCluster",
+            "DynaHashStrategy",
+            "StaticHashStrategy",
+            "GlobalHashingStrategy",
+            "ConsistentHashStrategy",
+        ]
+    )
+
+
+try:  # pragma: no cover - exercised indirectly by every integration test
+    _export_cluster_api()
+except ImportError:
+    # During partial builds (e.g. importing repro.common alone while the
+    # higher layers are not present) the subpackages remain usable directly.
+    pass

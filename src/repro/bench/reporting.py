@@ -1,0 +1,77 @@
+"""Formatting helpers for benchmark output.
+
+The harness prints the same rows/series the paper's figures report; these
+helpers render them as aligned text tables (for the console and for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(value.ljust(widths[index]) for index, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def series_table(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str,
+    value_label: str,
+) -> str:
+    """Render {series name: {x: value}} with one column per series."""
+    xs: List[object] = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + [f"{name} ({value_label})" for name in series]
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(value if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def per_query_table(
+    results: Mapping[str, Mapping[str, float]], value_label: str = "seconds"
+) -> str:
+    """Render {approach: {query: seconds}} with one row per query."""
+    queries = sorted(
+        {query for values in results.values() for query in values},
+        key=lambda name: int(name[1:]),
+    )
+    headers = ["query"] + [f"{approach} ({value_label})" for approach in results]
+    rows = []
+    for query in queries:
+        row: List[object] = [query]
+        for approach in results:
+            row.append(results[approach].get(query, "-"))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(value) for value in row) + " |")
+    return "\n".join(lines)

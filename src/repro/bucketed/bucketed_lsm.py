@@ -1,0 +1,323 @@
+"""The bucketed LSM-tree (Section IV).
+
+A bucketed LSM-tree is the primary-index storage structure of DynaHash: a
+local directory of extendible-hash buckets, each of which is its own LSM-tree
+(:class:`~repro.bucketed.bucket.Bucket`).  It offers the same interface as a
+traditional LSM-tree — writes, point lookups, range scans — plus the
+operations the rebalance protocol needs: bucket-granular snapshots, installs,
+and removals, and dynamic bucket splits when a bucket grows past the
+configured maximum size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..common.config import BucketingConfig, LSMConfig
+from ..common.errors import BucketNotFoundError, StorageError
+from ..common.hashutil import hash_key
+from ..hashing.bucket_id import BucketId
+from ..hashing.extendible import LocalDirectory
+from ..lsm.entry import Entry
+from ..lsm.manifest import Manifest
+from ..lsm.merge_policy import MergePolicy
+from ..lsm.stats import StorageStats
+from .bucket import Bucket
+from .scan import ScanMode, choose_scan_mode, scan_with_mode
+from .split import SplitResult, split_bucket
+
+
+@dataclass
+class MaintenanceReport:
+    """Work performed by one maintenance pass (flushes, merges, splits)."""
+
+    flush_bytes: int = 0
+    merge_read_bytes: int = 0
+    merge_write_bytes: int = 0
+    splits: List[SplitResult] = field(default_factory=list)
+
+    @property
+    def split_count(self) -> int:
+        return len(self.splits)
+
+    def merge_into(self, other: "MaintenanceReport") -> None:
+        other.flush_bytes += self.flush_bytes
+        other.merge_read_bytes += self.merge_read_bytes
+        other.merge_write_bytes += self.merge_write_bytes
+        other.splits.extend(self.splits)
+
+
+class BucketedLSMTree:
+    """A local directory of buckets, each stored as its own LSM-tree."""
+
+    def __init__(
+        self,
+        name: str,
+        partition_id: int,
+        initial_buckets: Iterable[BucketId],
+        lsm_config: Optional[LSMConfig] = None,
+        bucketing_config: Optional[BucketingConfig] = None,
+        merge_policy_factory: Optional[Callable[[], MergePolicy]] = None,
+        allow_empty: bool = False,
+    ):
+        self.name = name
+        self.partition_id = partition_id
+        self.lsm_config = lsm_config or LSMConfig()
+        self.bucketing_config = bucketing_config or BucketingConfig()
+        self._merge_policy_factory = merge_policy_factory
+        self.directory = LocalDirectory(partition_id)
+        self.manifest = Manifest(name)
+        self._buckets: Dict[BucketId, Bucket] = {}
+        #: Splits are disabled for the duration of a rebalance (Section V-A).
+        self.splits_enabled = not self.bucketing_config.static
+        #: Cumulative record of all splits ever performed (for benchmarks).
+        self.split_history: List[SplitResult] = []
+        initial = list(initial_buckets)
+        if not initial and not allow_empty:
+            raise StorageError("a bucketed LSM-tree needs at least one initial bucket")
+        for bucket_id in initial:
+            self._create_bucket(bucket_id)
+        self.manifest.force()
+
+    # --------------------------------------------------------------- buckets
+
+    def _make_policy(self) -> Optional[MergePolicy]:
+        return self._merge_policy_factory() if self._merge_policy_factory else None
+
+    def _create_bucket(self, bucket_id: BucketId) -> Bucket:
+        bucket = Bucket(
+            bucket_id,
+            config=self.lsm_config,
+            merge_policy=self._make_policy(),
+            index_name=self.name,
+        )
+        self.directory.add_bucket(bucket_id)
+        self._buckets[bucket_id] = bucket
+        self.manifest.add_bucket(bucket_id.prefix, bucket_id.depth)
+        return bucket
+
+    @property
+    def bucket_ids(self) -> List[BucketId]:
+        return self.directory.buckets
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def bucket(self, bucket_id: BucketId) -> Bucket:
+        try:
+            return self._buckets[bucket_id]
+        except KeyError:
+            raise BucketNotFoundError(
+                f"bucket {bucket_id} is not on partition {self.partition_id}"
+            ) from None
+
+    def buckets(self) -> List[Bucket]:
+        return [self._buckets[bucket_id] for bucket_id in self.directory.buckets]
+
+    def bucket_for_key(self, key: Any) -> Bucket:
+        bucket_id = self.directory.bucket_for_hash(hash_key(key))
+        return self._buckets[bucket_id]
+
+    def owns_key(self, key: Any) -> bool:
+        return self.directory.owns_key(key)
+
+    def bucket_sizes(self) -> Dict[BucketId, int]:
+        """Physical size per bucket — the input to the rebalance planner."""
+        return {bucket_id: bucket.size_bytes for bucket_id, bucket in self._buckets.items()}
+
+    # ------------------------------------------------------------ data path
+
+    def insert(self, key: Any, value: Any) -> Entry:
+        return self.bucket_for_key(key).insert(key, value)
+
+    upsert = insert
+
+    def delete(self, key: Any) -> Entry:
+        return self.bucket_for_key(key).delete(key)
+
+    def apply_entry(self, entry: Entry) -> Entry:
+        return self.bucket_for_key(entry.key).apply_entry(entry)
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Point lookup: only the owning bucket is searched (Section IV)."""
+        return self.bucket_for_key(key).get(key)
+
+    def get_entry(self, key: Any) -> Optional[Entry]:
+        return self.bucket_for_key(key).get_entry(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get_entry(key) is not None and not self.get_entry(key).tombstone
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def scan(
+        self,
+        low: Any = None,
+        high: Any = None,
+        ordered: bool = False,
+        mode: Optional[ScanMode] = None,
+    ) -> Iterator[Entry]:
+        """Range scan over every bucket.
+
+        ``ordered=False`` concatenates per-bucket scans (no extra overhead,
+        unsorted output); ``ordered=True`` merge-sorts them (q18-style).  An
+        explicit ``mode`` overrides the flag.
+        """
+        scan_mode = mode if mode is not None else choose_scan_mode(ordered)
+        bucket_scans = [bucket.scan(low, high) for bucket in self.buckets()]
+        return scan_with_mode(bucket_scans, scan_mode)
+
+    # ----------------------------------------------------------- maintenance
+
+    def flush_all(self) -> int:
+        """Flush every bucket's memory component; returns bytes flushed."""
+        total = 0
+        for bucket in self.buckets():
+            component = bucket.flush()
+            if component is not None:
+                total += component.size_bytes
+        return total
+
+    def maintain(self, force_flush: bool = False) -> MaintenanceReport:
+        """Run one maintenance pass: flushes, merges, and (if enabled) splits.
+
+        Called by the ingestion path after every batch of writes, mirroring
+        AsterixDB's background flush/merge scheduler.
+        """
+        report = MaintenanceReport()
+        for bucket_id in list(self.directory.buckets):
+            bucket = self._buckets.get(bucket_id)
+            if bucket is None:
+                continue
+            flushed = bucket.flush() if force_flush else bucket.maybe_flush()
+            if flushed is not None:
+                report.flush_bytes += flushed.size_bytes
+            before = bucket.tree.stats.snapshot()
+            merged = bucket.maybe_merge()
+            if merged is not None:
+                delta = bucket.tree.stats.diff(before)
+                report.merge_read_bytes += delta.bytes_merged_read
+                report.merge_write_bytes += delta.bytes_merged_written
+            if self._should_split(bucket):
+                result = self.split(bucket.bucket_id)
+                report.splits.append(result)
+        return report
+
+    def _should_split(self, bucket: Bucket) -> bool:
+        if not self.splits_enabled or self.bucketing_config.static:
+            return False
+        if bucket.depth >= 62:
+            return False
+        return bucket.size_bytes >= self.bucketing_config.max_bucket_bytes
+
+    def disable_splits(self) -> None:
+        """Disable splits for the duration of a rebalance (Section V-A)."""
+        self.splits_enabled = False
+
+    def enable_splits(self) -> None:
+        if not self.bucketing_config.static:
+            self.splits_enabled = True
+
+    # ---------------------------------------------------------------- split
+
+    def split(self, bucket_id: BucketId) -> SplitResult:
+        """Split one bucket in place (Algorithm 1) and update the directory."""
+        bucket = self.bucket(bucket_id)
+        result = split_bucket(bucket, manifest=self.manifest)
+        # Swap the children in for the parent in the local directory.
+        self.directory.split_bucket(bucket_id)
+        del self._buckets[bucket_id]
+        self._buckets[result.low_child.bucket_id] = result.low_child
+        self._buckets[result.high_child.bucket_id] = result.high_child
+        bucket.deactivate()
+        self.split_history.append(result)
+        return result
+
+    # ------------------------------------------------- rebalance operations
+
+    def snapshot_bucket(self, bucket_id: BucketId) -> List:
+        """Flush a bucket and return retained components forming its snapshot.
+
+        This is the "immutable bucket snapshot" of Section V-A: the flush time
+        is the rebalance start time for this bucket; everything in the
+        returned components predates it, and later writes only live in the
+        memory component / WAL (which the rebalance replicates separately).
+        """
+        bucket = self.bucket(bucket_id)
+        bucket.flush()
+        return bucket.snapshot_components()
+
+    def install_bucket(self, bucket_id: BucketId, entries: Iterable[Entry]) -> Bucket:
+        """Create a bucket from received rebalance data (destination side).
+
+        The bucket is registered in the local directory immediately but the
+        caller controls query visibility at the partition level (received
+        buckets are tracked separately until the rebalance commits).
+        Installing an already-present bucket is idempotent and returns the
+        existing one.
+        """
+        if bucket_id in self._buckets:
+            return self._buckets[bucket_id]
+        bucket = Bucket(
+            bucket_id,
+            config=self.lsm_config,
+            merge_policy=self._make_policy(),
+            index_name=self.name,
+        )
+        entry_list = list(entries)
+        if entry_list:
+            bucket.tree.add_loaded_component(entry_list)
+        self.directory.add_bucket(bucket_id)
+        self._buckets[bucket_id] = bucket
+        self.manifest.add_bucket(bucket_id.prefix, bucket_id.depth)
+        return bucket
+
+    def adopt_bucket(self, bucket: Bucket) -> None:
+        """Register an externally constructed bucket object (receive path)."""
+        if bucket.bucket_id in self._buckets:
+            return
+        self.directory.add_bucket(bucket.bucket_id)
+        self._buckets[bucket.bucket_id] = bucket
+        self.manifest.add_bucket(bucket.bucket_id.prefix, bucket.bucket_id.depth)
+
+    def remove_bucket(self, bucket_id: BucketId) -> None:
+        """Drop a bucket that has moved away (source-side commit task).
+
+        Removing an absent bucket is a no-op so the operation is idempotent
+        (Section V-D).  The bucket's components are reclaimed once their last
+        reader releases them.
+        """
+        bucket = self._buckets.pop(bucket_id, None)
+        self.directory.remove_bucket(bucket_id)
+        self.manifest.remove_bucket(bucket_id.prefix, bucket_id.depth)
+        if bucket is not None:
+            bucket.deactivate()
+
+    def force_manifest(self) -> None:
+        self.manifest.force()
+
+    # ---------------------------------------------------------------- sizing
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(bucket.size_bytes for bucket in self._buckets.values())
+
+    @property
+    def component_count(self) -> int:
+        return sum(bucket.component_count for bucket in self._buckets.values())
+
+    def aggregated_stats(self) -> StorageStats:
+        """Sum of per-bucket storage stats (for the cluster cost model)."""
+        total = StorageStats()
+        for bucket in self._buckets.values():
+            total.add(bucket.tree.stats)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BucketedLSMTree(name={self.name!r}, partition={self.partition_id}, "
+            f"buckets={self.bucket_count}, bytes={self.size_bytes})"
+        )

@@ -1,0 +1,147 @@
+"""Data feeds: long-running ingestion jobs.
+
+AsterixDB ingests external data through *data feeds* (Section II-C).  A feed
+takes an immutable copy of the dataset's partitioning state when it starts and
+uses it to route every incoming record to its NC partition; maintenance
+(flushes, merges, bucket splits) runs as the data arrives.
+
+The feed also computes the simulated ingestion time: per-partition storage
+work plus the CPU-heavy record parsing, rolled up per node (partitions on the
+same node work in parallel; the node's network link is shared) and then across
+nodes with slowest-node semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from ..common.hashutil import hash_key
+from ..lsm.entry import estimate_value_size
+from .cost_model import CostModel
+from .reports import IngestReport
+
+
+class DataFeed:
+    """Routes and ingests records for one dataset."""
+
+    def __init__(self, cluster: "SimulatedCluster", dataset_name: str, batch_size: int = 2000):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.cluster = cluster
+        self.dataset_name = dataset_name
+        self.batch_size = batch_size
+        self.runtime = cluster.dataset(dataset_name)
+        # The feed works off an immutable snapshot of the routing state; a
+        # concurrent rebalance swaps the live directory, not this copy.
+        self.routing = self.runtime.routing_snapshot()
+
+    # ---------------------------------------------------------------- routing
+
+    def route(self, record: Mapping[str, Any]) -> int:
+        """Partition id that should store ``record``."""
+        key = self.runtime.spec.primary_key_of(record)
+        return self.routing.partition_of(key)
+
+    # ----------------------------------------------------------------- ingest
+
+    def ingest(self, rows: Iterable[Mapping[str, Any]], maintain: bool = True) -> IngestReport:
+        """Ingest ``rows`` and return an :class:`IngestReport`.
+
+        ``maintain=False`` skips flush/merge/split scheduling, which some unit
+        tests use to control storage state precisely.
+        """
+        cost: CostModel = self.cluster.cost
+        partitions = self.runtime.partitions
+        stats_before = {pid: p.stats_snapshot() for pid, p in partitions.items()}
+        splits_before = {
+            pid: len(p.primary.split_history) for pid, p in partitions.items()
+        }
+        records_per_partition: Dict[int, int] = {pid: 0 for pid in partitions}
+        bytes_per_partition: Dict[int, int] = {pid: 0 for pid in partitions}
+        total_records = 0
+        total_bytes = 0
+        batch_count = 0
+
+        for row in rows:
+            pid = self.route(row)
+            partition = partitions[pid]
+            partition.insert(row)
+            row_bytes = estimate_value_size(dict(row))
+            records_per_partition[pid] += 1
+            bytes_per_partition[pid] += row_bytes
+            total_records += 1
+            total_bytes += row_bytes
+            batch_count += 1
+            if maintain and batch_count >= self.batch_size:
+                batch_count = 0
+                for partition in partitions.values():
+                    partition.maintain()
+        if maintain:
+            for partition in partitions.values():
+                partition.maintain()
+
+        # ------------------------------------------------ cost roll-up
+        per_partition_seconds: Dict[int, float] = {}
+        flush_bytes = 0
+        merge_bytes = 0
+        for pid, partition in partitions.items():
+            delta = partition.stats_snapshot().diff(stats_before[pid])
+            flush_bytes += delta.bytes_flushed
+            merge_bytes += delta.bytes_merged_written
+            breakdown = cost.ingest_work(records_per_partition[pid], delta)
+            per_partition_seconds[pid] = breakdown.total_sec
+
+        per_node_seconds: Dict[str, float] = {}
+        for node in self.cluster.nodes:
+            node_partition_ids = [
+                pid for pid in partitions if self.cluster.node_of_partition(pid) is node
+            ]
+            if not node_partition_ids:
+                continue
+            busiest_partition = max(per_partition_seconds[pid] for pid in node_partition_ids)
+            node_bytes = sum(bytes_per_partition[pid] for pid in node_partition_ids)
+            per_node_seconds[node.node_id] = busiest_partition + cost.network_time(node_bytes)
+
+        splits = sum(
+            len(partitions[pid].primary.split_history) - splits_before[pid]
+            for pid in partitions
+        )
+        simulated_seconds = cost.slowest(per_node_seconds) + cost.rpc_time(2)
+        report = IngestReport(
+            dataset=self.dataset_name,
+            records=total_records,
+            bytes_ingested=total_bytes,
+            simulated_seconds=simulated_seconds,
+            per_node_seconds=per_node_seconds,
+            per_partition_records=records_per_partition,
+            splits=splits,
+            flush_bytes=flush_bytes,
+            merge_bytes=merge_bytes,
+        )
+        self.runtime.records_ingested += total_records
+        return report
+
+
+class RoutingSnapshot:
+    """An immutable routing function captured when a feed or query starts."""
+
+    def __init__(self, mode: str, directory=None, num_partitions: int = 0):
+        if mode not in ("directory", "modulo"):
+            raise ValueError(f"unknown routing mode {mode!r}")
+        if mode == "directory" and directory is None:
+            raise ValueError("directory routing needs a directory")
+        if mode == "modulo" and num_partitions < 1:
+            raise ValueError("modulo routing needs a positive partition count")
+        self.mode = mode
+        self.directory = directory.copy() if directory is not None else None
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key: Any) -> int:
+        if self.mode == "directory":
+            return self.directory.partition_of_key(key)
+        return hash_key(key) % self.num_partitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.mode == "directory":
+            return f"RoutingSnapshot(directory, buckets={len(self.directory)})"
+        return f"RoutingSnapshot(modulo, partitions={self.num_partitions})"

@@ -1,0 +1,416 @@
+"""A storage partition: one dataset's slice of one Node Controller.
+
+Each dataset partition is managed by an LSM-based storage engine holding a
+primary index, a primary-key index, and the dataset's local secondary indexes
+(Section II-C).  Under DynaHash the primary index is a
+:class:`~repro.bucketed.bucketed_lsm.BucketedLSMTree`; the primary-key index
+and the secondary indexes keep the traditional single-LSM layout (storage
+Option 1), exactly as Section IV chooses.
+
+The partition also implements the NC-side mechanics of the rebalance
+operation: bucket snapshots, a *pending received* area that is invisible to
+queries until commit, replicated-write application, and the idempotent
+install/cleanup tasks used by the two-phase commit and its recovery cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..bucketed.bucket import Bucket
+from ..bucketed.bucketed_lsm import BucketedLSMTree, MaintenanceReport
+from ..common.config import BucketingConfig, LSMConfig
+from ..common.errors import StorageError
+from ..hashing.bucket_id import BucketId
+from ..lsm.entry import Entry
+from ..lsm.stats import StorageStats
+from ..lsm.tree import LSMTree
+from ..lsm.wal import LogRecordType, WriteAheadLog
+from .dataset import DatasetSpec, SecondaryIndexSpec
+
+
+def _secondary_entry_key(spec: SecondaryIndexSpec, record: Mapping[str, Any], primary_key: Any) -> Tuple:
+    """Secondary index keys are (secondary key ..., primary key)."""
+    return spec.secondary_key(record) + (primary_key,)
+
+
+@dataclass
+class PendingReceivedBucket:
+    """Rebalance data received for one bucket, invisible until commit."""
+
+    bucket: Bucket
+    #: Per-secondary-index received-list ids.
+    secondary_list_ids: Dict[str, int] = field(default_factory=dict)
+    #: Entries replicated from the source's concurrent writes, applied to the
+    #: received bucket's memory component and buffered per secondary index.
+    replicated_records: int = 0
+    secondary_buffer: Dict[str, List[Entry]] = field(default_factory=dict)
+
+
+class StoragePartition:
+    """One dataset partition on one NC."""
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        partition_id: int,
+        node_id: str,
+        initial_buckets: Iterable[BucketId],
+        lsm_config: Optional[LSMConfig] = None,
+        bucketing_config: Optional[BucketingConfig] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ):
+        self.dataset = dataset
+        self.partition_id = partition_id
+        self.node_id = node_id
+        self.lsm_config = lsm_config or LSMConfig()
+        self.bucketing_config = bucketing_config or BucketingConfig()
+        self.wal = wal if wal is not None else WriteAheadLog(owner=f"{node_id}/p{partition_id}")
+
+        self.primary = BucketedLSMTree(
+            name=f"{dataset.name}/p{partition_id}/primary",
+            partition_id=partition_id,
+            initial_buckets=initial_buckets,
+            lsm_config=self.lsm_config,
+            bucketing_config=self.bucketing_config,
+            # Partitions created on freshly added nodes start with no buckets;
+            # a rebalance installs buckets into them afterwards.
+            allow_empty=True,
+        )
+        self.primary_key_index = LSMTree(
+            name=f"{dataset.name}/p{partition_id}/pkidx", config=self.lsm_config
+        )
+        self.secondary_indexes: Dict[str, LSMTree] = {
+            spec.name: LSMTree(
+                name=f"{dataset.name}/p{partition_id}/{spec.name}",
+                config=self.lsm_config,
+                routing_key_extractor=lambda composite: composite[-1],
+            )
+            for spec in dataset.secondary_indexes
+        }
+        #: Rebalance-received buckets, invisible to queries until commit.
+        self.pending_received: Dict[BucketId, PendingReceivedBucket] = {}
+        #: True while the finalization phase blocks reads and writes.
+        self.blocked = False
+
+    # -------------------------------------------------------------- helpers
+
+    def _all_trees(self) -> List[LSMTree]:
+        trees: List[LSMTree] = [bucket.tree for bucket in self.primary.buckets()]
+        trees.append(self.primary_key_index)
+        trees.extend(self.secondary_indexes.values())
+        return trees
+
+    def _check_not_blocked(self) -> None:
+        if self.blocked:
+            raise StorageError(
+                f"partition {self.partition_id} is blocked by a rebalance finalization"
+            )
+
+    # ------------------------------------------------------------ write path
+
+    def insert(self, record: Mapping[str, Any], log: bool = True) -> Any:
+        """Insert (or upsert) a record into every index of the partition."""
+        self._check_not_blocked()
+        primary_key = self.dataset.primary_key_of(record)
+        record_dict = dict(record)
+        self.primary.insert(primary_key, record_dict)
+        self.primary_key_index.insert(primary_key, None)
+        for spec in self.dataset.secondary_indexes:
+            index = self.secondary_indexes[spec.name]
+            index.insert(_secondary_entry_key(spec, record_dict, primary_key), spec.covered_value(record_dict))
+        if log:
+            self.wal.append(
+                LogRecordType.INSERT,
+                self.dataset.name,
+                self.partition_id,
+                {"key": primary_key, "value": record_dict},
+            )
+        return primary_key
+
+    def delete(self, primary_key: Any, record: Optional[Mapping[str, Any]] = None, log: bool = True) -> None:
+        """Delete a record by primary key.
+
+        Secondary-index tombstones need the old secondary keys; AsterixDB
+        reads the old record to produce them, and so do we when ``record`` is
+        not supplied.
+        """
+        self._check_not_blocked()
+        old_record = dict(record) if record is not None else self.primary.get(primary_key)
+        self.primary.delete(primary_key)
+        self.primary_key_index.delete(primary_key)
+        if old_record is not None:
+            for spec in self.dataset.secondary_indexes:
+                index = self.secondary_indexes[spec.name]
+                index.delete(_secondary_entry_key(spec, old_record, primary_key))
+        if log:
+            self.wal.append(
+                LogRecordType.DELETE,
+                self.dataset.name,
+                self.partition_id,
+                {"key": primary_key},
+            )
+
+    # ------------------------------------------------------------- read path
+
+    def lookup(self, primary_key: Any) -> Optional[Dict[str, Any]]:
+        """Point lookup by primary key (searches only the owning bucket).
+
+        Keys whose bucket does not live on this partition return ``None``
+        rather than raising: a query routed with a stale directory copy during
+        a rebalance may probe the old location of a key that already moved.
+        """
+        self._check_not_blocked()
+        if not self.primary.owns_key(primary_key):
+            return None
+        return self.primary.get(primary_key)
+
+    def scan_primary(
+        self, low: Any = None, high: Any = None, ordered: bool = False
+    ) -> Iterator[Entry]:
+        """Scan the partition's primary index (unordered or merge-sorted)."""
+        self._check_not_blocked()
+        return self.primary.scan(low=low, high=high, ordered=ordered)
+
+    def scan_secondary(
+        self, index_name: str, low: Any = None, high: Any = None
+    ) -> Iterator[Entry]:
+        """Scan one secondary index; entries are ((sk..., pk), covered_fields)."""
+        self._check_not_blocked()
+        if index_name not in self.secondary_indexes:
+            raise StorageError(f"partition has no secondary index {index_name!r}")
+        return self.secondary_indexes[index_name].scan(low, high)
+
+    def count_keys(self) -> int:
+        """COUNT(*) served from the primary key index (Section II-C)."""
+        return len(self.primary_key_index)
+
+    # ----------------------------------------------------------- maintenance
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(tree.memory.size_bytes for tree in self._all_trees())
+
+    def maintain(self, force_flush: bool = False) -> MaintenanceReport:
+        """Run the partition's flush/merge/split pass.
+
+        AsterixDB budgets memory components per dataset partition; when the
+        budget is exceeded the dataset's memory components are flushed.  After
+        flushing, each index runs its merge policy and the primary index may
+        split buckets that exceeded the maximum bucket size.
+        """
+        report = MaintenanceReport()
+        over_budget = self.memory_bytes >= self.lsm_config.memory_component_bytes
+        if force_flush or over_budget:
+            report.flush_bytes += self.primary.flush_all()
+            for tree in [self.primary_key_index, *self.secondary_indexes.values()]:
+                component = tree.flush()
+                if component is not None:
+                    report.flush_bytes += component.size_bytes
+        primary_report = self.primary.maintain(force_flush=False)
+        primary_report.merge_into(report)
+        for tree in [self.primary_key_index, *self.secondary_indexes.values()]:
+            before = tree.stats.snapshot()
+            if tree.maybe_merge() is not None:
+                delta = tree.stats.diff(before)
+                report.merge_read_bytes += delta.bytes_merged_read
+                report.merge_write_bytes += delta.bytes_merged_written
+        return report
+
+    # --------------------------------------------------------------- sizing
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(tree.size_bytes for tree in self._all_trees())
+
+    @property
+    def primary_size_bytes(self) -> int:
+        return self.primary.size_bytes
+
+    def bucket_sizes(self) -> Dict[BucketId, int]:
+        return self.primary.bucket_sizes()
+
+    def stats_snapshot(self) -> StorageStats:
+        """Aggregate storage stats across every index (for cost accounting)."""
+        total = StorageStats()
+        total.add(self.primary.aggregated_stats())
+        total.add(self.primary_key_index.stats)
+        for tree in self.secondary_indexes.values():
+            total.add(tree.stats)
+        return total
+
+    def record_count(self) -> int:
+        return len(self.primary)
+
+    # ----------------------------------------------- rebalance: source side
+
+    def snapshot_bucket(self, bucket_id: BucketId) -> List:
+        """Flush and pin the bucket's disk components (Section V-A snapshot)."""
+        return self.primary.snapshot_bucket(bucket_id)
+
+    def scan_bucket_snapshot(self, snapshot_components: List) -> List[Entry]:
+        """Materialise the records of a pinned bucket snapshot, newest first
+        reconciled (the source-side scan of the data movement phase)."""
+        from ..lsm.iterators import merge_entries
+
+        return merge_entries([c.entries() for c in snapshot_components], drop_tombstones=True)
+
+    def release_bucket_snapshot(self, snapshot_components: List) -> None:
+        Bucket.release_snapshot(snapshot_components)
+
+    def cleanup_moved_bucket(self, bucket_id: BucketId) -> None:
+        """Source-side commit task: drop the moved bucket from the primary
+        index and lazily invalidate its entries in every secondary index.
+
+        Both steps are idempotent (Section V-D relies on this).
+        """
+        self.primary.remove_bucket(bucket_id)
+        for tree in self.secondary_indexes.values():
+            tree.invalidate_bucket(bucket_id.prefix, bucket_id.depth)
+        self.primary_key_index.invalidate_bucket(bucket_id.prefix, bucket_id.depth)
+        self.primary.force_manifest()
+
+    # ------------------------------------------ rebalance: destination side
+
+    def receive_bucket(self, bucket_id: BucketId, entries: Iterable[Entry]) -> PendingReceivedBucket:
+        """Store scanned records for a moving bucket, invisible to queries.
+
+        The records are bulk-loaded into a bucket object that is *not*
+        registered in the primary index's local directory, and into
+        received-component lists of each secondary index — the "separate list
+        of components" design of Section V-B.
+
+        The pending bucket is created on the first call (which is how the
+        rebalance opens the log-replication channel before the scan arrives);
+        later calls bulk-load additional scanned data into the same pending
+        state.  Loaded components are always placed *older* than the received
+        bucket's memory component, preserving the required ordering between
+        scanned data and replicated log records.
+        """
+        pending = self.pending_received.get(bucket_id)
+        if pending is None:
+            bucket = Bucket(
+                bucket_id, config=self.lsm_config, index_name=f"{self.dataset.name}/received"
+            )
+            pending = PendingReceivedBucket(bucket=bucket)
+            for spec in self.dataset.secondary_indexes:
+                index = self.secondary_indexes[spec.name]
+                pending.secondary_list_ids[spec.name] = index.create_received_list()
+                pending.secondary_buffer[spec.name] = []
+            self.pending_received[bucket_id] = pending
+        entry_list = list(entries)
+        if not entry_list:
+            return pending
+        pending.bucket.tree.add_loaded_component(entry_list)
+        for spec in self.dataset.secondary_indexes:
+            index = self.secondary_indexes[spec.name]
+            secondary_entries = []
+            for entry in entry_list:
+                if entry.tombstone or entry.value is None:
+                    continue
+                secondary_entries.append(
+                    Entry(
+                        key=_secondary_entry_key(spec, entry.value, entry.key),
+                        value=spec.covered_value(entry.value),
+                        seqnum=entry.seqnum,
+                    )
+                )
+            if secondary_entries:
+                index.append_to_received_list(
+                    pending.secondary_list_ids[spec.name], secondary_entries
+                )
+        return pending
+
+    def apply_replicated_write(self, bucket_id: BucketId, entry: Entry) -> None:
+        """Apply one replicated log record to the pending received bucket.
+
+        Replicated records land in the received bucket's memory component
+        (newer than the bulk-loaded scan) and are buffered for the secondary
+        indexes; they become durable when :meth:`prepare_rebalance` flushes
+        them.
+        """
+        pending = self.pending_received.get(bucket_id)
+        if pending is None:
+            raise StorageError(
+                f"no pending received bucket {bucket_id} on partition {self.partition_id}"
+            )
+        pending.bucket.tree.apply_entry(entry)
+        pending.replicated_records += 1
+        if entry.tombstone or entry.value is None:
+            return
+        for spec in self.dataset.secondary_indexes:
+            pending.secondary_buffer[spec.name].append(
+                Entry(
+                    key=_secondary_entry_key(spec, entry.value, entry.key),
+                    value=spec.covered_value(entry.value),
+                    seqnum=entry.seqnum,
+                )
+            )
+
+    def prepare_rebalance(self) -> int:
+        """Prepare-phase NC task: flush rebalance memory components to disk.
+
+        Returns the number of bytes flushed; after this call every received
+        record is in (simulated) durable storage, so the NC can vote yes.
+        """
+        flushed = 0
+        for pending in self.pending_received.values():
+            component = pending.bucket.flush()
+            if component is not None:
+                flushed += component.size_bytes
+            for spec_name, buffered in pending.secondary_buffer.items():
+                if not buffered:
+                    continue
+                index = self.secondary_indexes[spec_name]
+                component = index.append_to_received_list(
+                    pending.secondary_list_ids[spec_name], buffered
+                )
+                flushed += component.size_bytes
+                pending.secondary_buffer[spec_name] = []
+        return flushed
+
+    def install_received_buckets(self) -> List[BucketId]:
+        """Commit task: make every received bucket visible.
+
+        Registers the received bucket in the primary index's local directory
+        and installs the secondary indexes' received component lists.
+        Idempotent: a second call finds nothing pending and does nothing.
+        """
+        installed = []
+        for bucket_id, pending in list(self.pending_received.items()):
+            self.primary.adopt_bucket(pending.bucket)
+            for spec_name, list_id in pending.secondary_list_ids.items():
+                self.secondary_indexes[spec_name].install_received_list(list_id)
+            installed.append(bucket_id)
+            del self.pending_received[bucket_id]
+        self.primary.force_manifest()
+        return installed
+
+    def drop_received_buckets(self) -> List[BucketId]:
+        """Abort/cleanup task: delete everything received by the rebalance.
+
+        Idempotent — dropping when nothing is pending is a no-op, which is
+        what lets recovery Case 1 re-issue the cleanup to every NC.
+        """
+        dropped = []
+        for bucket_id, pending in list(self.pending_received.items()):
+            pending.bucket.deactivate()
+            for spec_name, list_id in pending.secondary_list_ids.items():
+                self.secondary_indexes[spec_name].drop_received_list(list_id)
+            dropped.append(bucket_id)
+            del self.pending_received[bucket_id]
+        return dropped
+
+    def block(self) -> None:
+        """Block reads and writes (finalization phase)."""
+        self.blocked = True
+
+    def unblock(self) -> None:
+        self.blocked = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StoragePartition({self.dataset.name}, p{self.partition_id}@{self.node_id}, "
+            f"buckets={self.primary.bucket_count}, bytes={self.size_bytes})"
+        )

@@ -1,0 +1,65 @@
+"""Byte-size and rate units used throughout the simulator.
+
+The paper talks in GB (10 GB max bucket size, 100 GB TPC-H data per node,
+2 GB memory component budget ...).  The simulator accounts sizes in plain
+bytes; these helpers keep configuration readable and conversions explicit.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+
+def kib(n: float) -> int:
+    """Return ``n`` kibibytes expressed in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` mebibytes expressed in bytes."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` gibibytes expressed in bytes."""
+    return int(n * GIB)
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary-unit suffix for logs and reports.
+
+    >>> fmt_bytes(1536)
+    '1.50 KiB'
+    >>> fmt_bytes(10 * GIB)
+    '10.00 GiB'
+    """
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a simulated duration as a human-readable string.
+
+    >>> fmt_duration(42.5)
+    '42.5 s'
+    >>> fmt_duration(3900)
+    '65.0 min'
+    """
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    minutes = seconds / 60.0
+    if minutes < 600:
+        return f"{minutes:.1f} min"
+    return f"{minutes / 60.0:.1f} h"

@@ -1,0 +1,153 @@
+"""Bucket identities for extendible hashing.
+
+A bucket is identified by ``(prefix, depth)``: it contains every key whose
+hash has ``prefix`` as its ``depth`` low-order bits (Section III).  Depth 0
+denotes the single bucket covering the whole hash space.  Bucket ids are
+value objects used by the local/global directories, the bucketed LSM-tree,
+and the rebalance planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Tuple
+
+from ..common.errors import DirectoryError
+from ..common.hashutil import hash_key, low_bits
+
+
+@dataclass(frozen=True, order=True)
+class BucketId:
+    """Identity of one extendible-hashing bucket."""
+
+    prefix: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise DirectoryError("bucket depth must be non-negative")
+        if self.depth > 63:
+            raise DirectoryError("bucket depth above 63 bits is not supported")
+        if self.prefix != low_bits(self.prefix, self.depth):
+            raise DirectoryError(
+                f"prefix {self.prefix:#x} does not fit in {self.depth} bits"
+            )
+
+    # -- membership ---------------------------------------------------------
+
+    def contains_hash(self, hash_value: int) -> bool:
+        """True if a key with this hash belongs to the bucket."""
+        return low_bits(hash_value, self.depth) == self.prefix
+
+    def contains_key(self, key: Any) -> bool:
+        """True if ``key`` (after hashing) belongs to the bucket."""
+        return self.contains_hash(hash_key(key))
+
+    # -- structure ----------------------------------------------------------
+
+    def split(self) -> Tuple["BucketId", "BucketId"]:
+        """Return the two children produced by taking one more hash bit.
+
+        The child whose new bit is 0 keeps the same prefix; the child whose
+        new bit is 1 gains ``1 << depth``.  Figure 3 of the paper shows the
+        bucket ``11`` (depth 2) splitting into ``011`` and ``111`` (depth 3).
+        """
+        child_depth = self.depth + 1
+        low = BucketId(self.prefix, child_depth)
+        high = BucketId(self.prefix | (1 << self.depth), child_depth)
+        return low, high
+
+    def parent(self) -> "BucketId":
+        """Return the bucket this one would merge back into."""
+        if self.depth == 0:
+            raise DirectoryError("the root bucket has no parent")
+        return BucketId(low_bits(self.prefix, self.depth - 1), self.depth - 1)
+
+    def sibling(self) -> "BucketId":
+        """Return the other child of this bucket's parent."""
+        if self.depth == 0:
+            raise DirectoryError("the root bucket has no sibling")
+        return BucketId(self.prefix ^ (1 << (self.depth - 1)), self.depth)
+
+    def is_ancestor_of(self, other: "BucketId") -> bool:
+        """True if ``other`` covers a subset of this bucket's hash space."""
+        if other.depth < self.depth:
+            return False
+        return low_bits(other.prefix, self.depth) == self.prefix
+
+    def overlaps(self, other: "BucketId") -> bool:
+        """True if the two buckets share any hash value."""
+        return self.is_ancestor_of(other) or other.is_ancestor_of(self)
+
+    # -- sizing ---------------------------------------------------------------
+
+    def normalized_size(self, global_depth: int) -> int:
+        """The paper's |B| = 2^(D - d), the directory-slot count of the bucket."""
+        if global_depth < self.depth:
+            raise DirectoryError(
+                f"global depth {global_depth} is smaller than bucket depth {self.depth}"
+            )
+        return 1 << (global_depth - self.depth)
+
+    def directory_slots(self, global_depth: int) -> List[int]:
+        """All global-directory slots (of size 2^D) that map to this bucket."""
+        slots = []
+        step = 1 << self.depth
+        for high_bits in range(self.normalized_size(global_depth)):
+            slots.append(self.prefix + high_bits * step)
+        return slots
+
+    # -- formatting -----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Binary label as the paper writes it (e.g. ``011`` for depth 3)."""
+        if self.depth == 0:
+            return "*"
+        return format(self.prefix, "b").zfill(self.depth)
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BucketId({self.label})"
+
+
+ROOT_BUCKET = BucketId(0, 0)
+
+
+def covers_exactly(buckets: Iterable[BucketId]) -> bool:
+    """True if ``buckets`` tile the hash space exactly once.
+
+    This is the core well-formedness invariant of an extendible-hash
+    directory: every hash value must map to exactly one bucket.  The check
+    works on normalized sizes at the maximum depth present.
+    """
+    bucket_list = list(buckets)
+    if not bucket_list:
+        return False
+    max_depth = max(b.depth for b in bucket_list)
+    total = 0
+    seen_slots = set()
+    for bucket in bucket_list:
+        for slot in bucket.directory_slots(max_depth):
+            if slot in seen_slots:
+                return False
+            seen_slots.add(slot)
+            total += 1
+    return total == (1 << max_depth)
+
+
+def bucket_for_key(key: Any, buckets: Iterable[BucketId]) -> BucketId:
+    """Find the bucket that owns ``key`` among ``buckets``.
+
+    Raises :class:`DirectoryError` if no bucket (or more than one, which would
+    mean a corrupt directory) matches.
+    """
+    hashed = hash_key(key)
+    matches = [bucket for bucket in buckets if bucket.contains_hash(hashed)]
+    if len(matches) != 1:
+        raise DirectoryError(
+            f"key {key!r} matched {len(matches)} buckets; directory is corrupt"
+        )
+    return matches[0]

@@ -1,0 +1,141 @@
+"""Record partitioners (Section II-A).
+
+A partitioning function deterministically assigns each record to a partition
+based on its partitioning key.  Three deterministic partitioners are provided:
+
+* :class:`HashModuloPartitioner` — AsterixDB's existing scheme,
+  ``hash(K) mod N``, used by the global-rebalancing ``Hashing`` baseline.
+* :class:`DirectoryPartitioner` — routes through an extendible-hash
+  :class:`~repro.hashing.extendible.GlobalDirectory`; used by StaticHash and
+  DynaHash.
+* :class:`RangePartitioner` — classic range partitioning, implemented for the
+  Section II-A discussion and the range-skew ablation; not used by DynaHash
+  itself because of range-skew concerns in OLAP clusters.
+
+All partitioners expose the same small protocol so data feeds and the query
+planner can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Protocol, Sequence
+
+from ..common.errors import ConfigError
+from ..common.hashutil import hash_key
+from .extendible import GlobalDirectory
+
+
+class Partitioner(Protocol):
+    """Maps a partitioning key to a storage-partition id."""
+
+    @property
+    def num_partitions(self) -> int:
+        ...  # pragma: no cover - protocol
+
+    def partition_of(self, key: Any) -> int:
+        ...  # pragma: no cover - protocol
+
+
+class HashModuloPartitioner:
+    """``hash(K) mod N``: AsterixDB's current global hash partitioning."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ConfigError("num_partitions must be at least 1")
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def partition_of(self, key: Any) -> int:
+        return hash_key(key) % self._num_partitions
+
+    def moved_fraction(self, new_num_partitions: int, probes: int = 2000) -> float:
+        """Fraction of keys that change partition when N changes.
+
+        For modulo hashing this is close to ``1 - 1/max(N, N')`` — nearly all
+        records move, which is exactly why the paper calls global rebalancing
+        expensive.
+        """
+        other = HashModuloPartitioner(new_num_partitions)
+        moved = sum(
+            1
+            for probe in range(probes)
+            if self.partition_of(("__probe__", probe)) != other.partition_of(("__probe__", probe))
+        )
+        return moved / probes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HashModuloPartitioner(n={self._num_partitions})"
+
+
+class DirectoryPartitioner:
+    """Routes keys through an extendible-hash global directory."""
+
+    def __init__(self, directory: GlobalDirectory):
+        self._directory = directory
+
+    @property
+    def directory(self) -> GlobalDirectory:
+        return self._directory
+
+    @property
+    def num_partitions(self) -> int:
+        partitions = self._directory.partitions()
+        return (max(partitions) + 1) if partitions else 0
+
+    def partition_of(self, key: Any) -> int:
+        return self._directory.partition_of_key(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DirectoryPartitioner({self._directory!r})"
+
+
+class RangePartitioner:
+    """Range partitioning over split points (for the Section II-A comparison).
+
+    ``split_points`` are the inclusive upper bounds of each partition except
+    the last; keys above every split point go to the last partition.
+    """
+
+    def __init__(self, split_points: Sequence[Any]):
+        self._split_points: List[Any] = list(split_points)
+        if sorted(self._split_points) != self._split_points:
+            raise ConfigError("split points must be sorted ascending")
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._split_points) + 1
+
+    def partition_of(self, key: Any) -> int:
+        return bisect.bisect_left(self._split_points, key)
+
+    @classmethod
+    def uniform_over_ints(cls, low: int, high: int, num_partitions: int) -> "RangePartitioner":
+        """Evenly split an integer key domain [low, high] into partitions."""
+        if num_partitions < 1:
+            raise ConfigError("num_partitions must be at least 1")
+        if high < low:
+            raise ConfigError("high must be >= low")
+        width = (high - low + 1) / num_partitions
+        points = [low + int(round(width * (i + 1))) - 1 for i in range(num_partitions - 1)]
+        return cls(points)
+
+    def skew(self, keys: Sequence[Any]) -> float:
+        """Max/mean partition-population ratio for a sample of keys.
+
+        Quantifies the range-skew problem that makes range partitioning
+        unattractive for shared-nothing OLAP (Section III).
+        """
+        if not keys:
+            return 1.0
+        counts = [0] * self.num_partitions
+        for key in keys:
+            counts[self.partition_of(key)] += 1
+        mean = sum(counts) / len(counts)
+        return (max(counts) / mean) if mean else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RangePartitioner(partitions={self.num_partitions})"

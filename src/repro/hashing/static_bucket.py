@@ -1,0 +1,70 @@
+"""Static bucketing (the paper's ``StaticHash`` variant and Section II-A).
+
+Static bucketing pre-partitions the hash space into a fixed number of buckets
+(the paper's StaticHash uses 256, Couchbase uses 1024, Oracle NoSQL recommends
+10–20 per node of the largest expected cluster).  The buckets never split;
+rebalancing moves whole buckets between partitions.
+
+Because our bucket identities are extendible-hash prefixes, a static layout
+with ``2^k`` buckets is simply "every bucket has depth ``k``"; this lets the
+StaticHash variant reuse the entire DynaHash machinery with splitting turned
+off, exactly as the paper's implementation does ("bucket splitting was
+disabled during rebalancing... they had the same initial number of buckets").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.errors import ConfigError
+from .bucket_id import BucketId
+from .extendible import GlobalDirectory
+
+
+def static_bucket_depth(total_buckets: int) -> int:
+    """Depth needed for ``total_buckets`` static buckets (must be a power of 2)."""
+    if total_buckets < 1:
+        raise ConfigError("total_buckets must be at least 1")
+    depth = (total_buckets - 1).bit_length()
+    if 1 << depth != total_buckets:
+        raise ConfigError(
+            f"static bucket count must be a power of two, got {total_buckets}"
+        )
+    return depth
+
+
+def static_buckets(total_buckets: int) -> List[BucketId]:
+    """The full list of bucket ids for a static layout."""
+    depth = static_bucket_depth(total_buckets)
+    return [BucketId(prefix, depth) for prefix in range(total_buckets)]
+
+
+def static_directory(total_buckets: int, num_partitions: int) -> GlobalDirectory:
+    """Build the initial global directory for StaticHash.
+
+    Buckets are assigned round-robin to partitions, which is also how the
+    paper's StaticHash distributes its 256 buckets (32 per partition at 2
+    nodes / 8 partitions, down to 4 per partition at 16 nodes / 64
+    partitions).
+    """
+    if num_partitions < 1:
+        raise ConfigError("num_partitions must be at least 1")
+    buckets = static_buckets(total_buckets)
+    if total_buckets < num_partitions:
+        raise ConfigError(
+            f"{total_buckets} static buckets cannot cover {num_partitions} partitions; "
+            "increase the bucket count"
+        )
+    assignments: Dict[BucketId, int] = {
+        bucket: index % num_partitions for index, bucket in enumerate(buckets)
+    }
+    return GlobalDirectory(assignments)
+
+
+def buckets_per_partition(total_buckets: int, num_partitions: int) -> Dict[int, int]:
+    """How many buckets each partition receives under round-robin assignment."""
+    directory = static_directory(total_buckets, num_partitions)
+    return {
+        partition: len(directory.buckets_of_partition(partition))
+        for partition in range(num_partitions)
+    }

@@ -1,0 +1,70 @@
+"""LSM-tree storage substrate (Section II-B of the paper).
+
+Public surface:
+
+* :class:`LSMTree` — one LSM index (memory component + immutable disk
+  components, flushes, size-tiered merges, Bloom-filtered point lookups,
+  reconciling range scans).
+* :class:`DiskComponent` / :class:`ReferenceDiskComponent` /
+  :class:`MemoryComponent` — the component kinds, all reference counted.
+* :class:`SizeTieredMergePolicy` and friends — merge policies.
+* :class:`WriteAheadLog` — data and metadata logging with forced records.
+* :class:`Manifest` — directory/metadata files with volatile vs durable state.
+* :class:`PartitionRecovery` — WAL replay after a simulated crash.
+"""
+
+from .bloom import BloomFilter
+from .component import (
+    DiskComponent,
+    MemoryComponent,
+    ReferenceDiskComponent,
+    next_component_id,
+)
+from .entry import Entry, estimate_key_size, estimate_value_size
+from .iterators import count_live_entries, merge_entries, merge_scan
+from .manifest import BucketManifestEntry, Manifest, ManifestState
+from .merge_policy import (
+    FullMergePolicy,
+    MergeCandidate,
+    MergePolicy,
+    NoMergePolicy,
+    SizeTieredMergePolicy,
+    make_merge_policy,
+)
+from .recovery import PartitionRecovery, replay_data_records, replay_into_tree
+from .stats import StorageStats
+from .tree import LSMTree
+from .wal import DATA_RECORD_TYPES, LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "BloomFilter",
+    "BucketManifestEntry",
+    "DATA_RECORD_TYPES",
+    "DiskComponent",
+    "Entry",
+    "FullMergePolicy",
+    "LSMTree",
+    "LogRecord",
+    "LogRecordType",
+    "Manifest",
+    "ManifestState",
+    "MemoryComponent",
+    "MergeCandidate",
+    "MergePolicy",
+    "NoMergePolicy",
+    "PartitionRecovery",
+    "ReferenceDiskComponent",
+    "SizeTieredMergePolicy",
+    "StorageStats",
+    "WriteAheadLog",
+    "count_live_entries",
+    "estimate_key_size",
+    "estimate_value_size",
+    "make_merge_policy",
+    "merge_entries",
+    "merge_scan",
+    "next_component_id",
+    "replay_data_records",
+    "replay_into_tree",
+    "make_merge_policy",
+]

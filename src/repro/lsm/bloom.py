@@ -1,0 +1,85 @@
+"""Bloom filters for LSM disk components.
+
+AsterixDB builds a Bloom filter over the key set of every disk component so
+point lookups can skip components that certainly do not contain the key
+(Section II-B).  The simulator uses a real bit-array Bloom filter — not a
+probability model — so lookup behaviour (including false positives) is
+faithful and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..common.hashutil import hash64, hash_key
+
+
+class BloomFilter:
+    """A standard Bloom filter over record keys.
+
+    Parameters mirror :class:`repro.common.config.LSMConfig`:
+    ``bits_per_key`` and ``num_hashes``.  A filter built with
+    ``bits_per_key=0`` degenerates to "always maybe", which disables the
+    optimization without special-casing callers.
+    """
+
+    __slots__ = ("_bits", "_num_bits", "_num_hashes", "_num_keys")
+
+    def __init__(self, expected_keys: int, bits_per_key: int = 10, num_hashes: int = 7):
+        if expected_keys < 0:
+            raise ValueError("expected_keys must be non-negative")
+        if bits_per_key < 0 or num_hashes < 0:
+            raise ValueError("bloom parameters must be non-negative")
+        self._num_bits = max(8, expected_keys * bits_per_key) if bits_per_key else 0
+        self._num_hashes = num_hashes if bits_per_key else 0
+        self._bits = bytearray((self._num_bits + 7) // 8) if self._num_bits else bytearray()
+        self._num_keys = 0
+
+    @classmethod
+    def build(
+        cls, keys: Iterable[Any], bits_per_key: int = 10, num_hashes: int = 7
+    ) -> "BloomFilter":
+        """Build a filter sized for ``keys`` and populate it."""
+        key_list = list(keys)
+        bloom = cls(len(key_list), bits_per_key=bits_per_key, num_hashes=num_hashes)
+        for key in key_list:
+            bloom.add(key)
+        return bloom
+
+    @property
+    def num_keys(self) -> int:
+        """Number of keys added so far."""
+        return self._num_keys
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the underlying bit array (0 when disabled)."""
+        return len(self._bits)
+
+    def _positions(self, key: Any):
+        base = hash_key(key)
+        # Kirsch-Mitzenmacher double hashing: position_i = h1 + i * h2.
+        h1 = base
+        h2 = hash64(base ^ 0xA5A5A5A5A5A5A5A5) | 1
+        for i in range(self._num_hashes):
+            yield (h1 + i * h2) % self._num_bits
+
+    def add(self, key: Any) -> None:
+        """Insert ``key`` into the filter."""
+        self._num_keys += 1
+        if not self._num_bits:
+            return
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def may_contain(self, key: Any) -> bool:
+        """Return False only if ``key`` was definitely never added."""
+        if not self._num_bits:
+            return True
+        for pos in self._positions(key):
+            if not self._bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BloomFilter(keys={self._num_keys}, bits={self._num_bits})"

@@ -1,0 +1,108 @@
+"""Single-partition recovery: WAL replay and manifest-based cleanup.
+
+AsterixDB uses a no-steal buffer policy, so on a crash the disk components
+named by the last forced manifest are intact and only the memory component's
+writes need to be recovered from the data WAL.  Recovery here does exactly
+that: it rebuilds an index from (a) the durable manifest (which disk
+components / buckets are valid) and (b) a replay of the durable suffix of the
+data log.
+
+Cluster-level rebalance recovery (the six cases of Section V-D) lives in
+:mod:`repro.rebalance.recovery`; it relies on these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .entry import Entry
+from .tree import LSMTree
+from .wal import DATA_RECORD_TYPES, LogRecord, LogRecordType, WriteAheadLog
+
+
+def replay_data_records(
+    records: Iterable[LogRecord],
+    apply: Callable[[LogRecord], None],
+) -> int:
+    """Replay data log records in LSN order through ``apply``; return count."""
+    count = 0
+    ordered = sorted(
+        (record for record in records if record.record_type in DATA_RECORD_TYPES),
+        key=lambda record: record.lsn,
+    )
+    for record in ordered:
+        apply(record)
+        count += 1
+    return count
+
+
+def replay_into_tree(records: Iterable[LogRecord], tree: LSMTree) -> int:
+    """Replay inserts/deletes/upserts from ``records`` into ``tree``."""
+
+    def apply(record: LogRecord) -> None:
+        key = record.payload.get("key")
+        if record.record_type == LogRecordType.DELETE:
+            tree.delete(key)
+        else:
+            tree.insert(key, record.payload.get("value"))
+
+    return replay_data_records(records, apply)
+
+
+class PartitionRecovery:
+    """Recovers the indexes of one partition after a simulated crash.
+
+    The partition object (see :class:`repro.cluster.partition.StoragePartition`)
+    drives this: it crashes each index's manifest back to the durable state,
+    discards unforced WAL tail records, and then replays the durable data
+    records whose effects were only in memory components.
+
+    The simulator's disk components live in memory, so "recovering" them means
+    trusting the objects that the durable manifest still references and
+    discarding anything created afterwards — which is exactly the cleanup
+    behaviour Algorithm 1 relies on for partially-split buckets.
+    """
+
+    def __init__(self, wal: WriteAheadLog):
+        self.wal = wal
+        self.replayed_records = 0
+
+    def recover_tree(
+        self,
+        tree: LSMTree,
+        dataset: str,
+        partition_id: Optional[int] = None,
+        key_filter: Optional[Callable[[LogRecord], bool]] = None,
+    ) -> int:
+        """Replay this partition's durable log records into ``tree``.
+
+        ``key_filter`` lets callers replay only the records that belong to one
+        index (e.g. one bucket, or records newer than a snapshot LSN).
+        """
+        records: List[LogRecord] = [
+            record
+            for record in self.wal.records(durable_only=True)
+            if record.dataset == dataset
+            and (partition_id is None or record.partition_id == partition_id)
+            and (key_filter is None or key_filter(record))
+        ]
+        replayed = replay_into_tree(records, tree)
+        self.replayed_records += replayed
+        return replayed
+
+    @staticmethod
+    def entries_from_records(records: Iterable[LogRecord]) -> List[Entry]:
+        """Convert data log records into entries (used by log replication)."""
+        entries: List[Entry] = []
+        for record in sorted(records, key=lambda r: r.lsn):
+            if record.record_type not in DATA_RECORD_TYPES:
+                continue
+            entries.append(
+                Entry(
+                    key=record.payload.get("key"),
+                    value=record.payload.get("value"),
+                    seqnum=record.lsn,
+                    tombstone=record.record_type == LogRecordType.DELETE,
+                )
+            )
+        return entries

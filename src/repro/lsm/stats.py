@@ -1,0 +1,62 @@
+"""Storage-activity counters.
+
+Every LSM-tree accumulates a :class:`StorageStats` describing the physical
+work it performed (bytes flushed, merged, read, records parsed...).  The
+cluster cost model (:mod:`repro.cluster.cost_model`) converts these counters
+into simulated seconds; keeping the two concerns separate lets unit tests
+assert on raw work and lets benchmarks swap cost parameters without touching
+the storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class StorageStats:
+    """Counters of physical storage work performed by one LSM-tree."""
+
+    records_written: int = 0
+    bytes_written_memory: int = 0
+    bytes_flushed: int = 0
+    bytes_merged_read: int = 0
+    bytes_merged_written: int = 0
+    records_merged: int = 0
+    bytes_read: int = 0
+    records_read: int = 0
+    components_opened: int = 0
+    flush_count: int = 0
+    merge_count: int = 0
+    bloom_negative_skips: int = 0
+
+    def add(self, other: "StorageStats") -> None:
+        """Accumulate another stats object into this one (in place)."""
+        for field_info in fields(self):
+            name = field_info.name
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> "StorageStats":
+        """Return an independent copy of the current counters."""
+        return StorageStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "StorageStats") -> "StorageStats":
+        """Return the work performed since ``earlier`` was snapshotted."""
+        return StorageStats(
+            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+        )
+
+    @property
+    def total_disk_write_bytes(self) -> int:
+        """All bytes written to (simulated) disk: flushes plus merge output."""
+        return self.bytes_flushed + self.bytes_merged_written
+
+    @property
+    def total_disk_read_bytes(self) -> int:
+        """All bytes read from (simulated) disk: queries plus merge input."""
+        return self.bytes_read + self.bytes_merged_read
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field_info in fields(self):
+            setattr(self, field_info.name, 0)

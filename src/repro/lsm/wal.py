@@ -1,0 +1,160 @@
+"""Write-ahead logging.
+
+Two log flavours exist in the system, both modelled here:
+
+* Each partition has a **data WAL** recording every write applied to its
+  indexes.  During a rebalance, the log records of concurrent writes to a
+  moving bucket are *replicated* to the destination partition (Section V-A,
+  "Preparing for Concurrent Writes"); the destination replays them into the
+  memory components that hold rebalance writes.
+* The Cluster Controller has a **metadata log** holding the BEGIN / COMMIT /
+  DONE records that drive the rebalance two-phase commit and its recovery
+  cases (Section V-D).
+
+The simulator keeps logs in memory but distinguishes *forced* records
+(guaranteed durable before the call returns) from unforced ones, because the
+recovery analysis depends only on which records were forced before a crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional
+
+_lsn_counter = itertools.count(1)
+
+
+class LogRecordType(Enum):
+    """Kinds of log records used by the data and metadata logs."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    UPSERT = "upsert"
+    # Metadata (CC) records for the rebalance protocol.
+    REBALANCE_BEGIN = "rebalance_begin"
+    REBALANCE_COMMIT = "rebalance_commit"
+    REBALANCE_DONE = "rebalance_done"
+    REBALANCE_ABORT = "rebalance_abort"
+
+
+DATA_RECORD_TYPES = frozenset(
+    {LogRecordType.INSERT, LogRecordType.DELETE, LogRecordType.UPSERT}
+)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log record.
+
+    ``payload`` carries the record key/value for data records, or protocol
+    details (rebalance id, target nodes) for metadata records.
+    """
+
+    lsn: int
+    record_type: LogRecordType
+    dataset: str
+    partition_id: Optional[int]
+    payload: Dict[str, Any] = field(default_factory=dict)
+    forced: bool = False
+
+    @property
+    def is_data_record(self) -> bool:
+        return self.record_type in DATA_RECORD_TYPES
+
+
+class WriteAheadLog:
+    """An append-only log with explicit force points.
+
+    ``crash()`` truncates the log back to the last forced record, modelling a
+    node failure that loses unforced tail records; recovery code then replays
+    what survived.
+    """
+
+    def __init__(self, owner: str = ""):
+        self.owner = owner
+        self._records: List[LogRecord] = []
+        self._forced_upto = 0  # index one past the last durable record
+        self._bytes_appended = 0
+        self._bytes_forced = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def bytes_appended(self) -> int:
+        """Total bytes ever appended (for cost accounting)."""
+        return self._bytes_appended
+
+    @property
+    def bytes_forced(self) -> int:
+        return self._bytes_forced
+
+    def append(
+        self,
+        record_type: LogRecordType,
+        dataset: str,
+        partition_id: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        force: bool = False,
+    ) -> LogRecord:
+        """Append a record; if ``force`` is set the whole log tail is forced."""
+        record = LogRecord(
+            lsn=next(_lsn_counter),
+            record_type=record_type,
+            dataset=dataset,
+            partition_id=partition_id,
+            payload=dict(payload or {}),
+            forced=force,
+        )
+        self._records.append(record)
+        self._bytes_appended += self._estimate_size(record)
+        if force:
+            self.force()
+        return record
+
+    def force(self) -> None:
+        """Make every appended record durable (an fsync of the log tail)."""
+        while self._forced_upto < len(self._records):
+            record = self._records[self._forced_upto]
+            self._bytes_forced += self._estimate_size(record)
+            self._forced_upto += 1
+
+    def crash(self) -> int:
+        """Discard unforced tail records, as a crash would; return count lost."""
+        lost = len(self._records) - self._forced_upto
+        del self._records[self._forced_upto:]
+        return lost
+
+    def records(self, durable_only: bool = False) -> List[LogRecord]:
+        """Return the log contents (optionally only the durable prefix)."""
+        if durable_only:
+            return list(self._records[: self._forced_upto])
+        return list(self._records)
+
+    def iter_dataset(
+        self, dataset: str, durable_only: bool = False
+    ) -> Iterator[LogRecord]:
+        """Iterate records for one dataset in LSN order."""
+        for record in self.records(durable_only=durable_only):
+            if record.dataset == dataset:
+                yield record
+
+    def tail_since(self, lsn: int) -> List[LogRecord]:
+        """Records with LSN strictly greater than ``lsn`` (for replication)."""
+        return [record for record in self._records if record.lsn > lsn]
+
+    def last_lsn(self) -> int:
+        """LSN of the newest record, or 0 for an empty log."""
+        return self._records[-1].lsn if self._records else 0
+
+    @staticmethod
+    def _estimate_size(record: LogRecord) -> int:
+        base = 32
+        for key, value in record.payload.items():
+            base += len(str(key)) + len(str(value))
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteAheadLog(owner={self.owner!r}, records={len(self._records)})"

@@ -1,0 +1,49 @@
+"""A small OLAP query engine over the simulated cluster.
+
+* :mod:`repro.query.operators` — filter / project / hash join / group-by /
+  order-by / limit over dict rows.
+* :class:`QuerySpec` / :class:`TableAccess` — access-pattern descriptions of
+  queries (how the 22 TPC-H queries are encoded for the figures).
+* :class:`ClusterQueryExecutor` — parallel execution with slowest-node timing,
+  in spec mode or real-plan mode (:class:`QueryContext`).
+"""
+
+from .executor import (
+    ACCESS_FULL_SCAN,
+    ACCESS_PRIMARY_KEY_LOOKUPS,
+    ACCESS_SECONDARY_INDEX,
+    ClusterQueryExecutor,
+    QueryContext,
+    QuerySpec,
+    TableAccess,
+)
+from .operators import (
+    OperatorStats,
+    Row,
+    filter_rows,
+    hash_group_by,
+    hash_join,
+    limit,
+    order_by,
+    project,
+    scalar_aggregate,
+)
+
+__all__ = [
+    "ACCESS_FULL_SCAN",
+    "ACCESS_PRIMARY_KEY_LOOKUPS",
+    "ACCESS_SECONDARY_INDEX",
+    "ClusterQueryExecutor",
+    "OperatorStats",
+    "QueryContext",
+    "QuerySpec",
+    "Row",
+    "TableAccess",
+    "filter_rows",
+    "hash_group_by",
+    "hash_join",
+    "limit",
+    "order_by",
+    "project",
+    "scalar_aggregate",
+]

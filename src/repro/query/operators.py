@@ -1,0 +1,212 @@
+"""Relational operators over Python-dict rows.
+
+A deliberately small but real physical algebra: scans produce iterables of
+row dicts, and the remaining operators (filter, project, hash join, hash
+group-by, order-by, limit) compose over them.  The cluster query executor
+(:mod:`repro.query.executor`) uses these to run genuine query plans over the
+simulated partitions; the per-operator record counts it gathers feed the cost
+model, which is how the TPC-H query-time figures are regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..common.errors import QueryError, UnknownColumnError
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class OperatorStats:
+    """Records processed by each operator of a plan (for cost accounting)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, operator_name: str, amount: int = 1) -> None:
+        self.counts[operator_name] = self.counts.get(operator_name, 0) + amount
+
+    @property
+    def total_records_processed(self) -> int:
+        return sum(self.counts.values())
+
+
+def _get(row: Row, column: str) -> Any:
+    try:
+        return row[column]
+    except KeyError:
+        raise UnknownColumnError(f"row has no column {column!r}: {sorted(row)[:8]}") from None
+
+
+def filter_rows(
+    rows: Iterable[Row],
+    predicate: Callable[[Row], bool],
+    stats: Optional[OperatorStats] = None,
+    name: str = "filter",
+) -> Iterator[Row]:
+    """SELECT ... WHERE predicate."""
+    for row in rows:
+        if stats is not None:
+            stats.bump(name)
+        if predicate(row):
+            yield row
+
+
+def project(
+    rows: Iterable[Row],
+    columns: Sequence[str] = (),
+    computed: Optional[Mapping[str, Callable[[Row], Any]]] = None,
+    stats: Optional[OperatorStats] = None,
+    name: str = "project",
+) -> Iterator[Row]:
+    """Projection with optional computed columns."""
+    computed = computed or {}
+    for row in rows:
+        if stats is not None:
+            stats.bump(name)
+        out: Row = {column: _get(row, column) for column in columns}
+        for column, fn in computed.items():
+            out[column] = fn(row)
+        yield out
+
+
+def hash_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_key: Callable[[Row], Any],
+    right_key: Callable[[Row], Any],
+    stats: Optional[OperatorStats] = None,
+    name: str = "hash_join",
+    how: str = "inner",
+) -> Iterator[Row]:
+    """Hash join (build on the right input, probe with the left).
+
+    ``how`` supports "inner" and "left_semi" (the shape TPC-H's EXISTS
+    subqueries compile to) and "left_anti" (NOT EXISTS).
+    """
+    if how not in ("inner", "left_semi", "left_anti"):
+        raise QueryError(f"unsupported join type {how!r}")
+    build: Dict[Any, List[Row]] = {}
+    for row in right:
+        if stats is not None:
+            stats.bump(f"{name}:build")
+        build.setdefault(right_key(row), []).append(row)
+    for row in left:
+        if stats is not None:
+            stats.bump(f"{name}:probe")
+        matches = build.get(left_key(row), [])
+        if how == "inner":
+            for match in matches:
+                merged = dict(match)
+                merged.update(row)
+                yield merged
+        elif how == "left_semi":
+            if matches:
+                yield row
+        else:  # left_anti
+            if not matches:
+                yield row
+
+
+def hash_group_by(
+    rows: Iterable[Row],
+    key: Callable[[Row], Any],
+    aggregates: Mapping[str, Tuple[str, Callable[[Row], Any]]],
+    stats: Optional[OperatorStats] = None,
+    name: str = "group_by",
+) -> Iterator[Row]:
+    """Hash aggregation.
+
+    ``aggregates`` maps output column -> (kind, value extractor) with kind in
+    {"sum", "count", "min", "max", "avg"}.
+    """
+    valid = {"sum", "count", "min", "max", "avg"}
+    for column, (kind, _fn) in aggregates.items():
+        if kind not in valid:
+            raise QueryError(f"unsupported aggregate {kind!r} for column {column!r}")
+    groups: Dict[Any, Dict[str, Any]] = {}
+    counts: Dict[Any, Dict[str, int]] = {}
+    group_keys: Dict[Any, Any] = {}
+    for row in rows:
+        if stats is not None:
+            stats.bump(name)
+        group_value = key(row)
+        # Dict group keys (named grouping columns) are hashed by their sorted
+        # items but reported back as the original dict.
+        group = (
+            tuple(sorted(group_value.items())) if isinstance(group_value, dict) else group_value
+        )
+        group_keys[group] = group_value
+        state = groups.setdefault(group, {})
+        count_state = counts.setdefault(group, {})
+        for column, (kind, fn) in aggregates.items():
+            value = fn(row) if kind != "count" else 1
+            if kind == "count":
+                state[column] = state.get(column, 0) + 1
+            elif kind == "sum":
+                state[column] = state.get(column, 0) + value
+            elif kind == "min":
+                state[column] = value if column not in state else min(state[column], value)
+            elif kind == "max":
+                state[column] = value if column not in state else max(state[column], value)
+            elif kind == "avg":
+                state[column] = state.get(column, 0) + value
+                count_state[column] = count_state.get(column, 0) + 1
+    for group, state in groups.items():
+        out: Row = {}
+        group_value = group_keys[group]
+        if isinstance(group_value, dict):
+            out.update(group_value)
+        else:
+            out["group_key"] = group_value
+        for column, (kind, _fn) in aggregates.items():
+            if kind == "avg":
+                denominator = counts[group].get(column, 0)
+                out[column] = state[column] / denominator if denominator else None
+            else:
+                out[column] = state.get(column, 0)
+        yield out
+
+
+def order_by(
+    rows: Iterable[Row],
+    key: Callable[[Row], Any],
+    descending: bool = False,
+    stats: Optional[OperatorStats] = None,
+    name: str = "order_by",
+) -> List[Row]:
+    """Full sort (materialises its input, as a sort operator must)."""
+    materialised = list(rows)
+    if stats is not None:
+        stats.bump(name, len(materialised))
+    return sorted(materialised, key=key, reverse=descending)
+
+
+def limit(rows: Iterable[Row], count: int) -> List[Row]:
+    """LIMIT count."""
+    if count < 0:
+        raise QueryError("limit must be non-negative")
+    result: List[Row] = []
+    for row in rows:
+        if len(result) >= count:
+            break
+        result.append(row)
+    return result
+
+
+def scalar_aggregate(
+    rows: Iterable[Row],
+    aggregates: Mapping[str, Tuple[str, Callable[[Row], Any]]],
+    stats: Optional[OperatorStats] = None,
+    name: str = "aggregate",
+) -> Row:
+    """Aggregation without grouping; always returns exactly one row."""
+    result_rows = list(
+        hash_group_by(rows, key=lambda row: 0, aggregates=aggregates, stats=stats, name=name)
+    )
+    if not result_rows:
+        return {column: (0 if kind in ("count", "sum") else None) for column, (kind, _f) in aggregates.items()}
+    row = result_rows[0]
+    row.pop("group_key", None)
+    return row

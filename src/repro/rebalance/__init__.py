@@ -1,0 +1,64 @@
+"""The rebalance operation (Section V) and the evaluated rebalancing strategies.
+
+* :func:`compute_balanced_directory` — Algorithm 2 (the greedy BALANCE step).
+* :class:`RebalanceOperation` — the three-phase online rebalance with its
+  two-phase commit and fault-injection sites.
+* :class:`RebalanceRecoveryManager` — the Section V-D failure cases.
+* Strategies: :class:`GlobalHashingStrategy` (the paper's ``Hashing``
+  baseline), :class:`StaticHashStrategy`, :class:`DynaHashStrategy`, and the
+  :class:`ConsistentHashStrategy` taxonomy baseline.
+"""
+
+from .concurrency import LogReplicator, ReplicationStats
+from .movement import DataMover, MovementWork
+from .operation import (
+    FAULT_SITES,
+    ConcurrentWriteLoad,
+    FaultInjector,
+    RebalanceOperation,
+    apply_abort_to_runtime,
+    apply_commit_to_runtime,
+)
+from .plan import (
+    BucketMove,
+    RebalancePlan,
+    compute_balanced_directory,
+    compute_round_robin_directory,
+    plan_from_directories,
+)
+from .recovery import PendingRebalance, RebalanceRecoveryManager, RecoveryOutcome
+from .strategies import (
+    ConsistentHashStrategy,
+    DynaHashStrategy,
+    GlobalHashingStrategy,
+    RebalancingStrategy,
+    StaticHashStrategy,
+    strategy_by_name,
+)
+
+__all__ = [
+    "BucketMove",
+    "ConcurrentWriteLoad",
+    "ConsistentHashStrategy",
+    "DataMover",
+    "DynaHashStrategy",
+    "FAULT_SITES",
+    "FaultInjector",
+    "GlobalHashingStrategy",
+    "LogReplicator",
+    "MovementWork",
+    "PendingRebalance",
+    "RebalanceOperation",
+    "RebalancePlan",
+    "RebalanceRecoveryManager",
+    "RebalancingStrategy",
+    "RecoveryOutcome",
+    "ReplicationStats",
+    "StaticHashStrategy",
+    "apply_abort_to_runtime",
+    "apply_commit_to_runtime",
+    "compute_balanced_directory",
+    "compute_round_robin_directory",
+    "plan_from_directories",
+    "strategy_by_name",
+]

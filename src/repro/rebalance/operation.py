@@ -1,0 +1,459 @@
+"""The rebalance operation: initialization, data movement, finalization.
+
+This is the Section V protocol end-to-end for one dataset:
+
+* **Initialization** — the CC forces a BEGIN metadata log record, pulls the
+  latest local directories from the NCs (bucket splits are local), disables
+  further splits, computes the new global directory with Algorithm 2 (or uses
+  a caller-supplied plan), and flushes the memory components of every moving
+  bucket to create the immutable snapshots that define the rebalance start
+  time.
+* **Data movement** — the affected buckets' snapshots are scanned at their
+  sources, shipped, and bulk-loaded into invisible received buckets and
+  secondary-index component lists at their destinations; concurrent writes are
+  applied at the source and their log records replicated to the destination.
+* **Finalization** — a two-phase commit: the CC blocks the dataset briefly,
+  waits for every NC to finish log replication and flush its rebalance memory
+  components (the *prepare* votes), forces a COMMIT record, tells the NCs to
+  install received buckets and clean up moved buckets (both idempotent),
+  updates the global directory, unblocks, and finally writes DONE.
+
+Node/CC failures can be injected at the protocol sites named in
+:class:`FaultInjector`; the recovery manager in
+:mod:`repro.rebalance.recovery` then drives the six cases of Section V-D.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from ..common.errors import FaultInjected, RebalanceAborted, RebalanceError
+from ..hashing.bucket_id import BucketId
+from ..hashing.extendible import GlobalDirectory
+from ..lsm.wal import LogRecordType
+from ..cluster.reports import RebalanceReport
+from .concurrency import LogReplicator
+from .movement import DataMover
+from .plan import RebalancePlan, compute_balanced_directory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.controller import DatasetRuntime, SimulatedCluster
+
+
+#: Protocol sites where a fault can be injected, in timeline order.
+FAULT_SITES = (
+    "nc_fail_before_prepare",       # Case 1
+    "nc_fail_after_prepare",        # Case 2
+    "cc_fail_before_commit",        # Case 3
+    "nc_fail_before_committed",     # Case 4
+    "cc_fail_after_commit",         # Case 5
+    "cc_fail_after_done",           # Case 6
+)
+
+
+class FaultInjector:
+    """Raises :class:`FaultInjected` the first time a registered site is hit."""
+
+    def __init__(self, sites: Iterable[str] = ()):
+        unknown = [site for site in sites if site not in FAULT_SITES]
+        if unknown:
+            raise ValueError(f"unknown fault sites: {unknown}")
+        self._pending = set(sites)
+        self.fired: List[str] = []
+
+    def fire(self, site: str) -> None:
+        if site in self._pending:
+            self._pending.discard(site)
+            self.fired.append(site)
+            raise FaultInjected(site)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return bool(self._pending)
+
+
+def serialize_plan(plan: RebalancePlan) -> Dict[str, Any]:
+    """Encode a plan into a metadata-log payload (used for recovery)."""
+    return {
+        "assignments": [
+            [bucket.prefix, bucket.depth, partition]
+            for bucket, partition in sorted(plan.new_directory.assignments.items())
+        ],
+        "moves": [
+            [
+                move.bucket.prefix,
+                move.bucket.depth,
+                -1 if move.source_partition is None else move.source_partition,
+                move.destination_partition,
+            ]
+            for move in plan.moves
+        ],
+    }
+
+
+def deserialize_assignments(payload: Mapping[str, Any]) -> GlobalDirectory:
+    assignments = {
+        BucketId(prefix, depth): partition
+        for prefix, depth, partition in payload.get("assignments", [])
+    }
+    return GlobalDirectory(assignments)
+
+
+def deserialize_moves(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    moves = []
+    for prefix, depth, source, destination in payload.get("moves", []):
+        moves.append(
+            {
+                "bucket": BucketId(prefix, depth),
+                "source": None if source < 0 else source,
+                "destination": destination,
+            }
+        )
+    return moves
+
+
+@dataclass
+class ConcurrentWriteLoad:
+    """Concurrent writes applied while the rebalance's data movement runs."""
+
+    rows: Sequence[Mapping[str, Any]] = ()
+    #: Controlled write rate in records/second; 0 means "as provided".  Used
+    #: only for reporting (Figure 7c plots rebalance time against this rate).
+    write_rate_records_per_sec: float = 0.0
+
+
+class RebalanceOperation:
+    """One dataset's rebalance to a new set of partitions."""
+
+    def __init__(
+        self,
+        cluster: "SimulatedCluster",
+        dataset_name: str,
+        target_partitions: Sequence[int],
+        strategy_name: str = "DynaHash",
+        plan: Optional[RebalancePlan] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        self.cluster = cluster
+        self.dataset_name = dataset_name
+        self.runtime: "DatasetRuntime" = cluster.dataset(dataset_name)
+        if self.runtime.routing_mode != "directory":
+            raise RebalanceError(
+                "RebalanceOperation requires directory routing; the global-hashing "
+                "baseline reimplements its own movement in strategies.py"
+            )
+        self.target_partitions = list(target_partitions)
+        self.strategy_name = strategy_name
+        self.explicit_plan = plan
+        self.faults = fault_injector or FaultInjector()
+        self.rebalance_id = cluster.next_rebalance_id()
+        self.plan: Optional[RebalancePlan] = plan
+        self.old_nodes = cluster.num_nodes
+
+    # ------------------------------------------------------------ utilities
+
+    def _partition_nodes(self) -> Dict[int, str]:
+        nodes: Dict[int, str] = {}
+        for pid in set(self.target_partitions) | set(self.runtime.partitions.keys()):
+            nodes[pid] = self.cluster.node_of_partition(pid).node_id
+        return nodes
+
+    def _nodes_of(self, partition_ids: Iterable[int]) -> List[str]:
+        return sorted({self._partition_nodes()[pid] for pid in partition_ids})
+
+    def _target_node_count(self) -> int:
+        return len({self._partition_nodes()[pid] for pid in self.target_partitions})
+
+    # -------------------------------------------------------------- phases
+
+    def run(self, concurrent: Optional[ConcurrentWriteLoad] = None) -> RebalanceReport:
+        """Execute the full rebalance; returns a committed or aborted report.
+
+        Raises :class:`FaultInjected` when an injected fault models a crash
+        that the running operation cannot resolve (the recovery manager must
+        then be invoked, exactly like a restarted CC/NC would).
+        """
+        cost = self.cluster.cost
+        report = RebalanceReport(
+            strategy=self.strategy_name,
+            dataset=self.dataset_name,
+            old_nodes=self.old_nodes,
+            new_nodes=self._target_node_count(),
+            committed=False,
+            simulated_seconds=0.0,
+        )
+        try:
+            init_seconds = self._initialization_phase(report)
+            move_seconds = self._data_movement_phase(report, concurrent)
+            final_seconds = self._finalization_phase(report)
+        except RebalanceAborted as aborted:
+            abort_seconds = self._abort(str(aborted))
+            report.abort_reason = str(aborted)
+            report.phase_seconds["abort"] = abort_seconds
+            report.simulated_seconds = sum(report.phase_seconds.values())
+            return report
+        report.committed = True
+        report.phase_seconds.update(
+            initialization=init_seconds, data_movement=move_seconds, finalization=final_seconds
+        )
+        report.simulated_seconds = init_seconds + move_seconds + final_seconds
+        return report
+
+    # -- initialization ------------------------------------------------------
+
+    def _initialization_phase(self, report: RebalanceReport) -> float:
+        cost = self.cluster.cost
+        cc = self.cluster.cc
+        # Force the BEGIN record before anything else (Section V-D relies on
+        # it to learn about in-flight rebalances after a full-cluster crash).
+        self._begin_record = cc.metadata_wal.append(
+            LogRecordType.REBALANCE_BEGIN,
+            self.dataset_name,
+            None,
+            {"rebalance_id": self.rebalance_id},
+            force=True,
+        )
+
+        # Contact every NC for its latest local directory and disable splits.
+        local_directories = {}
+        for pid, partition in self.runtime.partitions.items():
+            partition.primary.disable_splits()
+            local_directories[pid] = partition.primary.directory
+        refreshed = GlobalDirectory.from_local_directories(local_directories)
+        self.runtime.global_directory = refreshed
+
+        if self.explicit_plan is None:
+            partition_nodes = self._partition_nodes()
+            self.plan = compute_balanced_directory(
+                refreshed, self.target_partitions, partition_nodes
+            )
+        else:
+            self.plan = self.explicit_plan
+        report.buckets_moved = self.plan.moved_buckets
+
+        # Flush the memory components of every moving bucket: the flush time
+        # is the rebalance start time and the resulting components are the
+        # immutable snapshot (Section V-A).
+        flush_bytes_by_node: Dict[str, float] = {}
+        partition_nodes = self._partition_nodes()
+        for move in self.plan.moves:
+            if move.source_partition is None:
+                continue
+            source = self.runtime.partitions[move.source_partition]
+            bucket = source.primary.bucket(move.bucket)
+            component = bucket.flush()
+            if component is not None:
+                node = partition_nodes[move.source_partition]
+                flush_bytes_by_node[node] = flush_bytes_by_node.get(node, 0) + component.size_bytes
+
+        # Update the serialized plan into the BEGIN record's payload (the CC
+        # writes it as part of the metadata transaction).
+        self._begin_record.payload.update(serialize_plan(self.plan))
+        cc.metadata_wal.force()
+
+        per_node_seconds = {
+            node: cost.disk_write_time(num_bytes) for node, num_bytes in flush_bytes_by_node.items()
+        }
+        rpc_seconds = cost.rpc_time(2 * max(1, self.cluster.num_nodes))
+        return cost.slowest(per_node_seconds) + rpc_seconds
+
+    # -- data movement -------------------------------------------------------
+
+    def _data_movement_phase(
+        self, report: RebalanceReport, concurrent: Optional[ConcurrentWriteLoad]
+    ) -> float:
+        assert self.plan is not None
+        cost = self.cluster.cost
+        partition_nodes = self._partition_nodes()
+        mover = DataMover(self.runtime, partition_nodes)
+        replicator = LogReplicator(self.runtime, self.plan, partition_nodes)
+        self._replicator = replicator
+
+        moves = list(self.plan.moves)
+        # Open the log-replication channel for every moving bucket before any
+        # data moves: concurrent writes may target a bucket whose scan has not
+        # started yet, and their replicated records must not be lost.
+        for move in moves:
+            self.runtime.partitions[move.destination_partition].receive_bucket(move.bucket, [])
+        concurrent_rows = list(concurrent.rows) if concurrent is not None else []
+        # Interleave concurrent writes with bucket moves so the replicated
+        # records land while the movement is in flight, as they would online.
+        writes_per_move = (
+            max(1, len(concurrent_rows) // max(1, len(moves))) if concurrent_rows else 0
+        )
+        row_iter = iter(concurrent_rows)
+        for move in moves:
+            self.faults.fire("nc_fail_before_prepare")
+            mover.move_bucket(move)
+            for _ in range(writes_per_move):
+                row = next(row_iter, None)
+                if row is None:
+                    break
+                replicator.write(row)
+        for row in row_iter:
+            replicator.write(row)
+
+        work = mover.work
+        report.records_moved = work.records_moved
+        report.bytes_scanned = work.total_scanned_bytes
+        report.bytes_shipped = work.total_shipped_bytes
+        report.bytes_loaded = work.total_loaded_bytes
+        report.concurrent_writes_applied = replicator.stats.concurrent_writes
+        report.replicated_log_records = replicator.stats.replicated_records
+
+        # Per-node time: source scan + outbound network, destination load +
+        # inbound network, all partitions of a node working in parallel but
+        # sharing its network link; plus the cost of applying concurrent
+        # writes (they contend with the movement on the same nodes).
+        per_node: Dict[str, float] = {}
+
+        def add(node: str, seconds: float) -> None:
+            per_node[node] = per_node.get(node, 0.0) + seconds
+
+        for pid, num_bytes in work.scanned_bytes_by_partition.items():
+            add(partition_nodes[pid], cost.disk_read_time(num_bytes))
+        for pid, num_bytes in work.loaded_bytes_by_partition.items():
+            add(partition_nodes[pid], cost.disk_write_time(num_bytes))
+        for node, num_bytes in work.shipped_bytes_by_node.items():
+            add(node, cost.network_time(num_bytes))
+        for node, num_bytes in work.received_bytes_by_node.items():
+            add(node, cost.network_time(num_bytes))
+        # CPU of repartitioning and of rebuilding secondary index entries.
+        for pid, num_bytes in work.loaded_bytes_by_partition.items():
+            add(partition_nodes[pid], cost.compare_time(work.records_moved))
+
+        if replicator.stats.concurrent_writes:
+            parse_seconds = cost.parse_time(replicator.stats.concurrent_writes)
+            replication_network = cost.network_time(replicator.stats.replicated_bytes)
+            for node in per_node:
+                add(node, parse_seconds / max(1, len(per_node)))
+            # Replication traffic shares the destination links.
+            for node, num_bytes in work.received_bytes_by_node.items():
+                add(node, replication_network / max(1, len(work.received_bytes_by_node)))
+
+        report.per_node_seconds = dict(per_node)
+        return cost.slowest(per_node) + cost.rpc_time(self.cluster.num_nodes)
+
+    # -- finalization ---------------------------------------------------------
+
+    def _finalization_phase(self, report: RebalanceReport) -> float:
+        assert self.plan is not None
+        cost = self.cluster.cost
+        cc = self.cluster.cc
+        partition_nodes = self._partition_nodes()
+
+        # Prepare phase: block the dataset, wait for log replication to drain
+        # and for every NC to flush its rebalance memory components.
+        self.runtime.blocked = True
+        for partition in self.runtime.partitions.values():
+            partition.block()
+        prepare_flush_by_node: Dict[str, float] = {}
+        try:
+            self.faults.fire("cc_fail_before_commit")
+            for pid, partition in self.runtime.partitions.items():
+                self.faults.fire("nc_fail_after_prepare")
+                flushed = partition.prepare_rebalance()
+                node = partition_nodes[pid]
+                prepare_flush_by_node[node] = prepare_flush_by_node.get(node, 0) + flushed
+        except FaultInjected as fault:
+            if fault.site == "nc_fail_after_prepare":
+                # Case 2's *abort* variant is exercised by aborting here when
+                # the recovering NC is told the operation did not commit; the
+                # commit variant is reached via cc_fail_after_commit.
+                raise
+            raise
+
+        blocked_seconds = cost.slowest(
+            {node: cost.disk_write_time(b) for node, b in prepare_flush_by_node.items()}
+        ) + cost.rpc_time(2 * max(1, self.cluster.num_nodes))
+
+        # Commit point: force the COMMIT record.
+        cc.metadata_wal.append(
+            LogRecordType.REBALANCE_COMMIT,
+            self.dataset_name,
+            None,
+            {"rebalance_id": self.rebalance_id},
+            force=True,
+        )
+
+        self.faults.fire("nc_fail_before_committed")
+        self.faults.fire("cc_fail_after_commit")
+
+        # Commit tasks at every NC (all idempotent).
+        self.apply_commit_tasks()
+
+        # The dataset is unblocked before the DONE record: DONE only means the
+        # operation can be forgotten.
+        report.blocked_seconds = blocked_seconds
+        cc.metadata_wal.append(
+            LogRecordType.REBALANCE_DONE,
+            self.dataset_name,
+            None,
+            {"rebalance_id": self.rebalance_id},
+            force=True,
+        )
+        self.faults.fire("cc_fail_after_done")
+        return blocked_seconds + cost.rpc_time(2 * max(1, self.cluster.num_nodes))
+
+    # -- commit/abort tasks (also used by recovery) ---------------------------
+
+    def apply_commit_tasks(self) -> None:
+        """Install received buckets, clean up moved buckets, swap the directory."""
+        assert self.plan is not None
+        apply_commit_to_runtime(self.runtime, self.plan.new_directory, self.plan.moves)
+
+    def _abort(self, reason: str) -> float:
+        cost = self.cluster.cost
+        apply_abort_to_runtime(self.runtime)
+        self.cluster.cc.metadata_wal.append(
+            LogRecordType.REBALANCE_ABORT,
+            self.dataset_name,
+            None,
+            {"rebalance_id": self.rebalance_id, "reason": reason},
+            force=True,
+        )
+        self.cluster.cc.metadata_wal.append(
+            LogRecordType.REBALANCE_DONE,
+            self.dataset_name,
+            None,
+            {"rebalance_id": self.rebalance_id},
+            force=True,
+        )
+        return cost.rpc_time(2 * max(1, self.cluster.num_nodes))
+
+
+def apply_commit_to_runtime(runtime: "DatasetRuntime", new_directory: GlobalDirectory, moves) -> None:
+    """The NC/CC commit tasks, shared between the live path and recovery.
+
+    Every step is idempotent: installing with nothing pending, cleaning up an
+    already-removed bucket, and re-assigning the directory are all no-ops the
+    second time.
+    """
+    for partition in runtime.partitions.values():
+        partition.install_received_buckets()
+    for move in moves:
+        source = getattr(move, "source_partition", None)
+        bucket = getattr(move, "bucket", None)
+        if bucket is None and isinstance(move, dict):
+            bucket = move["bucket"]
+            source = move["source"]
+        if source is None:
+            continue
+        partition = runtime.partitions.get(source)
+        if partition is not None:
+            partition.cleanup_moved_bucket(bucket)
+    runtime.global_directory = new_directory.copy()
+    for partition in runtime.partitions.values():
+        partition.unblock()
+        partition.primary.enable_splits()
+    runtime.blocked = False
+
+
+def apply_abort_to_runtime(runtime: "DatasetRuntime") -> None:
+    """The NC abort/cleanup tasks, shared between the live path and recovery."""
+    for partition in runtime.partitions.values():
+        partition.drop_received_buckets()
+        partition.unblock()
+        partition.primary.enable_splits()
+    runtime.blocked = False

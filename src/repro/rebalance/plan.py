@@ -1,0 +1,216 @@
+"""Computing the new global directory — Algorithm 2 (BALANCE).
+
+When a rebalance starts, the CC pulls the latest local directories from every
+NC (splits happen locally, Section IV) and computes a new bucket → partition
+assignment over the *target* partition set.  Finding the optimal assignment is
+NP-hard (it embeds the partition problem), so the paper uses a greedy
+algorithm:
+
+1. Assign every unassigned bucket (displaced by node removals) to the least
+   loaded partition.
+2. Repeatedly try to move the *smallest* bucket off the *most* loaded
+   partition onto the *least* loaded partition; stop when doing so no longer
+   shrinks the gap between the two.
+
+Load is measured in the paper's normalized bucket size |B| = 2^(D - d); ties
+between equally loaded partitions are broken by node load.  A plain
+round-robin assignment is also provided as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..common.errors import RebalanceError
+from ..hashing.bucket_id import BucketId
+from ..hashing.extendible import GlobalDirectory
+
+
+@dataclass(frozen=True)
+class BucketMove:
+    """One bucket changing partitions."""
+
+    bucket: BucketId
+    source_partition: Optional[int]  # None for a bucket with no current home
+    destination_partition: int
+
+
+@dataclass
+class RebalancePlan:
+    """The outcome of directory computation: the new directory and the moves."""
+
+    old_directory: GlobalDirectory
+    new_directory: GlobalDirectory
+    moves: List[BucketMove] = field(default_factory=list)
+
+    @property
+    def moved_buckets(self) -> int:
+        return len(self.moves)
+
+    def moves_from(self, partition_id: int) -> List[BucketMove]:
+        return [move for move in self.moves if move.source_partition == partition_id]
+
+    def moves_to(self, partition_id: int) -> List[BucketMove]:
+        return [move for move in self.moves if move.destination_partition == partition_id]
+
+    def normalized_imbalance(self) -> float:
+        """max/mean normalized partition load of the new directory (1.0 = perfect)."""
+        load = self.new_directory.normalized_load()
+        if not load:
+            return 1.0
+        mean = sum(load.values()) / len(load)
+        return max(load.values()) / mean if mean else 1.0
+
+
+class _LoadTracker:
+    """Tracks per-partition and per-node normalized load during the greedy pass."""
+
+    def __init__(
+        self,
+        target_partitions: Sequence[int],
+        partition_to_node: Mapping[int, str],
+        global_depth: int,
+    ):
+        self.partition_load: Dict[int, int] = {pid: 0 for pid in target_partitions}
+        self.node_load: Dict[str, int] = {}
+        self.partition_to_node = dict(partition_to_node)
+        self.global_depth = global_depth
+        self.buckets: Dict[int, List[BucketId]] = {pid: [] for pid in target_partitions}
+        for pid in target_partitions:
+            self.node_load.setdefault(self.partition_to_node[pid], 0)
+
+    def size(self, bucket: BucketId) -> int:
+        return bucket.normalized_size(self.global_depth)
+
+    def assign(self, bucket: BucketId, partition: int) -> None:
+        self.partition_load[partition] += self.size(bucket)
+        self.node_load[self.partition_to_node[partition]] += self.size(bucket)
+        self.buckets[partition].append(bucket)
+
+    def unassign(self, bucket: BucketId, partition: int) -> None:
+        self.partition_load[partition] -= self.size(bucket)
+        self.node_load[self.partition_to_node[partition]] -= self.size(bucket)
+        self.buckets[partition].remove(bucket)
+
+    def load_key(self, partition: int) -> Tuple[int, int]:
+        """Ordering key: (partition load, its node's load) — the paper's tie-break."""
+        return (self.partition_load[partition], self.node_load[self.partition_to_node[partition]])
+
+    def least_loaded(self) -> int:
+        return min(self.partition_load, key=self.load_key)
+
+    def most_loaded(self) -> int:
+        return max(self.partition_load, key=self.load_key)
+
+
+def compute_balanced_directory(
+    current: GlobalDirectory,
+    target_partitions: Sequence[int],
+    partition_to_node: Mapping[int, str],
+    max_iterations: int = 10_000,
+) -> RebalancePlan:
+    """Run Algorithm 2 and return the plan (new directory + bucket moves)."""
+    targets = list(target_partitions)
+    if not targets:
+        raise RebalanceError("the target partition set is empty")
+    missing = [pid for pid in targets if pid not in partition_to_node]
+    if missing:
+        raise RebalanceError(f"target partitions {missing} have no node mapping")
+    target_set = set(targets)
+    global_depth = current.global_depth
+    tracker = _LoadTracker(targets, partition_to_node, global_depth)
+
+    assignments: Dict[BucketId, int] = {}
+    unassigned: List[BucketId] = []
+    for bucket, partition in current.assignments.items():
+        if partition in target_set:
+            assignments[bucket] = partition
+            tracker.assign(bucket, partition)
+        else:
+            unassigned.append(bucket)
+
+    # Step 1: place displaced buckets on the least loaded partitions, largest
+    # buckets first so the greedy fill packs well.
+    for bucket in sorted(unassigned, key=lambda b: (-tracker.size(b), b)):
+        partition = tracker.least_loaded()
+        assignments[bucket] = partition
+        tracker.assign(bucket, partition)
+
+    # Step 2: iterative improvement (lines 4-11 of Algorithm 2).
+    for _ in range(max_iterations):
+        p_max = tracker.most_loaded()
+        p_min = tracker.least_loaded()
+        if p_max == p_min or not tracker.buckets[p_max]:
+            break
+        smallest = min(tracker.buckets[p_max], key=lambda b: (tracker.size(b), b))
+        size = tracker.size(smallest)
+        load_max = tracker.partition_load[p_max]
+        load_min = tracker.partition_load[p_min]
+        if abs((load_max - size) - (load_min + size)) < load_max - load_min:
+            tracker.unassign(smallest, p_max)
+            tracker.assign(smallest, p_min)
+            assignments[smallest] = p_min
+        else:
+            break
+
+    new_directory = GlobalDirectory(assignments)
+    moves = _diff_directories(current, new_directory)
+    return RebalancePlan(old_directory=current, new_directory=new_directory, moves=moves)
+
+
+def compute_round_robin_directory(
+    current: GlobalDirectory,
+    target_partitions: Sequence[int],
+) -> RebalancePlan:
+    """Ablation baseline: reassign *every* bucket round-robin over the targets.
+
+    Ignores current placement entirely, so it moves far more buckets than
+    Algorithm 2 for the same final balance — the ablation benchmark
+    quantifies that gap.
+    """
+    targets = list(target_partitions)
+    if not targets:
+        raise RebalanceError("the target partition set is empty")
+    assignments: Dict[BucketId, int] = {}
+    for index, bucket in enumerate(sorted(current.assignments.keys())):
+        assignments[bucket] = targets[index % len(targets)]
+    new_directory = GlobalDirectory(assignments)
+    return RebalancePlan(
+        old_directory=current,
+        new_directory=new_directory,
+        moves=_diff_directories(current, new_directory),
+    )
+
+
+def plan_from_directories(
+    current: GlobalDirectory, new_directory: GlobalDirectory
+) -> RebalancePlan:
+    """Build a plan from an externally computed new directory.
+
+    Used by the consistent-hashing strategy (whose assignment comes from a
+    ring, not from Algorithm 2) and by tests that need hand-crafted layouts.
+    """
+    if set(current.assignments.keys()) != set(new_directory.assignments.keys()):
+        raise RebalanceError("old and new directories must contain the same buckets")
+    return RebalancePlan(
+        old_directory=current,
+        new_directory=new_directory,
+        moves=_diff_directories(current, new_directory),
+    )
+
+
+def _diff_directories(old: GlobalDirectory, new: GlobalDirectory) -> List[BucketMove]:
+    moves: List[BucketMove] = []
+    old_assignments = old.assignments
+    for bucket, new_partition in sorted(new.assignments.items()):
+        old_partition = old_assignments.get(bucket)
+        if old_partition != new_partition:
+            moves.append(
+                BucketMove(
+                    bucket=bucket,
+                    source_partition=old_partition,
+                    destination_partition=new_partition,
+                )
+            )
+    return moves

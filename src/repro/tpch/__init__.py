@@ -1,0 +1,55 @@
+"""TPC-H workload substrate: schema, data generator, the 22 queries, loader."""
+
+from .datagen import TPCHGenerator
+from .queries import (
+    ORDER_SENSITIVE_QUERIES,
+    QUERY_NAMES,
+    REAL_PLANS,
+    SCAN_HEAVY_QUERIES,
+    TPCH_QUERIES,
+    q1_plan,
+    q3_plan,
+    q6_plan,
+    query_spec,
+)
+from .schema import (
+    ALL_TABLES,
+    LINEITEM_INDEX,
+    ORDERS_INDEX,
+    TABLES_BY_NAME,
+    TableSpec,
+    dataset_spec,
+    rows_at_scale,
+)
+from .workload import (
+    DEFAULT_TABLES,
+    FACT_TABLES,
+    TPCHLoadResult,
+    TPCHWorkload,
+    paper_scale_factor,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "DEFAULT_TABLES",
+    "FACT_TABLES",
+    "LINEITEM_INDEX",
+    "ORDERS_INDEX",
+    "ORDER_SENSITIVE_QUERIES",
+    "QUERY_NAMES",
+    "REAL_PLANS",
+    "SCAN_HEAVY_QUERIES",
+    "TABLES_BY_NAME",
+    "TPCHGenerator",
+    "TPCHLoadResult",
+    "TPCHWorkload",
+    "TPCH_QUERIES",
+    "TableSpec",
+    "dataset_spec",
+    "paper_scale_factor",
+    "q1_plan",
+    "q3_plan",
+    "q6_plan",
+    "query_spec",
+    "rows_at_scale",
+]

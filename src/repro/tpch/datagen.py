@@ -1,0 +1,242 @@
+"""A pure-Python TPC-H data generator (a compact dbgen).
+
+Generates rows with the schema, key relationships, value domains and skew
+characteristics of TPC-H at an arbitrary (fractional) scale factor, seeded for
+reproducibility.  The paper loads SF = 100 per node; the benchmarks here use
+small fractional scale factors and let the cost model's ``workload_scale``
+account for the difference (see DESIGN.md).
+
+The generator preserves the properties the evaluation depends on:
+
+* primary keys are unique and hash-partition uniformly,
+* LineItem has 1-7 lines per order (~4 on average),
+* dates span 1992-1998 so the shipdate/orderdate indexes and the date-range
+  predicates of the queries are meaningful,
+* foreign keys reference existing customers/parts/suppliers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from .schema import (
+    ALL_TABLES,
+    CUSTOMER,
+    LINEITEM,
+    NATION,
+    ORDERS,
+    PART,
+    PARTSUPP,
+    REGION,
+    SUPPLIER,
+    TableSpec,
+    rows_at_scale,
+)
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP JAR", "JUMBO PKG"]
+_TYPES = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_METALS = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _comment(rng: random.Random, length: int = 24) -> str:
+    words = ["carefully", "quickly", "furiously", "ironic", "deposits", "accounts",
+             "requests", "packages", "pending", "final", "express", "regular"]
+    out: List[str] = []
+    while sum(len(w) + 1 for w in out) < length:
+        out.append(rng.choice(words))
+    return " ".join(out)
+
+
+class TPCHGenerator:
+    """Deterministic TPC-H row generator."""
+
+    def __init__(self, scale_factor: float = 0.001, seed: int = 2022):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+
+    def _rng(self, table: str) -> random.Random:
+        return random.Random((self.seed, table, round(self.scale_factor, 6)).__hash__())
+
+    def row_count(self, table: TableSpec) -> int:
+        return rows_at_scale(table, self.scale_factor)
+
+    # ------------------------------------------------------------ dimensions
+
+    def region(self) -> Iterator[Dict]:
+        rng = self._rng("region")
+        for key, name in enumerate(_REGIONS):
+            yield {"r_regionkey": key, "r_name": name, "r_comment": _comment(rng)}
+
+    def nation(self) -> Iterator[Dict]:
+        rng = self._rng("nation")
+        for key, (name, region_key) in enumerate(_NATIONS):
+            yield {
+                "n_nationkey": key,
+                "n_name": name,
+                "n_regionkey": region_key,
+                "n_comment": _comment(rng),
+            }
+
+    def supplier(self) -> Iterator[Dict]:
+        rng = self._rng("supplier")
+        for key in range(1, self.row_count(SUPPLIER) + 1):
+            yield {
+                "s_suppkey": key,
+                "s_name": f"Supplier#{key:09d}",
+                "s_address": _comment(rng, 16),
+                "s_nationkey": rng.randint(0, 24),
+                "s_phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "s_comment": _comment(rng),
+            }
+
+    def customer(self) -> Iterator[Dict]:
+        rng = self._rng("customer")
+        for key in range(1, self.row_count(CUSTOMER) + 1):
+            yield {
+                "c_custkey": key,
+                "c_name": f"Customer#{key:09d}",
+                "c_address": _comment(rng, 16),
+                "c_nationkey": rng.randint(0, 24),
+                "c_phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "c_mktsegment": rng.choice(_SEGMENTS),
+                "c_comment": _comment(rng),
+            }
+
+    def part(self) -> Iterator[Dict]:
+        rng = self._rng("part")
+        for key in range(1, self.row_count(PART) + 1):
+            type_name = f"{rng.choice(_TYPES)} {rng.choice(['ANODIZED', 'BURNISHED', 'PLATED', 'POLISHED', 'BRUSHED'])} {rng.choice(_METALS)}"
+            yield {
+                "p_partkey": key,
+                "p_name": f"part {key} {rng.choice(_METALS).lower()}",
+                "p_mfgr": f"Manufacturer#{rng.randint(1, 5)}",
+                "p_brand": rng.choice(_BRANDS),
+                "p_type": type_name,
+                "p_size": rng.randint(1, 50),
+                "p_container": rng.choice(_CONTAINERS),
+                "p_retailprice": round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+                "p_comment": _comment(rng, 12),
+            }
+
+    def partsupp(self) -> Iterator[Dict]:
+        rng = self._rng("partsupp")
+        num_parts = self.row_count(PART)
+        num_suppliers = self.row_count(SUPPLIER)
+        per_part = 4
+        for part_key in range(1, num_parts + 1):
+            for i in range(per_part):
+                supp_key = ((part_key + i * (num_parts // per_part + 1)) % num_suppliers) + 1
+                yield {
+                    "ps_partkey": part_key,
+                    "ps_suppkey": supp_key,
+                    "ps_availqty": rng.randint(1, 9999),
+                    "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                    "ps_comment": _comment(rng, 16),
+                }
+
+    # ------------------------------------------------------------- fact data
+
+    def orders(self) -> Iterator[Dict]:
+        rng = self._rng("orders")
+        num_customers = max(1, self.row_count(CUSTOMER))
+        for key in range(1, self.row_count(ORDERS) + 1):
+            order_date = _date(rng, 1992, 1998)
+            yield {
+                "o_orderkey": key,
+                "o_custkey": rng.randint(1, num_customers),
+                "o_orderstatus": rng.choice(["O", "F", "P"]),
+                "o_totalprice": round(rng.uniform(850.0, 555000.0), 2),
+                "o_orderdate": order_date,
+                "o_orderpriority": rng.choice(_PRIORITIES),
+                "o_clerk": f"Clerk#{rng.randint(1, 1000):09d}",
+                "o_shippriority": 0,
+                "o_comment": _comment(rng),
+            }
+
+    def lineitem(self, orders_rows: Optional[List[Dict]] = None) -> Iterator[Dict]:
+        """Generate line items; 1-7 per order, dates derived from the order."""
+        rng = self._rng("lineitem")
+        num_parts = max(1, self.row_count(PART))
+        num_suppliers = max(1, self.row_count(SUPPLIER))
+        if orders_rows is None:
+            orders_rows = list(self.orders())
+        for order in orders_rows:
+            lines = rng.randint(1, 7)
+            order_year = int(order["o_orderdate"][:4])
+            for line_number in range(1, lines + 1):
+                quantity = rng.randint(1, 50)
+                extended = round(quantity * rng.uniform(900.0, 2000.0), 2)
+                ship_year = min(1998, order_year + rng.choice([0, 0, 0, 1]))
+                ship_date = f"{ship_year:04d}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+                yield {
+                    "l_orderkey": order["o_orderkey"],
+                    "l_linenumber": line_number,
+                    "l_partkey": rng.randint(1, num_parts),
+                    "l_suppkey": rng.randint(1, num_suppliers),
+                    "l_quantity": quantity,
+                    "l_extendedprice": extended,
+                    "l_discount": round(rng.uniform(0.0, 0.1), 2),
+                    "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                    "l_returnflag": rng.choice(["R", "A", "N"]),
+                    "l_linestatus": rng.choice(["O", "F"]),
+                    "l_shipdate": ship_date,
+                    "l_commitdate": _date(rng, ship_year, min(1998, ship_year + 1)),
+                    "l_receiptdate": _date(rng, ship_year, min(1998, ship_year + 1)),
+                    "l_shipinstruct": rng.choice(_INSTRUCTIONS),
+                    "l_shipmode": rng.choice(_SHIPMODES),
+                    "l_comment": _comment(rng, 10),
+                }
+
+    # -------------------------------------------------------------- dispatch
+
+    def table(self, name: str) -> Iterator[Dict]:
+        """Generate any table by name."""
+        generators = {
+            "region": self.region,
+            "nation": self.nation,
+            "supplier": self.supplier,
+            "customer": self.customer,
+            "part": self.part,
+            "partsupp": self.partsupp,
+            "orders": self.orders,
+            "lineitem": self.lineitem,
+        }
+        if name not in generators:
+            raise KeyError(f"unknown TPC-H table {name!r}")
+        return generators[name]()
+
+    def all_tables(self) -> Dict[str, List[Dict]]:
+        """Materialise every table (orders shared with lineitem for FK consistency)."""
+        tables: Dict[str, List[Dict]] = {}
+        for table in ALL_TABLES:
+            if table.name == "lineitem":
+                continue
+            tables[table.name] = list(self.table(table.name))
+        tables["lineitem"] = list(self.lineitem(orders_rows=tables["orders"]))
+        return tables

@@ -1,0 +1,186 @@
+"""TPC-H schema: table definitions, primary keys, and the paper's secondary indexes.
+
+The paper evaluates on TPC-H with two covering secondary indexes to enable
+index-only plans (Section VI-A):
+
+* LineItem index on (l_shipdate, l_partkey, l_suppkey, l_extendedprice,
+  l_discount, l_quantity),
+* Orders index on (o_orderdate, o_custkey, o_shippriority, o_orderpriority).
+
+Cardinalities below are per scale factor 1 (SF 1), from the TPC-H
+specification; the generator scales them linearly (orders/lineitem) or keeps
+them fixed (nation/region) exactly as dbgen does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cluster.dataset import DatasetSpec, SecondaryIndexSpec
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Shape of one TPC-H table."""
+
+    name: str
+    primary_key: Tuple[str, ...]
+    columns: Tuple[str, ...]
+    #: Rows per scale factor 1; ``fixed`` tables ignore the scale factor.
+    rows_per_sf: int
+    fixed: bool = False
+
+
+REGION = TableSpec(
+    name="region",
+    primary_key=("r_regionkey",),
+    columns=("r_regionkey", "r_name", "r_comment"),
+    rows_per_sf=5,
+    fixed=True,
+)
+
+NATION = TableSpec(
+    name="nation",
+    primary_key=("n_nationkey",),
+    columns=("n_nationkey", "n_name", "n_regionkey", "n_comment"),
+    rows_per_sf=25,
+    fixed=True,
+)
+
+SUPPLIER = TableSpec(
+    name="supplier",
+    primary_key=("s_suppkey",),
+    columns=("s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"),
+    rows_per_sf=10_000,
+)
+
+CUSTOMER = TableSpec(
+    name="customer",
+    primary_key=("c_custkey",),
+    columns=(
+        "c_custkey",
+        "c_name",
+        "c_address",
+        "c_nationkey",
+        "c_phone",
+        "c_acctbal",
+        "c_mktsegment",
+        "c_comment",
+    ),
+    rows_per_sf=150_000,
+)
+
+PART = TableSpec(
+    name="part",
+    primary_key=("p_partkey",),
+    columns=(
+        "p_partkey",
+        "p_name",
+        "p_mfgr",
+        "p_brand",
+        "p_type",
+        "p_size",
+        "p_container",
+        "p_retailprice",
+        "p_comment",
+    ),
+    rows_per_sf=200_000,
+)
+
+PARTSUPP = TableSpec(
+    name="partsupp",
+    primary_key=("ps_partkey", "ps_suppkey"),
+    columns=("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"),
+    rows_per_sf=800_000,
+)
+
+ORDERS = TableSpec(
+    name="orders",
+    primary_key=("o_orderkey",),
+    columns=(
+        "o_orderkey",
+        "o_custkey",
+        "o_orderstatus",
+        "o_totalprice",
+        "o_orderdate",
+        "o_orderpriority",
+        "o_clerk",
+        "o_shippriority",
+        "o_comment",
+    ),
+    rows_per_sf=1_500_000,
+)
+
+LINEITEM = TableSpec(
+    name="lineitem",
+    primary_key=("l_orderkey", "l_linenumber"),
+    columns=(
+        "l_orderkey",
+        "l_linenumber",
+        "l_partkey",
+        "l_suppkey",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_commitdate",
+        "l_receiptdate",
+        "l_shipinstruct",
+        "l_shipmode",
+        "l_comment",
+    ),
+    rows_per_sf=6_000_000,
+)
+
+ALL_TABLES: Tuple[TableSpec, ...] = (
+    REGION,
+    NATION,
+    SUPPLIER,
+    CUSTOMER,
+    PART,
+    PARTSUPP,
+    ORDERS,
+    LINEITEM,
+)
+
+TABLES_BY_NAME: Dict[str, TableSpec] = {table.name: table for table in ALL_TABLES}
+
+
+#: The covering secondary indexes the paper builds (Section VI-A).
+LINEITEM_INDEX = SecondaryIndexSpec(
+    name="idx_lineitem_shipdate",
+    key_fields=("l_shipdate",),
+    included_fields=("l_partkey", "l_suppkey", "l_extendedprice", "l_discount", "l_quantity"),
+)
+
+ORDERS_INDEX = SecondaryIndexSpec(
+    name="idx_orders_orderdate",
+    key_fields=("o_orderdate",),
+    included_fields=("o_custkey", "o_shippriority", "o_orderpriority"),
+)
+
+
+def dataset_spec(table: TableSpec) -> DatasetSpec:
+    """Build the AsterixDB dataset spec for a TPC-H table, with the paper's
+    secondary indexes on LineItem and Orders."""
+    secondary: List[SecondaryIndexSpec] = []
+    if table.name == "lineitem":
+        secondary.append(LINEITEM_INDEX)
+    elif table.name == "orders":
+        secondary.append(ORDERS_INDEX)
+    return DatasetSpec(
+        name=table.name,
+        primary_key=table.primary_key,
+        secondary_indexes=tuple(secondary),
+    )
+
+
+def rows_at_scale(table: TableSpec, scale_factor: float) -> int:
+    """Row count of a table at a given scale factor."""
+    if table.fixed:
+        return table.rows_per_sf
+    return max(1, int(table.rows_per_sf * scale_factor))

@@ -1,0 +1,306 @@
+"""Tests for the bucketed LSM-tree (local directory of per-bucket LSM-trees)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import BucketingConfig, LSMConfig
+from repro.common.errors import BucketNotFoundError, StorageError
+from repro.bucketed.bucketed_lsm import BucketedLSMTree
+from repro.hashing.bucket_id import ROOT_BUCKET, BucketId, covers_exactly
+from repro.lsm.entry import Entry
+
+
+def make_tree(
+    initial_depth=1,
+    max_bucket_bytes=1 << 30,
+    memory_bytes=1 << 20,
+    static=False,
+    partition_id=0,
+):
+    initial = (
+        [ROOT_BUCKET]
+        if initial_depth == 0
+        else [BucketId(p, initial_depth) for p in range(1 << initial_depth)]
+    )
+    return BucketedLSMTree(
+        name="primary",
+        partition_id=partition_id,
+        initial_buckets=initial,
+        lsm_config=LSMConfig(memory_component_bytes=memory_bytes),
+        bucketing_config=BucketingConfig(max_bucket_bytes=max_bucket_bytes, static=static),
+    )
+
+
+class TestConstruction:
+    def test_initial_buckets_registered(self):
+        tree = make_tree(initial_depth=2)
+        assert tree.bucket_count == 4
+        assert covers_exactly(tree.bucket_ids)
+
+    def test_requires_at_least_one_bucket(self):
+        with pytest.raises(StorageError):
+            BucketedLSMTree("primary", 0, initial_buckets=[])
+
+    def test_manifest_forced_at_creation(self):
+        tree = make_tree(initial_depth=1)
+        assert tree.manifest.valid_bucket_ids(durable=True) == {(0, 1), (1, 1)}
+
+
+class TestReadWrite:
+    def test_point_lookup_roundtrip(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(100):
+            tree.insert(key, f"v{key}")
+        assert all(tree.get(key) == f"v{key}" for key in range(100))
+
+    def test_writes_are_routed_to_owning_bucket(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(200):
+            tree.insert(key, key)
+        for bucket in tree.buckets():
+            for entry in bucket.scan():
+                assert bucket.bucket_id.contains_key(entry.key)
+
+    def test_delete(self):
+        tree = make_tree()
+        tree.insert(5, "five")
+        tree.delete(5)
+        assert tree.get(5) is None
+        assert 5 not in tree
+
+    def test_contains_and_len(self):
+        tree = make_tree()
+        for key in range(30):
+            tree.insert(key, key)
+        tree.delete(7)
+        assert 3 in tree
+        assert 7 not in tree
+        assert len(tree) == 29
+
+    def test_apply_entry_routes_by_key(self):
+        tree = make_tree(initial_depth=1)
+        tree.apply_entry(Entry(key=11, value="replicated", seqnum=77))
+        assert tree.get(11) == "replicated"
+
+    def test_bucket_lookup_errors(self):
+        tree = make_tree(initial_depth=1)
+        with pytest.raises(BucketNotFoundError):
+            tree.bucket(BucketId(0b101, 3))
+
+
+class TestScan:
+    def test_unordered_scan_returns_everything(self):
+        tree = make_tree(initial_depth=2)
+        keys = list(range(100))
+        for key in keys:
+            tree.insert(key, key)
+        assert sorted(e.key for e in tree.scan()) == keys
+
+    def test_unordered_scan_not_necessarily_sorted(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(100):
+            tree.insert(key, key)
+        unordered = [e.key for e in tree.scan(ordered=False)]
+        # It contains all keys; global sortedness is not guaranteed (and with
+        # hashing it is essentially never sorted).
+        assert sorted(unordered) == list(range(100))
+
+    def test_ordered_scan_is_globally_sorted(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(100):
+            tree.insert(key, key)
+        assert [e.key for e in tree.scan(ordered=True)] == list(range(100))
+
+    def test_scan_bounds_apply_per_bucket(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(50):
+            tree.insert(key, key)
+        result = sorted(e.key for e in tree.scan(low=10, high=20))
+        assert result == list(range(10, 21))
+
+
+class TestMaintenanceAndSplits:
+    def test_maintain_flushes_over_budget_buckets(self):
+        tree = make_tree(memory_bytes=256)
+        for key in range(50):
+            tree.insert(key, "x" * 64)
+        report = tree.maintain()
+        assert report.flush_bytes > 0
+
+    def test_dynamic_split_triggers_on_size(self):
+        tree = make_tree(initial_depth=1, max_bucket_bytes=4096, memory_bytes=1024)
+        for key in range(300):
+            tree.insert(key, "x" * 64)
+            tree.maintain()
+        assert tree.bucket_count > 2
+        assert covers_exactly(tree.bucket_ids)
+        # All records still readable after splits.
+        assert all(tree.get(key) == "x" * 64 for key in range(300))
+
+    def test_static_config_never_splits(self):
+        tree = make_tree(initial_depth=1, max_bucket_bytes=1024, memory_bytes=512, static=True)
+        for key in range(300):
+            tree.insert(key, "x" * 64)
+            tree.maintain()
+        assert tree.bucket_count == 2
+
+    def test_disable_splits_during_rebalance(self):
+        tree = make_tree(initial_depth=1, max_bucket_bytes=1024, memory_bytes=512)
+        tree.disable_splits()
+        for key in range(200):
+            tree.insert(key, "x" * 64)
+            tree.maintain()
+        assert tree.bucket_count == 2
+        tree.enable_splits()
+        for key in range(200, 400):
+            tree.insert(key, "x" * 64)
+            tree.maintain()
+        assert tree.bucket_count > 2
+
+    def test_enable_splits_does_not_override_static(self):
+        tree = make_tree(static=True)
+        tree.enable_splits()
+        assert not tree.splits_enabled
+
+    def test_split_history_recorded(self):
+        tree = make_tree(initial_depth=1, max_bucket_bytes=2048, memory_bytes=512)
+        for key in range(300):
+            tree.insert(key, "x" * 64)
+            tree.maintain()
+        assert len(tree.split_history) == tree.bucket_count - 2
+
+    def test_explicit_split_updates_directory_and_manifest(self):
+        tree = make_tree(initial_depth=1)
+        for key in range(50):
+            tree.insert(key, key)
+        target = tree.bucket_ids[0]
+        result = tree.split(target)
+        assert target not in tree.bucket_ids
+        assert result.low_child.bucket_id in tree.bucket_ids
+        assert covers_exactly(tree.bucket_ids)
+        durable = tree.manifest.valid_bucket_ids(durable=True)
+        assert (result.low_child.bucket_id.prefix, result.low_child.depth) in durable
+
+
+class TestRebalanceOperations:
+    def test_snapshot_bucket_flushes_and_retains(self):
+        tree = make_tree(initial_depth=1)
+        for key in range(40):
+            tree.insert(key, key)
+        bucket_id = tree.bucket_ids[0]
+        snapshot = tree.snapshot_bucket(bucket_id)
+        assert all(component.refcount >= 1 for component in snapshot)
+        total_snapshot_keys = sum(len(c) for c in snapshot)
+        assert total_snapshot_keys == sum(
+            1 for k in range(40) if bucket_id.contains_key(k)
+        )
+
+    def test_install_bucket_from_entries(self):
+        source = make_tree(initial_depth=1, partition_id=0)
+        for key in range(60):
+            source.insert(key, f"v{key}")
+        moving = source.bucket_ids[0]
+        entries = source.bucket(moving).entries()
+
+        destination = BucketedLSMTree(
+            "primary",
+            partition_id=1,
+            initial_buckets=[moving.sibling()] if moving.depth else [ROOT_BUCKET],
+            lsm_config=LSMConfig(memory_component_bytes=1 << 20),
+        )
+        destination.install_bucket(moving, entries)
+        assert moving in destination.bucket_ids
+        for entry in entries:
+            assert destination.get(entry.key) == entry.value
+
+    def test_install_bucket_is_idempotent(self):
+        tree = make_tree(initial_depth=1)
+        bucket_id = tree.bucket_ids[0]
+        existing = tree.bucket(bucket_id)
+        again = tree.install_bucket(bucket_id, [])
+        assert again is existing
+
+    def test_remove_bucket_is_idempotent_and_reclaims(self):
+        tree = make_tree(initial_depth=1)
+        for key in range(40):
+            tree.insert(key, key)
+        victim_id = tree.bucket_ids[0]
+        victim = tree.bucket(victim_id)
+        victim.flush()
+        components = list(victim.disk_components)
+        tree.remove_bucket(victim_id)
+        tree.remove_bucket(victim_id)  # idempotent
+        assert victim_id not in tree.bucket_ids
+        assert all(component.is_destroyed for component in components)
+
+    def test_removed_bucket_survives_for_active_readers(self):
+        """Reference counting: an in-flight snapshot keeps reading after removal."""
+        tree = make_tree(initial_depth=1)
+        for key in range(40):
+            tree.insert(key, key)
+        victim_id = tree.bucket_ids[0]
+        snapshot = tree.snapshot_bucket(victim_id)
+        tree.remove_bucket(victim_id)
+        assert all(not component.is_destroyed for component in snapshot)
+        from repro.bucketed.bucket import Bucket
+
+        Bucket.release_snapshot(snapshot)
+        assert all(component.is_destroyed for component in snapshot)
+
+    def test_bucket_sizes_reflect_data_skew(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(400):
+            tree.insert(key, "x" * 32)
+        sizes = tree.bucket_sizes()
+        assert len(sizes) == 4
+        assert all(size > 0 for size in sizes.values())
+        assert sum(sizes.values()) == tree.size_bytes
+
+
+class TestAggregation:
+    def test_aggregated_stats_sum_buckets(self):
+        tree = make_tree(initial_depth=2)
+        for key in range(100):
+            tree.insert(key, key)
+        tree.flush_all()
+        stats = tree.aggregated_stats()
+        assert stats.records_written == 100
+        assert stats.flush_count >= 1
+
+    def test_component_count(self):
+        tree = make_tree(initial_depth=1)
+        for key in range(20):
+            tree.insert(key, key)
+        tree.flush_all()
+        assert tree.component_count >= 1
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "maintain"]),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=120,
+        )
+    )
+    def test_bucketed_tree_matches_model_dict(self, operations):
+        """Under inserts/deletes/splits the tree always matches a plain dict."""
+        tree = make_tree(initial_depth=1, max_bucket_bytes=2048, memory_bytes=512)
+        model = {}
+        for op, key in operations:
+            if op == "insert":
+                tree.insert(key, f"value-{key}")
+                model[key] = f"value-{key}"
+            elif op == "delete":
+                tree.delete(key)
+                model.pop(key, None)
+            else:
+                tree.maintain()
+        assert covers_exactly(tree.bucket_ids)
+        for key in range(51):
+            assert tree.get(key) == model.get(key)
+        assert sorted(e.key for e in tree.scan(ordered=True)) == sorted(model.keys())

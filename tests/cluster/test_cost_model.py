@@ -1,0 +1,94 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.common.config import CostModelConfig
+from repro.cluster.cost_model import CostModel, WorkBreakdown
+from repro.lsm.stats import StorageStats
+
+
+class TestPrimitives:
+    def test_disk_read_time(self):
+        config = CostModelConfig(disk_read_bytes_per_sec=100.0)
+        assert CostModel(config).disk_read_time(250) == pytest.approx(2.5)
+
+    def test_disk_write_time(self):
+        config = CostModelConfig(disk_write_bytes_per_sec=50.0)
+        assert CostModel(config).disk_write_time(100) == pytest.approx(2.0)
+
+    def test_network_time(self):
+        config = CostModelConfig(network_bytes_per_sec=10.0)
+        assert CostModel(config).network_time(5) == pytest.approx(0.5)
+
+    def test_cpu_times(self):
+        config = CostModelConfig(
+            cpu_parse_record_sec=1e-3,
+            cpu_compare_record_sec=1e-4,
+            cpu_operator_record_sec=1e-5,
+        )
+        model = CostModel(config)
+        assert model.parse_time(1000) == pytest.approx(1.0)
+        assert model.compare_time(1000) == pytest.approx(0.1)
+        assert model.operator_time(1000) == pytest.approx(0.01)
+
+    def test_rpc_and_component_open_not_scaled(self):
+        config = CostModelConfig(rpc_latency_sec=0.01, component_open_sec=0.002)
+        model = CostModel(config, workload_scale=100.0)
+        assert model.rpc_time(3) == pytest.approx(0.03)
+        assert model.component_open_time(5) == pytest.approx(0.01)
+
+    def test_workload_scale_multiplies_work(self):
+        config = CostModelConfig(disk_read_bytes_per_sec=100.0)
+        assert CostModel(config, workload_scale=10.0).disk_read_time(10) == pytest.approx(1.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(workload_scale=0)
+
+
+class TestAggregates:
+    def test_storage_work_combines_categories(self):
+        stats = StorageStats(
+            bytes_flushed=1000,
+            bytes_merged_written=500,
+            bytes_merged_read=800,
+            bytes_read=200,
+            records_merged=100,
+            components_opened=2,
+        )
+        breakdown = CostModel().storage_work(stats)
+        assert breakdown.disk_write_sec > 0
+        assert breakdown.disk_read_sec > 0
+        assert breakdown.cpu_sec > 0
+        assert breakdown.total_sec == pytest.approx(
+            breakdown.disk_write_sec
+            + breakdown.disk_read_sec
+            + breakdown.network_sec
+            + breakdown.cpu_sec
+            + breakdown.rpc_sec
+        )
+
+    def test_ingest_work_adds_parse_cpu(self):
+        stats = StorageStats(bytes_flushed=1000)
+        model = CostModel()
+        without_parse = model.storage_work(stats).total_sec
+        with_parse = model.ingest_work(10_000, stats).total_sec
+        assert with_parse > without_parse
+
+    def test_movement_work(self):
+        breakdown = CostModel().movement_work(
+            bytes_scanned=10_000, bytes_shipped=10_000, bytes_loaded=10_000, records=100
+        )
+        assert breakdown.disk_read_sec > 0
+        assert breakdown.network_sec > 0
+        assert breakdown.disk_write_sec > 0
+
+    def test_slowest_node_semantics(self):
+        assert CostModel.slowest({"nc0": 1.0, "nc1": 5.0, "nc2": 3.0}) == 5.0
+        assert CostModel.slowest({}) == 0.0
+
+    def test_sum_breakdowns(self):
+        first = WorkBreakdown(disk_read_sec=1.0, cpu_sec=2.0)
+        second = WorkBreakdown(disk_write_sec=3.0)
+        total = CostModel.sum_breakdowns([first, second])
+        assert total.total_sec == pytest.approx(6.0)

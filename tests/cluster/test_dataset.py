@@ -1,0 +1,56 @@
+"""Tests for dataset and secondary index specifications."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.dataset import DatasetSpec, SecondaryIndexSpec
+
+
+class TestSecondaryIndexSpec:
+    def test_secondary_key_extraction(self):
+        spec = SecondaryIndexSpec("idx_shipdate", ("l_shipdate", "l_partkey"))
+        record = {"l_shipdate": "1995-01-01", "l_partkey": 7, "l_quantity": 3}
+        assert spec.secondary_key(record) == ("1995-01-01", 7)
+
+    def test_covered_value(self):
+        spec = SecondaryIndexSpec("idx", ("a",), included_fields=("b", "c"))
+        assert spec.covered_value({"a": 1, "b": 2, "c": 3, "d": 4}) == {"b": 2, "c": 3}
+
+    def test_requires_name_and_keys(self):
+        with pytest.raises(ConfigError):
+            SecondaryIndexSpec("", ("a",))
+        with pytest.raises(ConfigError):
+            SecondaryIndexSpec("idx", ())
+
+
+class TestDatasetSpec:
+    def test_create_with_scalar_primary_key(self):
+        spec = DatasetSpec.create("orders", "o_orderkey")
+        assert spec.primary_key == ("o_orderkey",)
+        assert not spec.has_composite_key
+        assert spec.primary_key_of({"o_orderkey": 42, "x": 1}) == 42
+
+    def test_create_with_composite_primary_key(self):
+        spec = DatasetSpec.create("lineitem", ["l_orderkey", "l_linenumber"])
+        assert spec.has_composite_key
+        assert spec.primary_key_of({"l_orderkey": 5, "l_linenumber": 2}) == (5, 2)
+
+    def test_secondary_index_lookup(self):
+        index = SecondaryIndexSpec("idx", ("a",))
+        spec = DatasetSpec.create("d", "pk", [index])
+        assert spec.index("idx") is index
+        assert spec.index_names() == ["idx"]
+        with pytest.raises(ConfigError):
+            spec.index("missing")
+
+    def test_duplicate_index_names_rejected(self):
+        with pytest.raises(ConfigError):
+            DatasetSpec.create(
+                "d", "pk", [SecondaryIndexSpec("idx", ("a",)), SecondaryIndexSpec("idx", ("b",))]
+            )
+
+    def test_requires_name_and_primary_key(self):
+        with pytest.raises(ConfigError):
+            DatasetSpec(name="", primary_key=("a",))
+        with pytest.raises(ConfigError):
+            DatasetSpec(name="d", primary_key=())

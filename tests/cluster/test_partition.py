@@ -1,0 +1,277 @@
+"""Tests for the storage partition (primary + pk + secondary indexes, rebalance hooks)."""
+
+import pytest
+
+from repro.common.config import BucketingConfig, LSMConfig
+from repro.common.errors import StorageError
+from repro.cluster.dataset import DatasetSpec, SecondaryIndexSpec
+from repro.cluster.partition import StoragePartition
+from repro.hashing.bucket_id import BucketId, ROOT_BUCKET
+from repro.lsm.entry import Entry
+
+
+def orders_spec():
+    return DatasetSpec.create(
+        "orders",
+        "o_orderkey",
+        [
+            SecondaryIndexSpec(
+                "idx_orderdate", ("o_orderdate",), included_fields=("o_custkey",)
+            )
+        ],
+    )
+
+
+def make_partition(spec=None, initial_depth=1, memory_bytes=1 << 20, max_bucket_bytes=1 << 30):
+    spec = spec or orders_spec()
+    initial = (
+        [ROOT_BUCKET]
+        if initial_depth == 0
+        else [BucketId(p, initial_depth) for p in range(1 << initial_depth)]
+    )
+    return StoragePartition(
+        dataset=spec,
+        partition_id=0,
+        node_id="nc0",
+        initial_buckets=initial,
+        lsm_config=LSMConfig(memory_component_bytes=memory_bytes),
+        bucketing_config=BucketingConfig(max_bucket_bytes=max_bucket_bytes),
+    )
+
+
+def order_row(key, date="1995-01-01", custkey=7):
+    return {"o_orderkey": key, "o_orderdate": date, "o_custkey": custkey, "o_totalprice": 100.0}
+
+
+class TestWriteAndRead:
+    def test_insert_populates_all_indexes(self):
+        partition = make_partition()
+        partition.insert(order_row(1))
+        assert partition.lookup(1)["o_orderdate"] == "1995-01-01"
+        assert partition.count_keys() == 1
+        secondary_entries = list(partition.scan_secondary("idx_orderdate"))
+        assert len(secondary_entries) == 1
+        assert secondary_entries[0].key == ("1995-01-01", 1)
+        assert secondary_entries[0].value == {"o_custkey": 7}
+
+    def test_insert_appends_wal_record(self):
+        partition = make_partition()
+        partition.insert(order_row(1))
+        records = partition.wal.records()
+        assert len(records) == 1
+        assert records[0].payload["key"] == 1
+
+    def test_insert_without_logging(self):
+        partition = make_partition()
+        partition.insert(order_row(1), log=False)
+        assert len(partition.wal) == 0
+
+    def test_delete_removes_from_all_indexes(self):
+        partition = make_partition()
+        partition.insert(order_row(1))
+        partition.delete(1)
+        assert partition.lookup(1) is None
+        assert partition.count_keys() == 0
+        assert list(partition.scan_secondary("idx_orderdate")) == []
+
+    def test_delete_uses_supplied_old_record(self):
+        partition = make_partition()
+        row = order_row(2, date="1996-06-06")
+        partition.insert(row)
+        partition.delete(2, record=row)
+        assert list(partition.scan_secondary("idx_orderdate")) == []
+
+    def test_scan_primary_ordered(self):
+        partition = make_partition()
+        for key in (5, 3, 9, 1):
+            partition.insert(order_row(key))
+        keys = [e.key for e in partition.scan_primary(ordered=True)]
+        assert keys == [1, 3, 5, 9]
+
+    def test_scan_secondary_unknown_index(self):
+        partition = make_partition()
+        with pytest.raises(StorageError):
+            list(partition.scan_secondary("nope"))
+
+    def test_record_count_and_size(self):
+        partition = make_partition()
+        for key in range(20):
+            partition.insert(order_row(key))
+        assert partition.record_count() == 20
+        assert partition.size_bytes > 0
+
+
+class TestMaintenance:
+    def test_maintain_flushes_when_over_budget(self):
+        partition = make_partition(memory_bytes=512)
+        for key in range(50):
+            partition.insert(order_row(key))
+        report = partition.maintain()
+        assert report.flush_bytes > 0
+        assert partition.memory_bytes < 512 or partition.memory_bytes == 0
+
+    def test_force_flush(self):
+        partition = make_partition()
+        partition.insert(order_row(1))
+        report = partition.maintain(force_flush=True)
+        assert report.flush_bytes > 0
+
+    def test_splits_happen_through_maintain(self):
+        partition = make_partition(memory_bytes=512, max_bucket_bytes=4096)
+        for key in range(400):
+            partition.insert(order_row(key))
+            if key % 50 == 0:
+                partition.maintain()
+        partition.maintain()
+        assert partition.primary.bucket_count > 2
+
+    def test_stats_snapshot_accumulates_all_indexes(self):
+        partition = make_partition()
+        for key in range(10):
+            partition.insert(order_row(key))
+        stats = partition.stats_snapshot()
+        # primary + pk index + secondary index all received the writes.
+        assert stats.records_written == 30
+
+
+class TestBlockedPartition:
+    def test_blocked_partition_rejects_io(self):
+        partition = make_partition()
+        partition.insert(order_row(1))
+        partition.block()
+        with pytest.raises(StorageError):
+            partition.insert(order_row(2))
+        with pytest.raises(StorageError):
+            partition.lookup(1)
+        partition.unblock()
+        assert partition.lookup(1) is not None
+
+
+class TestRebalanceSourceSide:
+    def test_snapshot_and_scan_bucket(self):
+        partition = make_partition()
+        for key in range(40):
+            partition.insert(order_row(key))
+        bucket_id = partition.primary.bucket_ids[0]
+        snapshot = partition.snapshot_bucket(bucket_id)
+        entries = partition.scan_bucket_snapshot(snapshot)
+        assert all(bucket_id.contains_key(e.key) for e in entries)
+        assert len(entries) == sum(1 for k in range(40) if bucket_id.contains_key(k))
+        partition.release_bucket_snapshot(snapshot)
+
+    def test_cleanup_moved_bucket_is_idempotent(self):
+        partition = make_partition()
+        for key in range(40):
+            partition.insert(order_row(key))
+        bucket_id = partition.primary.bucket_ids[0]
+        moved_keys = [k for k in range(40) if bucket_id.contains_key(k)]
+        kept_keys = [k for k in range(40) if not bucket_id.contains_key(k)]
+        partition.cleanup_moved_bucket(bucket_id)
+        partition.cleanup_moved_bucket(bucket_id)  # idempotent
+        assert bucket_id not in partition.primary.bucket_ids
+        for key in kept_keys:
+            assert partition.lookup(key) is not None
+        # Secondary index entries of the moved bucket are lazily hidden.
+        visible_pks = {e.key[-1] for e in partition.scan_secondary("idx_orderdate")}
+        assert visible_pks == set(kept_keys)
+        assert not (visible_pks & set(moved_keys))
+
+
+def make_destination_partition(owned_bucket=BucketId(0b1, 1)):
+    """A destination partition that owns only ``owned_bucket``.
+
+    Rebalance destinations receive buckets they do not yet own; a partition
+    covering the whole hash space could never be the target of a move.
+    """
+    return StoragePartition(
+        dataset=orders_spec(),
+        partition_id=1,
+        node_id="nc1",
+        initial_buckets=[owned_bucket],
+        lsm_config=LSMConfig(memory_component_bytes=1 << 20),
+        bucketing_config=BucketingConfig(),
+    )
+
+
+class TestRebalanceDestinationSide:
+    def _moving_entries(self, count=20):
+        return [
+            Entry(key=1000 + i, value=order_row(1000 + i, date="1997-03-03"), seqnum=i + 1)
+            for i in range(count)
+        ]
+
+    def test_received_bucket_invisible_until_install(self):
+        partition = make_destination_partition()
+        bucket_id = BucketId(0b0, 1)
+        entries = [e for e in self._moving_entries() if bucket_id.contains_key(e.key)]
+        partition.receive_bucket(bucket_id, entries)
+        # Not visible through the primary index or the secondary index.
+        for entry in entries:
+            assert partition.lookup(entry.key) is None
+        assert all(
+            e.key[-1] not in {x.key for x in entries}
+            for e in partition.scan_secondary("idx_orderdate")
+        )
+        partition.prepare_rebalance()
+        partition.install_received_buckets()
+        for entry in entries:
+            assert partition.lookup(entry.key)["o_orderdate"] == "1997-03-03"
+        secondary_pks = {e.key[-1] for e in partition.scan_secondary("idx_orderdate")}
+        assert secondary_pks == {e.key for e in entries}
+
+    def test_receive_is_idempotent(self):
+        partition = make_destination_partition()
+        bucket_id = BucketId(0b0, 1)
+        first = partition.receive_bucket(bucket_id, [])
+        second = partition.receive_bucket(bucket_id, [])
+        assert first is second
+
+    def test_replicated_writes_override_scanned_data(self):
+        partition = make_destination_partition()
+        bucket_id = BucketId(0b0, 1)
+        base_key = next(k for k in range(1000, 1100) if bucket_id.contains_key(k))
+        scanned = [Entry(key=base_key, value=order_row(base_key, date="old"), seqnum=1)]
+        partition.receive_bucket(bucket_id, scanned)
+        partition.apply_replicated_write(
+            bucket_id, Entry(key=base_key, value=order_row(base_key, date="new"), seqnum=2)
+        )
+        partition.prepare_rebalance()
+        partition.install_received_buckets()
+        assert partition.lookup(base_key)["o_orderdate"] == "new"
+
+    def test_apply_replicated_write_requires_pending_bucket(self):
+        partition = make_destination_partition()
+        with pytest.raises(StorageError):
+            partition.apply_replicated_write(
+                BucketId(0b0, 1), Entry(key=2, value=order_row(2), seqnum=1)
+            )
+
+    def test_drop_received_buckets_aborts_cleanly(self):
+        owned = BucketId(0b1, 1)
+        partition = make_destination_partition(owned)
+        existing_key = next(k for k in range(100) if owned.contains_key(k))
+        partition.insert(order_row(existing_key))
+        bucket_id = BucketId(0b0, 1)
+        keys = [k for k in range(1000, 1040) if bucket_id.contains_key(k)]
+        entries = [Entry(key=k, value=order_row(k), seqnum=i + 1) for i, k in enumerate(keys)]
+        partition.receive_bucket(bucket_id, entries)
+        dropped = partition.drop_received_buckets()
+        assert dropped == [bucket_id]
+        assert partition.drop_received_buckets() == []  # idempotent
+        for key in keys:
+            assert partition.lookup(key) is None
+        # Pre-existing data is untouched.
+        assert partition.lookup(existing_key) is not None
+
+    def test_install_is_idempotent(self):
+        partition = make_destination_partition()
+        bucket_id = BucketId(0b0, 1)
+        keys = [k for k in range(1000, 1020) if bucket_id.contains_key(k)]
+        entries = [Entry(key=k, value=order_row(k), seqnum=i + 1) for i, k in enumerate(keys)]
+        partition.receive_bucket(bucket_id, entries)
+        partition.prepare_rebalance()
+        first = partition.install_received_buckets()
+        second = partition.install_received_buckets()
+        assert first == [bucket_id]
+        assert second == []
+        assert partition.primary.bucket_count >= 1

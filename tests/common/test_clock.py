@@ -1,0 +1,77 @@
+"""Tests for the simulated and Lamport clocks."""
+
+import pytest
+
+from repro.common.clock import LamportClock, SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock(1.0)
+        assert clock.advance(2.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimulatedClock(2.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimulatedClock(10.0)
+        clock.advance_to(3.0)
+        assert clock.now == 10.0
+
+    def test_reset(self):
+        clock = SimulatedClock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_negative_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.reset(-5)
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_observe_jumps_ahead_of_remote(self):
+        clock = LamportClock()
+        clock.tick()
+        assert clock.observe(10) == 11
+
+    def test_observe_smaller_remote_still_advances(self):
+        clock = LamportClock()
+        for _ in range(5):
+            clock.tick()
+        assert clock.observe(2) == 6
+
+    def test_happens_before_ordering(self):
+        sender = LamportClock()
+        receiver = LamportClock()
+        send_time = sender.tick()
+        receive_time = receiver.observe(send_time)
+        assert receive_time > send_time

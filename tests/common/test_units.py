@@ -1,0 +1,51 @@
+"""Tests for byte-size and duration formatting helpers."""
+
+from repro.common import units
+
+
+class TestSizeConstants:
+    def test_binary_units_are_powers_of_1024(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+
+    def test_decimal_units_are_powers_of_1000(self):
+        assert units.KB == 1000
+        assert units.MB == 1000**2
+        assert units.GB == 1000**3
+
+    def test_helpers_scale_fractions(self):
+        assert units.kib(1.5) == 1536
+        assert units.mib(2) == 2 * 1024**2
+        assert units.gib(0.5) == 512 * 1024**2
+
+
+class TestFmtBytes:
+    def test_plain_bytes(self):
+        assert units.fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert units.fmt_bytes(1536) == "1.50 KiB"
+
+    def test_gib(self):
+        assert units.fmt_bytes(10 * units.GIB) == "10.00 GiB"
+
+    def test_large_values_use_tib(self):
+        assert "TiB" in units.fmt_bytes(5 * 1024**4)
+
+    def test_zero(self):
+        assert units.fmt_bytes(0) == "0 B"
+
+
+class TestFmtDuration:
+    def test_seconds(self):
+        assert units.fmt_duration(42.51) == "42.5 s"
+
+    def test_minutes(self):
+        assert units.fmt_duration(3900) == "65.0 min"
+
+    def test_hours_suffix(self):
+        assert units.fmt_duration(100 * 3600).endswith("h")
+
+    def test_exact_hour_value(self):
+        assert units.fmt_duration(2 * 3600 * 600) == "1200.0 h"

@@ -1,0 +1,182 @@
+"""Tests for extendible-hash bucket identities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import DirectoryError
+from repro.common.hashutil import hash_key
+from repro.hashing.bucket_id import ROOT_BUCKET, BucketId, bucket_for_key, covers_exactly
+
+
+class TestConstruction:
+    def test_root_bucket(self):
+        assert ROOT_BUCKET.depth == 0
+        assert ROOT_BUCKET.label == "*"
+
+    def test_label_zero_pads_to_depth(self):
+        assert BucketId(0b011, 3).label == "011"
+        assert BucketId(0b11, 2).label == "11"
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(DirectoryError):
+            BucketId(0, -1)
+
+    def test_rejects_prefix_wider_than_depth(self):
+        with pytest.raises(DirectoryError):
+            BucketId(0b100, 2)
+
+    def test_rejects_excessive_depth(self):
+        with pytest.raises(DirectoryError):
+            BucketId(0, 64)
+
+    def test_ordering_and_equality(self):
+        assert BucketId(0, 1) == BucketId(0, 1)
+        assert BucketId(0, 1) < BucketId(1, 1)
+
+
+class TestMembership:
+    def test_root_contains_everything(self):
+        assert ROOT_BUCKET.contains_hash(0)
+        assert ROOT_BUCKET.contains_hash(2**64 - 1)
+        assert ROOT_BUCKET.contains_key("anything")
+
+    def test_contains_hash_uses_low_bits(self):
+        bucket = BucketId(0b10, 2)
+        assert bucket.contains_hash(0b110)
+        assert not bucket.contains_hash(0b111)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=1, max_value=12))
+    def test_each_hash_belongs_to_exactly_one_sibling(self, hash_value, depth):
+        buckets = [BucketId(prefix, depth) for prefix in range(1 << depth)]
+        owners = [b for b in buckets if b.contains_hash(hash_value)]
+        assert len(owners) == 1
+
+
+class TestSplit:
+    def test_split_matches_paper_figure3(self):
+        # Bucket "11" (depth 2) splits into "011" and "111" (depth 3).
+        low, high = BucketId(0b11, 2).split()
+        assert low == BucketId(0b011, 3)
+        assert high == BucketId(0b111, 3)
+
+    def test_split_children_partition_the_parent(self):
+        parent = BucketId(0b1, 1)
+        low, high = parent.split()
+        for hash_value in range(0, 64):
+            if parent.contains_hash(hash_value):
+                assert low.contains_hash(hash_value) != high.contains_hash(hash_value)
+            else:
+                assert not low.contains_hash(hash_value)
+                assert not high.contains_hash(hash_value)
+
+    def test_parent_inverts_split(self):
+        parent = BucketId(0b101, 3)
+        low, high = parent.split()
+        assert low.parent() == parent
+        assert high.parent() == parent
+
+    def test_root_has_no_parent_or_sibling(self):
+        with pytest.raises(DirectoryError):
+            ROOT_BUCKET.parent()
+        with pytest.raises(DirectoryError):
+            ROOT_BUCKET.sibling()
+
+    def test_sibling(self):
+        low, high = BucketId(0b0, 1).split()
+        assert low.sibling() == high
+        assert high.sibling() == low
+
+    @given(st.integers(min_value=0, max_value=2**10 - 1), st.integers(min_value=0, max_value=10))
+    def test_split_round_trip_property(self, raw_prefix, depth):
+        prefix = raw_prefix & ((1 << depth) - 1) if depth else 0
+        bucket = BucketId(prefix, depth)
+        low, high = bucket.split()
+        assert low.parent() == bucket
+        assert high.parent() == bucket
+        assert low.sibling() == high
+
+
+class TestAncestry:
+    def test_is_ancestor_of_descendant(self):
+        assert BucketId(0b1, 1).is_ancestor_of(BucketId(0b11, 2))
+        assert not BucketId(0b1, 1).is_ancestor_of(BucketId(0b10, 2))
+
+    def test_overlaps_is_symmetric(self):
+        a = BucketId(0b1, 1)
+        b = BucketId(0b01, 2)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(BucketId(0b0, 1))
+
+    def test_bucket_is_its_own_ancestor(self):
+        bucket = BucketId(0b10, 2)
+        assert bucket.is_ancestor_of(bucket)
+
+
+class TestNormalizedSize:
+    def test_paper_definition(self):
+        # |B| = 2^(D-d): a depth-2 bucket in a depth-3 directory has size 2.
+        assert BucketId(0b11, 2).normalized_size(3) == 2
+        assert BucketId(0b011, 3).normalized_size(3) == 1
+
+    def test_rejects_global_depth_below_bucket_depth(self):
+        with pytest.raises(DirectoryError):
+            BucketId(0b11, 2).normalized_size(1)
+
+    def test_directory_slots_match_figure1(self):
+        # In the Figure 1 directory (D=3), bucket "11" occupies slots 011, 111.
+        assert sorted(BucketId(0b11, 2).directory_slots(3)) == [0b011, 0b111]
+
+    def test_directory_slots_count_equals_normalized_size(self):
+        bucket = BucketId(0b1, 1)
+        assert len(bucket.directory_slots(4)) == bucket.normalized_size(4) == 8
+
+
+class TestCovers:
+    def test_uniform_depth_covers(self):
+        assert covers_exactly([BucketId(p, 2) for p in range(4)])
+
+    def test_mixed_depth_covers(self):
+        # Figure 1's bucket set: 000,100 (d3), 11 (d2), 001,010 (d3), 101,110 (d3).
+        buckets = [
+            BucketId(0b000, 3),
+            BucketId(0b100, 3),
+            BucketId(0b11, 2),
+            BucketId(0b001, 3),
+            BucketId(0b010, 3),
+            BucketId(0b101, 3),
+            BucketId(0b110, 3),
+        ]
+        assert covers_exactly(buckets)
+
+    def test_missing_bucket_detected(self):
+        assert not covers_exactly([BucketId(0, 1)])
+
+    def test_overlapping_buckets_detected(self):
+        assert not covers_exactly([BucketId(0, 1), BucketId(1, 1), BucketId(0b11, 2)])
+
+    def test_empty_is_not_a_cover(self):
+        assert not covers_exactly([])
+
+    def test_root_alone_is_a_cover(self):
+        assert covers_exactly([ROOT_BUCKET])
+
+
+class TestBucketForKey:
+    def test_finds_owner(self):
+        buckets = [BucketId(p, 2) for p in range(4)]
+        key = "customer#42"
+        owner = bucket_for_key(key, buckets)
+        assert owner.contains_hash(hash_key(key))
+
+    def test_raises_on_corrupt_directory(self):
+        # A directory holding only the "0" bucket cannot route keys that hash
+        # into the missing "1" half.
+        orphan_key = next(k for k in range(100) if hash_key(k) & 1 == 1)
+        with pytest.raises(DirectoryError):
+            bucket_for_key(orphan_key, [BucketId(0, 1)])
+
+    def test_raises_on_overlapping_buckets(self):
+        key = next(k for k in range(100) if hash_key(k) & 1 == 0)
+        with pytest.raises(DirectoryError):
+            bucket_for_key(key, [BucketId(0, 1), BucketId(0b00, 2), BucketId(0b10, 2)])

@@ -1,0 +1,114 @@
+"""Tests for the deterministic partitioners."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.hashing.extendible import GlobalDirectory
+from repro.hashing.partitioners import (
+    DirectoryPartitioner,
+    HashModuloPartitioner,
+    RangePartitioner,
+)
+
+
+class TestHashModulo:
+    def test_partition_in_range(self):
+        partitioner = HashModuloPartitioner(8)
+        assert all(0 <= partitioner.partition_of(k) < 8 for k in range(1000))
+
+    def test_deterministic(self):
+        partitioner = HashModuloPartitioner(8)
+        assert partitioner.partition_of("k") == partitioner.partition_of("k")
+
+    def test_roughly_uniform(self):
+        partitioner = HashModuloPartitioner(4)
+        counts = [0] * 4
+        for key in range(8000):
+            counts[partitioner.partition_of(key)] += 1
+        assert max(counts) / min(counts) < 1.2
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ConfigError):
+            HashModuloPartitioner(0)
+
+    def test_moved_fraction_is_high_when_n_changes(self):
+        """The motivation for DynaHash: modulo rehashing moves nearly everything."""
+        partitioner = HashModuloPartitioner(16)
+        moved = partitioner.moved_fraction(new_num_partitions=20)
+        assert moved > 0.7
+
+    def test_moved_fraction_zero_when_unchanged(self):
+        partitioner = HashModuloPartitioner(8)
+        assert partitioner.moved_fraction(8) == 0.0
+
+    @given(st.integers(min_value=1, max_value=64), st.integers())
+    def test_partition_always_valid(self, n, key):
+        assert 0 <= HashModuloPartitioner(n).partition_of(key) < n
+
+
+class TestDirectoryPartitioner:
+    def test_routes_through_directory(self):
+        directory = GlobalDirectory.initial(num_partitions=4, buckets_per_partition=2)
+        partitioner = DirectoryPartitioner(directory)
+        for key in range(200):
+            assert partitioner.partition_of(key) == directory.partition_of_key(key)
+
+    def test_num_partitions(self):
+        directory = GlobalDirectory.initial(num_partitions=4, buckets_per_partition=2)
+        assert DirectoryPartitioner(directory).num_partitions == 4
+
+    def test_agreement_with_modulo_is_not_required(self):
+        # Directory routing and modulo routing are different functions; this
+        # documents that DynaHash changes the partitioning function shape.
+        directory = GlobalDirectory.initial(num_partitions=4)
+        directory_partitioner = DirectoryPartitioner(directory)
+        modulo = HashModuloPartitioner(4)
+        disagreements = sum(
+            1 for key in range(500) if directory_partitioner.partition_of(key) != modulo.partition_of(key)
+        )
+        assert disagreements >= 0  # both are valid partitioners
+
+
+class TestRangePartitioner:
+    def test_partition_by_split_points(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner.partition_of(5) == 0
+        assert partitioner.partition_of(10) == 0
+        assert partitioner.partition_of(15) == 1
+        assert partitioner.partition_of(100) == 2
+        assert partitioner.num_partitions == 3
+
+    def test_unsorted_split_points_rejected(self):
+        with pytest.raises(ConfigError):
+            RangePartitioner([20, 10])
+
+    def test_uniform_over_ints(self):
+        partitioner = RangePartitioner.uniform_over_ints(0, 99, 4)
+        counts = [0] * 4
+        for key in range(100):
+            counts[partitioner.partition_of(key)] += 1
+        assert counts == [25, 25, 25, 25]
+
+    def test_uniform_invalid_args(self):
+        with pytest.raises(ConfigError):
+            RangePartitioner.uniform_over_ints(0, 10, 0)
+        with pytest.raises(ConfigError):
+            RangePartitioner.uniform_over_ints(10, 0, 2)
+
+    def test_skew_detects_hot_range(self):
+        """Skewed keys concentrate in one range partition but spread under hashing
+        — the paper's argument for hash partitioning in OLAP systems."""
+        partitioner = RangePartitioner.uniform_over_ints(0, 1000, 4)
+        skewed_keys = list(range(0, 120))  # all in the first range
+        assert partitioner.skew(skewed_keys) > 3.0
+        hash_partitioner = HashModuloPartitioner(4)
+        counts = [0] * 4
+        for key in skewed_keys:
+            counts[hash_partitioner.partition_of(key)] += 1
+        hash_skew = max(counts) / (sum(counts) / 4)
+        assert hash_skew < 2.0
+
+    def test_skew_of_empty_sample_is_one(self):
+        assert RangePartitioner([5]).skew([]) == 1.0

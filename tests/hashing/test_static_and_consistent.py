@@ -1,0 +1,139 @@
+"""Tests for static bucketing and the consistent-hashing baseline."""
+
+import pytest
+
+from repro.common.errors import ClusterError, ConfigError
+from repro.hashing.bucket_id import covers_exactly
+from repro.hashing.consistent import ConsistentHashRing
+from repro.hashing.static_bucket import (
+    buckets_per_partition,
+    static_bucket_depth,
+    static_buckets,
+    static_directory,
+)
+
+
+class TestStaticBuckets:
+    def test_depth_of_256_buckets_is_8(self):
+        assert static_bucket_depth(256) == 8
+
+    def test_depth_of_one_bucket_is_zero(self):
+        assert static_bucket_depth(1) == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            static_bucket_depth(100)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            static_bucket_depth(0)
+
+    def test_static_buckets_cover_space(self):
+        assert covers_exactly(static_buckets(64))
+
+    def test_directory_round_robin(self):
+        directory = static_directory(256, num_partitions=8)
+        per_partition = [len(directory.buckets_of_partition(p)) for p in range(8)]
+        assert per_partition == [32] * 8
+
+    def test_paper_bucket_counts(self):
+        """Paper: 256 buckets / (4 partitions per node) => 32..4 buckets per
+        partition as nodes go 2..16."""
+        for nodes, expected in [(2, 32), (4, 16), (8, 8), (16, 4)]:
+            counts = buckets_per_partition(256, nodes * 4)
+            assert set(counts.values()) == {expected}
+
+    def test_fewer_buckets_than_partitions_rejected(self):
+        with pytest.raises(ConfigError):
+            static_directory(4, num_partitions=8)
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ConfigError):
+            static_directory(16, num_partitions=0)
+
+
+class TestConsistentHashRing:
+    def test_routing_is_deterministic(self):
+        ring = ConsistentHashRing(virtual_nodes=16)
+        for node in ("nc0", "nc1", "nc2"):
+            ring.add_node(node)
+        assert ring.node_for_key("order#17") == ring.node_for_key("order#17")
+
+    def test_all_nodes_get_some_keys(self):
+        ring = ConsistentHashRing(virtual_nodes=64)
+        for node in range(4):
+            ring.add_node(node)
+        owners = {ring.node_for_key(k) for k in range(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        with pytest.raises(ClusterError):
+            ring.add_node("a")
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(ClusterError):
+            ConsistentHashRing().remove_node("ghost")
+
+    def test_lookup_on_empty_ring_rejected(self):
+        with pytest.raises(ClusterError):
+            ConsistentHashRing().node_for_key("k")
+
+    def test_remove_node_only_moves_its_keys(self):
+        """The local-rebalancing property: removing 1 of N nodes moves ~1/N keys."""
+        ring = ConsistentHashRing(virtual_nodes=128)
+        for node in range(8):
+            ring.add_node(node)
+        before = {key: ring.node_for_key(key) for key in range(4000)}
+        ring.remove_node(7)
+        moved = sum(1 for key, owner in before.items() if ring.node_for_key(key) != owner)
+        fraction = moved / len(before)
+        assert 0.05 < fraction < 0.25  # ~1/8 with virtual-node noise
+        # Keys that were not on the removed node never move.
+        for key, owner in before.items():
+            if owner != 7:
+                assert ring.node_for_key(key) == owner
+
+    def test_moved_fraction_helper(self):
+        ring = ConsistentHashRing(virtual_nodes=64)
+        for node in range(4):
+            ring.add_node(node)
+        grown = ring.copy()
+        grown.add_node(4)
+        fraction = ring.moved_fraction(grown)
+        assert 0.05 < fraction < 0.4
+
+    def test_ownership_fractions_sum_to_one(self):
+        ring = ConsistentHashRing(virtual_nodes=64)
+        for node in range(5):
+            ring.add_node(node)
+        fractions = ring.ownership_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-9)
+        assert all(fraction > 0 for fraction in fractions.values())
+
+    def test_virtual_nodes_improve_balance(self):
+        few = ConsistentHashRing(virtual_nodes=1)
+        many = ConsistentHashRing(virtual_nodes=256)
+        for node in range(4):
+            few.add_node(node)
+            many.add_node(node)
+
+        def imbalance(ring):
+            fractions = ring.ownership_fractions()
+            return max(fractions.values()) / (1 / len(fractions))
+
+        assert imbalance(many) <= imbalance(few)
+
+    def test_invalid_virtual_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(virtual_nodes=0)
+
+    def test_copy_is_equivalent_but_independent(self):
+        ring = ConsistentHashRing(virtual_nodes=32)
+        ring.add_node("a")
+        ring.add_node("b")
+        clone = ring.copy()
+        assert all(ring.node_for_key(k) == clone.node_for_key(k) for k in range(200))
+        clone.remove_node("b")
+        assert len(ring) == 2 and len(clone) == 1

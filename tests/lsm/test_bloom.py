@@ -1,0 +1,52 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_added_keys_are_always_maybe_present(self):
+        bloom = BloomFilter(expected_keys=100)
+        for key in range(100):
+            bloom.add(key)
+        assert all(bloom.may_contain(key) for key in range(100))
+
+    def test_build_classmethod(self):
+        bloom = BloomFilter.build(["a", "b", "c"])
+        assert bloom.num_keys == 3
+        assert bloom.may_contain("a")
+
+    def test_most_absent_keys_are_rejected(self):
+        bloom = BloomFilter.build(range(1000), bits_per_key=10, num_hashes=7)
+        false_positives = sum(1 for key in range(10_000, 20_000) if bloom.may_contain(key))
+        # With 10 bits/key the theoretical FP rate is ~1%; allow generous slack.
+        assert false_positives < 500
+
+    def test_disabled_filter_always_says_maybe(self):
+        bloom = BloomFilter(expected_keys=10, bits_per_key=0)
+        assert bloom.may_contain("never added")
+        assert bloom.size_bytes == 0
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_keys=-1)
+        with pytest.raises(ValueError):
+            BloomFilter(expected_keys=1, bits_per_key=-1)
+
+    def test_size_scales_with_keys(self):
+        small = BloomFilter(expected_keys=10)
+        large = BloomFilter(expected_keys=10_000)
+        assert large.size_bytes > small.size_bytes
+
+    def test_string_and_tuple_keys(self):
+        bloom = BloomFilter.build([("a", 1), ("b", 2), "plain"])
+        assert bloom.may_contain(("a", 1))
+        assert bloom.may_contain("plain")
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200, unique=True))
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter.build(keys)
+        assert all(bloom.may_contain(key) for key in keys)

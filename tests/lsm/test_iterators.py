@@ -1,0 +1,113 @@
+"""Tests for the priority-queue merge scan (reconciliation)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.entry import Entry
+from repro.lsm.iterators import count_live_entries, merge_entries, merge_scan
+
+
+def entries(pairs, seq_start=1, tombstone_keys=()):
+    """Build a sorted entry list from (key, value) pairs."""
+    result = []
+    for i, (key, value) in enumerate(sorted(pairs)):
+        result.append(
+            Entry(key=key, value=value, seqnum=seq_start + i, tombstone=key in tombstone_keys)
+        )
+    return result
+
+
+class TestMergeScan:
+    def test_single_source(self):
+        source = entries([(1, "a"), (2, "b")])
+        assert [e.key for e in merge_scan([source])] == [1, 2]
+
+    def test_two_disjoint_sources_interleave_sorted(self):
+        newer = entries([(2, "b"), (4, "d")])
+        older = entries([(1, "a"), (3, "c")])
+        assert [e.key for e in merge_scan([newer, older])] == [1, 2, 3, 4]
+
+    def test_newer_source_wins_on_duplicate_keys(self):
+        newer = entries([(1, "new")], seq_start=10)
+        older = entries([(1, "old")], seq_start=1)
+        result = list(merge_scan([newer, older]))
+        assert len(result) == 1
+        assert result[0].value == "new"
+
+    def test_tombstones_suppress_older_values(self):
+        newer = entries([(1, None)], tombstone_keys={1}, seq_start=10)
+        older = entries([(1, "old"), (2, "keep")], seq_start=1)
+        result = list(merge_scan([newer, older]))
+        assert [e.key for e in result] == [2]
+
+    def test_tombstones_kept_when_requested(self):
+        newer = entries([(1, None)], tombstone_keys={1}, seq_start=10)
+        older = entries([(1, "old")], seq_start=1)
+        result = list(merge_scan([newer, older], include_tombstones=True))
+        assert len(result) == 1
+        assert result[0].tombstone
+
+    def test_empty_sources(self):
+        assert list(merge_scan([])) == []
+        assert list(merge_scan([[], []])) == []
+
+    def test_three_way_merge(self):
+        a = entries([(1, "a1"), (4, "a4")], seq_start=20)
+        b = entries([(1, "b1"), (2, "b2")], seq_start=10)
+        c = entries([(2, "c2"), (3, "c3")], seq_start=1)
+        result = {e.key: e.value for e in merge_scan([a, b, c])}
+        assert result == {1: "a1", 2: "b2", 3: "c3", 4: "a4"}
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(min_value=0, max_value=50), st.integers()),
+                max_size=30,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_output_is_sorted_and_unique(self, raw_sources):
+        sources = []
+        seq = 1000
+        for raw in raw_sources:
+            deduped = {}
+            for key, value in raw:
+                deduped[key] = value
+            sources.append(entries(list(deduped.items()), seq_start=seq))
+            seq -= 100
+        result = [e.key for e in merge_scan(sources)]
+        assert result == sorted(set(result))
+
+    @given(
+        st.dictionaries(st.integers(min_value=0, max_value=30), st.integers(), max_size=20),
+        st.dictionaries(st.integers(min_value=0, max_value=30), st.integers(), max_size=20),
+    )
+    def test_newer_values_always_win_property(self, newer_map, older_map):
+        newer = entries(list(newer_map.items()), seq_start=1000)
+        older = entries(list(older_map.items()), seq_start=1)
+        result = {e.key: e.value for e in merge_scan([newer, older])}
+        expected = dict(older_map)
+        expected.update(newer_map)
+        assert result == expected
+
+
+class TestMergeEntries:
+    def test_drop_tombstones(self):
+        newer = entries([(1, None)], tombstone_keys={1}, seq_start=10)
+        older = entries([(1, "old"), (2, "keep")], seq_start=1)
+        merged = merge_entries([newer, older], drop_tombstones=True)
+        assert [e.key for e in merged] == [2]
+
+    def test_keep_tombstones(self):
+        newer = entries([(1, None)], tombstone_keys={1}, seq_start=10)
+        older = entries([(2, "keep")], seq_start=1)
+        merged = merge_entries([newer, older], drop_tombstones=False)
+        assert [e.key for e in merged] == [1, 2]
+        assert merged[0].tombstone
+
+    def test_count_live_entries(self):
+        newer = entries([(1, None)], tombstone_keys={1}, seq_start=10)
+        older = entries([(1, "old"), (2, "keep"), (3, "keep")], seq_start=1)
+        assert count_live_entries([newer, older]) == 2

@@ -1,0 +1,89 @@
+"""Tests for the directory metadata (manifest) files."""
+
+from repro.lsm.manifest import Manifest
+
+
+class TestVolatileMutations:
+    def test_add_and_remove_bucket(self):
+        manifest = Manifest("primary")
+        manifest.add_bucket(0b0, 1, [10, 11])
+        manifest.add_bucket(0b1, 1)
+        assert manifest.valid_bucket_ids() == {(0, 1), (1, 1)}
+        manifest.remove_bucket(0b1, 1)
+        assert manifest.valid_bucket_ids() == {(0, 1)}
+
+    def test_set_bucket_components_creates_if_missing(self):
+        manifest = Manifest("primary")
+        manifest.set_bucket_components(0b10, 2, [5])
+        assert manifest.volatile.buckets[(2, 2)].component_ids == [5]
+
+    def test_set_bucket_components_overwrites(self):
+        manifest = Manifest("primary")
+        manifest.add_bucket(0, 1, [1, 2])
+        manifest.set_bucket_components(0, 1, [3])
+        assert manifest.volatile.buckets[(0, 1)].component_ids == [3]
+
+    def test_flat_component_list(self):
+        manifest = Manifest("secondary")
+        manifest.set_components([1, 2, 3])
+        assert manifest.volatile.component_ids == [1, 2, 3]
+
+    def test_invalidation_tracking(self):
+        manifest = Manifest("secondary")
+        manifest.invalidate_bucket(0b11, 2)
+        assert (3, 2) in manifest.volatile.invalidated_buckets
+        manifest.clear_invalidation(0b11, 2)
+        assert manifest.volatile.invalidated_buckets == set()
+
+    def test_pending_received_lists(self):
+        manifest = Manifest("primary")
+        manifest.add_pending_received(7)
+        manifest.add_pending_received(7)  # idempotent
+        assert manifest.volatile.pending_received == [7]
+        manifest.remove_pending_received(7)
+        manifest.remove_pending_received(7)  # idempotent
+        assert manifest.volatile.pending_received == []
+
+
+class TestDurability:
+    def test_force_snapshots_volatile_state(self):
+        manifest = Manifest("primary")
+        manifest.add_bucket(0, 1)
+        assert manifest.valid_bucket_ids(durable=True) == set()
+        manifest.force()
+        assert manifest.valid_bucket_ids(durable=True) == {(0, 1)}
+        assert manifest.force_count == 1
+
+    def test_crash_reverts_to_durable_state(self):
+        manifest = Manifest("primary")
+        manifest.add_bucket(0, 1)
+        manifest.force()
+        manifest.add_bucket(1, 1)  # never forced: lost on crash
+        manifest.crash_and_recover()
+        assert manifest.valid_bucket_ids() == {(0, 1)}
+
+    def test_durable_state_is_isolated_from_later_mutations(self):
+        manifest = Manifest("primary")
+        manifest.add_bucket(0, 1, [1])
+        manifest.force()
+        manifest.volatile.buckets[(0, 1)].component_ids.append(2)
+        assert manifest.durable.buckets[(0, 1)].component_ids == [1]
+
+    def test_crash_before_any_force_empties_state(self):
+        manifest = Manifest("primary")
+        manifest.add_bucket(0, 1)
+        manifest.crash_and_recover()
+        assert manifest.valid_bucket_ids() == set()
+
+    def test_partial_split_cleanup_scenario(self):
+        """The Algorithm-1 recovery story: forced parent survives, unforced
+        children disappear after a crash mid-split."""
+        manifest = Manifest("primary")
+        manifest.add_bucket(0b1, 1)  # parent bucket "1", depth 1
+        manifest.force()
+        # Split into "01" and "11" but crash before the force.
+        manifest.remove_bucket(0b1, 1)
+        manifest.add_bucket(0b01, 2)
+        manifest.add_bucket(0b11, 2)
+        manifest.crash_and_recover()
+        assert manifest.valid_bucket_ids() == {(1, 1)}

@@ -1,0 +1,90 @@
+"""Tests for single-partition WAL replay recovery."""
+
+from repro.common.config import LSMConfig
+from repro.lsm.recovery import PartitionRecovery, replay_into_tree
+from repro.lsm.tree import LSMTree
+from repro.lsm.wal import LogRecordType, WriteAheadLog
+
+
+def small_tree(name="t"):
+    return LSMTree(name, config=LSMConfig(memory_component_bytes=1024))
+
+
+class TestReplay:
+    def test_replay_inserts_and_deletes_in_lsn_order(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1, "value": "a"})
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 2, "value": "b"})
+        wal.append(LogRecordType.DELETE, "ds", 0, {"key": 1})
+        tree = small_tree()
+        count = replay_into_tree(wal.records(), tree)
+        assert count == 3
+        assert tree.get(1) is None
+        assert tree.get(2) == "b"
+
+    def test_replay_ignores_metadata_records(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.REBALANCE_BEGIN, "ds", None, {"op": 1})
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 5, "value": "x"})
+        tree = small_tree()
+        assert replay_into_tree(wal.records(), tree) == 1
+        assert tree.get(5) == "x"
+
+    def test_replay_upserts(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.UPSERT, "ds", 0, {"key": 1, "value": "first"})
+        wal.append(LogRecordType.UPSERT, "ds", 0, {"key": 1, "value": "second"})
+        tree = small_tree()
+        replay_into_tree(wal.records(), tree)
+        assert tree.get(1) == "second"
+
+
+class TestPartitionRecovery:
+    def test_only_durable_records_are_recovered(self):
+        wal = WriteAheadLog("nc0")
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1, "value": "durable"}, force=True)
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 2, "value": "lost"})
+        wal.crash()
+        tree = small_tree()
+        recovered = PartitionRecovery(wal).recover_tree(tree, "ds", partition_id=0)
+        assert recovered == 1
+        assert tree.get(1) == "durable"
+        assert tree.get(2) is None
+
+    def test_partition_filter(self):
+        wal = WriteAheadLog("nc0")
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1, "value": "p0"}, force=True)
+        wal.append(LogRecordType.INSERT, "ds", 1, {"key": 2, "value": "p1"}, force=True)
+        tree = small_tree()
+        PartitionRecovery(wal).recover_tree(tree, "ds", partition_id=0)
+        assert tree.get(1) == "p0"
+        assert tree.get(2) is None
+
+    def test_dataset_filter(self):
+        wal = WriteAheadLog("nc0")
+        wal.append(LogRecordType.INSERT, "orders", 0, {"key": 1, "value": "o"}, force=True)
+        wal.append(LogRecordType.INSERT, "lineitem", 0, {"key": 1, "value": "l"}, force=True)
+        tree = small_tree()
+        PartitionRecovery(wal).recover_tree(tree, "orders", partition_id=0)
+        assert tree.get(1) == "o"
+
+    def test_key_filter_limits_replay(self):
+        wal = WriteAheadLog("nc0")
+        for key in range(10):
+            wal.append(LogRecordType.INSERT, "ds", 0, {"key": key, "value": key}, force=True)
+        tree = small_tree()
+        PartitionRecovery(wal).recover_tree(
+            tree, "ds", partition_id=0, key_filter=lambda r: r.payload["key"] % 2 == 0
+        )
+        assert tree.get(2) == 2
+        assert tree.get(3) is None
+
+    def test_entries_from_records_preserves_order_and_tombstones(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1, "value": "a"})
+        wal.append(LogRecordType.DELETE, "ds", 0, {"key": 1})
+        entries = PartitionRecovery.entries_from_records(wal.records())
+        assert len(entries) == 2
+        assert not entries[0].tombstone
+        assert entries[1].tombstone
+        assert entries[0].seqnum < entries[1].seqnum

@@ -1,0 +1,387 @@
+"""Tests for the LSM-tree index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import LSMConfig
+from repro.common.hashutil import hash_key, low_bits
+from repro.lsm.entry import Entry
+from repro.lsm.merge_policy import FullMergePolicy, NoMergePolicy
+from repro.lsm.tree import LSMTree
+
+
+def small_config(**overrides):
+    defaults = dict(memory_component_bytes=1024, bloom_bits_per_key=10)
+    defaults.update(overrides)
+    return LSMConfig(**defaults)
+
+
+def make_tree(**config_overrides):
+    return LSMTree("test", config=small_config(**config_overrides))
+
+
+class TestBasicReadWrite:
+    def test_insert_then_get(self):
+        tree = make_tree()
+        tree.insert(1, "one")
+        assert tree.get(1) == "one"
+
+    def test_get_missing_returns_none(self):
+        assert make_tree().get(99) is None
+
+    def test_overwrite_returns_newest(self):
+        tree = make_tree()
+        tree.insert(1, "old")
+        tree.insert(1, "new")
+        assert tree.get(1) == "new"
+
+    def test_delete_hides_value(self):
+        tree = make_tree()
+        tree.insert(1, "one")
+        tree.delete(1)
+        assert tree.get(1) is None
+        assert 1 not in tree
+
+    def test_delete_survives_flush(self):
+        tree = make_tree()
+        tree.insert(1, "one")
+        tree.flush()
+        tree.delete(1)
+        tree.flush()
+        assert tree.get(1) is None
+
+    def test_contains(self):
+        tree = make_tree()
+        tree.insert(5, "five")
+        assert 5 in tree
+        assert 6 not in tree
+
+    def test_len_counts_live_keys(self):
+        tree = make_tree()
+        for key in range(10):
+            tree.insert(key, key)
+        tree.delete(3)
+        assert len(tree) == 9
+
+    def test_upsert_alias(self):
+        tree = make_tree()
+        tree.upsert(1, "a")
+        tree.upsert(1, "b")
+        assert tree.get(1) == "b"
+
+    def test_apply_entry_replays_tombstone(self):
+        tree = make_tree()
+        tree.insert(1, "x")
+        tree.apply_entry(Entry(key=1, value=None, seqnum=999, tombstone=True))
+        assert tree.get(1) is None
+
+
+class TestFlush:
+    def test_flush_moves_memory_to_disk(self):
+        tree = make_tree()
+        tree.insert(1, "one")
+        component = tree.flush()
+        assert component is not None
+        assert tree.memory.is_empty
+        assert tree.component_count == 1
+        assert tree.get(1) == "one"
+
+    def test_flush_empty_memory_is_noop(self):
+        tree = make_tree()
+        assert tree.flush() is None
+        assert tree.component_count == 0
+
+    def test_maybe_flush_respects_budget(self):
+        tree = make_tree(memory_component_bytes=100_000)
+        tree.insert(1, "tiny")
+        assert tree.maybe_flush() is None
+        tree2 = make_tree(memory_component_bytes=64)
+        tree2.insert(1, "x" * 200)
+        assert tree2.maybe_flush() is not None
+
+    def test_memory_full_flag(self):
+        tree = make_tree(memory_component_bytes=64)
+        assert not tree.memory_full
+        tree.insert(1, "x" * 200)
+        assert tree.memory_full
+
+    def test_newest_component_first(self):
+        tree = make_tree()
+        tree.insert(1, "old")
+        tree.flush()
+        tree.insert(1, "new")
+        tree.flush()
+        assert tree.get(1) == "new"
+        assert tree.component_count == 2
+
+    def test_flush_stats(self):
+        tree = make_tree()
+        tree.insert(1, "x" * 100)
+        tree.flush()
+        assert tree.stats.flush_count == 1
+        assert tree.stats.bytes_flushed > 100
+
+
+class TestMerge:
+    def test_merge_all_collapses_components(self):
+        tree = make_tree()
+        for key in range(6):
+            tree.insert(key, f"v{key}")
+            tree.flush()
+        assert tree.component_count == 6
+        tree.merge_all()
+        assert tree.component_count == 1
+        assert all(tree.get(key) == f"v{key}" for key in range(6))
+
+    def test_merge_drops_tombstones_when_oldest_included(self):
+        tree = make_tree()
+        tree.insert(1, "one")
+        tree.flush()
+        tree.delete(1)
+        tree.flush()
+        merged = tree.merge_all()
+        assert len(merged) == 0  # tombstone and value both gone
+
+    def test_maybe_merge_uses_policy(self):
+        tree = LSMTree("t", config=small_config(), merge_policy=FullMergePolicy(threshold=2))
+        tree.insert(1, "a")
+        tree.flush()
+        tree.insert(2, "b")
+        tree.flush()
+        assert tree.maybe_merge() is not None
+        assert tree.component_count == 1
+
+    def test_no_merge_policy(self):
+        tree = LSMTree("t", config=small_config(), merge_policy=NoMergePolicy())
+        for key in range(5):
+            tree.insert(key, key)
+            tree.flush()
+        assert tree.maybe_merge() is None
+        assert tree.component_count == 5
+
+    def test_paused_merges_are_skipped(self):
+        tree = LSMTree("t", config=small_config(), merge_policy=FullMergePolicy(threshold=2))
+        tree.insert(1, "a")
+        tree.flush()
+        tree.insert(2, "b")
+        tree.flush()
+        tree.pause_merges()
+        assert tree.maybe_merge() is None
+        tree.resume_merges()
+        assert tree.maybe_merge() is not None
+
+    def test_merge_stats(self):
+        tree = make_tree()
+        for key in range(4):
+            tree.insert(key, "x" * 50)
+            tree.flush()
+        tree.merge_all()
+        assert tree.stats.merge_count == 1
+        assert tree.stats.bytes_merged_read > 0
+        assert tree.stats.bytes_merged_written > 0
+
+    def test_merged_victims_are_deactivated(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.flush()
+        tree.insert(2, "b")
+        tree.flush()
+        victims = list(tree.disk_components)
+        tree.merge_all()
+        assert all(victim.is_destroyed for victim in victims)
+
+
+class TestScan:
+    def test_scan_returns_sorted_keys(self):
+        tree = make_tree()
+        for key in (5, 3, 9, 1):
+            tree.insert(key, str(key))
+        assert [e.key for e in tree.scan()] == [1, 3, 5, 9]
+
+    def test_scan_across_memory_and_disk(self):
+        tree = make_tree()
+        tree.insert(1, "disk")
+        tree.flush()
+        tree.insert(2, "memory")
+        assert [e.key for e in tree.scan()] == [1, 2]
+
+    def test_scan_reconciles_duplicates(self):
+        tree = make_tree()
+        tree.insert(1, "old")
+        tree.flush()
+        tree.insert(1, "new")
+        result = list(tree.scan())
+        assert len(result) == 1
+        assert result[0].value == "new"
+
+    def test_scan_bounds(self):
+        tree = make_tree()
+        for key in range(10):
+            tree.insert(key, key)
+        tree.flush()
+        assert [e.key for e in tree.scan(low=3, high=6)] == [3, 4, 5, 6]
+
+    def test_scan_skips_tombstones(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.insert(2, "b")
+        tree.delete(1)
+        assert [e.key for e in tree.scan()] == [2]
+
+    def test_scan_with_tombstones_included(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.delete(1)
+        result = list(tree.scan(include_tombstones=True))
+        assert len(result) == 1 and result[0].tombstone
+
+
+class TestBloomSkipping:
+    def test_point_lookup_skips_components_without_key(self):
+        tree = make_tree()
+        for batch in range(5):
+            for key in range(batch * 100, batch * 100 + 100):
+                tree.insert(key, key)
+            tree.flush()
+        before = tree.stats.bloom_negative_skips
+        tree.get(450)  # lives in the newest component only
+        assert tree.stats.bloom_negative_skips >= before
+
+
+class TestRebalanceIntegration:
+    def test_loaded_component_is_oldest(self):
+        tree = make_tree()
+        tree.insert(1, "local-new")
+        tree.flush()
+        loaded = [Entry(key=1, value="loaded-old", seqnum=0), Entry(key=2, value="ok", seqnum=0)]
+        tree.add_loaded_component(loaded)
+        # The local write must still win: loaded data is strictly older.
+        assert tree.get(1) == "local-new"
+        assert tree.get(2) == "ok"
+
+    def test_received_list_invisible_until_installed(self):
+        tree = make_tree()
+        list_id = tree.create_received_list()
+        tree.append_to_received_list(list_id, [Entry(key=10, value="moved", seqnum=0)])
+        assert tree.get(10) is None
+        tree.install_received_list(list_id)
+        assert tree.get(10) == "moved"
+
+    def test_drop_received_list_discards_data(self):
+        tree = make_tree()
+        list_id = tree.create_received_list()
+        component = tree.append_to_received_list(list_id, [Entry(key=10, value="x", seqnum=0)])
+        tree.drop_received_list(list_id)
+        assert tree.get(10) is None
+        assert component.is_destroyed
+
+    def test_install_and_drop_are_idempotent(self):
+        tree = make_tree()
+        list_id = tree.create_received_list()
+        tree.append_to_received_list(list_id, [Entry(key=10, value="x", seqnum=0)])
+        tree.install_received_list(list_id)
+        tree.install_received_list(list_id)  # second install is a no-op
+        tree.drop_received_list(list_id)  # dropping after install is a no-op
+        assert tree.get(10) == "x"
+        assert tree.component_count == 1
+
+    def test_append_to_unknown_list_rejected(self):
+        tree = make_tree()
+        with pytest.raises(Exception):
+            tree.append_to_received_list(999, [])
+
+    def test_lazy_invalidation_hides_bucket_entries(self):
+        tree = make_tree()
+        keys = list(range(50))
+        for key in keys:
+            tree.insert(key, f"v{key}")
+        tree.flush()
+        # Invalidate the depth-1 bucket with prefix 0.
+        tree.invalidate_bucket(0, 1)
+        for key in keys:
+            expected_hidden = low_bits(hash_key(key), 1) == 0
+            if expected_hidden:
+                assert tree.get(key) is None
+            else:
+                assert tree.get(key) == f"v{key}"
+
+    def test_full_merge_clears_invalidation_filters(self):
+        tree = make_tree()
+        for key in range(20):
+            tree.insert(key, key)
+        tree.flush()
+        tree.insert(100, 100)
+        tree.flush()
+        tree.invalidate_bucket(0, 1)
+        tree.merge_all()
+        assert tree.invalidated_buckets == set()
+        # Entries of the invalidated bucket were physically dropped.
+        hidden = [k for k in range(20) if low_bits(hash_key(k), 1) == 0]
+        assert all(tree.get(k) is None for k in hidden)
+
+    def test_secondary_style_routing_extractor(self):
+        # Secondary index keys are (secondary key, primary key); invalidation
+        # must hash the primary key.
+        tree = LSMTree(
+            "sk",
+            config=small_config(),
+            routing_key_extractor=lambda composite: composite[1],
+        )
+        tree.insert(("blue", 7), "rid7")
+        tree.insert(("red", 8), "rid8")
+        tree.flush()
+        pk7_prefix = low_bits(hash_key(7), 1)
+        tree.invalidate_bucket(pk7_prefix, 1)
+        assert tree.get(("blue", 7)) is None
+        expected_8_hidden = low_bits(hash_key(8), 1) == pk7_prefix
+        assert (tree.get(("red", 8)) is None) == expected_8_hidden
+
+
+class TestSizesAndManifest:
+    def test_size_bytes_tracks_memory_and_disk(self):
+        tree = make_tree()
+        tree.insert(1, "x" * 100)
+        in_memory = tree.size_bytes
+        tree.flush()
+        assert tree.size_bytes == pytest.approx(in_memory, rel=0.01)
+        assert tree.disk_size_bytes > 0
+
+    def test_force_manifest_records_components(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.flush()
+        tree.force_manifest()
+        assert tree.manifest.durable.component_ids == [tree.disk_components[0].component_id]
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "flush", "merge"]),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_model_dict(self, operations):
+        """The LSM-tree behaves exactly like a plain dict under any op mix."""
+        tree = make_tree(memory_component_bytes=512)
+        model = {}
+        for op, key, value in operations:
+            if op == "insert":
+                tree.insert(key, value)
+                model[key] = value
+            elif op == "delete":
+                tree.delete(key)
+                model.pop(key, None)
+            elif op == "flush":
+                tree.flush()
+            elif op == "merge":
+                tree.merge_all()
+        for key in range(21):
+            assert tree.get(key) == model.get(key)
+        assert sorted(e.key for e in tree.scan()) == sorted(model.keys())

@@ -1,0 +1,87 @@
+"""Tests for the write-ahead log."""
+
+from repro.lsm.wal import LogRecordType, WriteAheadLog
+
+
+class TestAppendAndForce:
+    def test_append_assigns_increasing_lsns(self):
+        wal = WriteAheadLog("nc1")
+        first = wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1})
+        second = wal.append(LogRecordType.INSERT, "ds", 0, {"key": 2})
+        assert second.lsn > first.lsn
+
+    def test_unforced_records_are_not_durable(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1})
+        assert wal.records(durable_only=True) == []
+        assert len(wal.records()) == 1
+
+    def test_force_makes_all_previous_records_durable(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1})
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 2})
+        wal.force()
+        assert len(wal.records(durable_only=True)) == 2
+
+    def test_forced_append_forces_tail(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1})
+        wal.append(LogRecordType.REBALANCE_BEGIN, "ds", None, {"op": 7}, force=True)
+        assert len(wal.records(durable_only=True)) == 2
+
+    def test_bytes_accounting(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1, "value": "x" * 50})
+        assert wal.bytes_appended > 50
+        assert wal.bytes_forced == 0
+        wal.force()
+        assert wal.bytes_forced == wal.bytes_appended
+
+
+class TestCrash:
+    def test_crash_discards_unforced_tail(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1}, force=True)
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 2})
+        lost = wal.crash()
+        assert lost == 1
+        assert [r.payload["key"] for r in wal.records()] == [1]
+
+    def test_crash_with_everything_forced_loses_nothing(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1}, force=True)
+        assert wal.crash() == 0
+        assert len(wal) == 1
+
+
+class TestQueries:
+    def test_iter_dataset_filters(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.INSERT, "orders", 0, {"key": 1})
+        wal.append(LogRecordType.INSERT, "lineitem", 0, {"key": 2})
+        wal.append(LogRecordType.DELETE, "orders", 1, {"key": 3})
+        keys = [r.payload["key"] for r in wal.iter_dataset("orders")]
+        assert keys == [1, 3]
+
+    def test_tail_since(self):
+        wal = WriteAheadLog()
+        first = wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1})
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 2})
+        wal.append(LogRecordType.INSERT, "ds", 0, {"key": 3})
+        tail = wal.tail_since(first.lsn)
+        assert [r.payload["key"] for r in tail] == [2, 3]
+
+    def test_last_lsn_empty(self):
+        assert WriteAheadLog().last_lsn() == 0
+
+    def test_last_lsn_tracks_newest(self):
+        wal = WriteAheadLog()
+        record = wal.append(LogRecordType.INSERT, "ds", 0, {"key": 1})
+        assert wal.last_lsn() == record.lsn
+
+    def test_is_data_record_classification(self):
+        wal = WriteAheadLog()
+        data = wal.append(LogRecordType.UPSERT, "ds", 0, {"key": 1})
+        meta = wal.append(LogRecordType.REBALANCE_COMMIT, "ds", None, {"op": 1})
+        assert data.is_data_record
+        assert not meta.is_data_record

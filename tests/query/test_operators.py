@@ -1,0 +1,156 @@
+"""Tests for the relational operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError, UnknownColumnError
+from repro.query.operators import (
+    OperatorStats,
+    filter_rows,
+    hash_group_by,
+    hash_join,
+    limit,
+    order_by,
+    project,
+    scalar_aggregate,
+)
+
+
+def rows_of(*pairs):
+    return [dict(pair) for pair in pairs]
+
+
+class TestFilterAndProject:
+    def test_filter(self):
+        rows = [{"a": i} for i in range(10)]
+        result = list(filter_rows(rows, lambda r: r["a"] % 2 == 0))
+        assert [r["a"] for r in result] == [0, 2, 4, 6, 8]
+
+    def test_filter_counts_all_inputs(self):
+        stats = OperatorStats()
+        list(filter_rows([{"a": 1}, {"a": 2}], lambda r: False, stats=stats))
+        assert stats.counts["filter"] == 2
+
+    def test_project_columns(self):
+        result = list(project([{"a": 1, "b": 2}], columns=["a"]))
+        assert result == [{"a": 1}]
+
+    def test_project_computed(self):
+        result = list(project([{"a": 2}], columns=["a"], computed={"double": lambda r: r["a"] * 2}))
+        assert result == [{"a": 2, "double": 4}]
+
+    def test_project_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            list(project([{"a": 1}], columns=["missing"]))
+
+
+class TestHashJoin:
+    def test_inner_join(self):
+        left = [{"k": 1, "l": "a"}, {"k": 2, "l": "b"}, {"k": 3, "l": "c"}]
+        right = [{"k": 1, "r": "x"}, {"k": 2, "r": "y"}]
+        result = list(
+            hash_join(left, right, left_key=lambda r: r["k"], right_key=lambda r: r["k"])
+        )
+        assert len(result) == 2
+        assert {(r["l"], r["r"]) for r in result} == {("a", "x"), ("b", "y")}
+
+    def test_inner_join_duplicates_multiply(self):
+        left = [{"k": 1, "l": "a"}]
+        right = [{"k": 1, "r": "x"}, {"k": 1, "r": "y"}]
+        result = list(hash_join(left, right, lambda r: r["k"], lambda r: r["k"]))
+        assert len(result) == 2
+
+    def test_left_semi_join(self):
+        left = [{"k": 1}, {"k": 2}]
+        right = [{"k": 1}]
+        result = list(hash_join(left, right, lambda r: r["k"], lambda r: r["k"], how="left_semi"))
+        assert result == [{"k": 1}]
+
+    def test_left_anti_join(self):
+        left = [{"k": 1}, {"k": 2}]
+        right = [{"k": 1}]
+        result = list(hash_join(left, right, lambda r: r["k"], lambda r: r["k"], how="left_anti"))
+        assert result == [{"k": 2}]
+
+    def test_unknown_join_type(self):
+        with pytest.raises(QueryError):
+            list(hash_join([], [], lambda r: 1, lambda r: 1, how="outer"))
+
+
+class TestGroupByAndAggregates:
+    def test_sum_count_min_max(self):
+        rows = [{"g": "a", "v": 1}, {"g": "a", "v": 3}, {"g": "b", "v": 5}]
+        result = {
+            r["group_key"]: r
+            for r in hash_group_by(
+                rows,
+                key=lambda r: r["g"],
+                aggregates={
+                    "total": ("sum", lambda r: r["v"]),
+                    "n": ("count", lambda r: 1),
+                    "lo": ("min", lambda r: r["v"]),
+                    "hi": ("max", lambda r: r["v"]),
+                },
+            )
+        }
+        assert result["a"]["total"] == 4 and result["a"]["n"] == 2
+        assert result["a"]["lo"] == 1 and result["a"]["hi"] == 3
+        assert result["b"]["total"] == 5
+
+    def test_avg(self):
+        rows = [{"g": 1, "v": 2}, {"g": 1, "v": 4}]
+        result = list(
+            hash_group_by(rows, key=lambda r: r["g"], aggregates={"m": ("avg", lambda r: r["v"])})
+        )
+        assert result[0]["m"] == pytest.approx(3.0)
+
+    def test_dict_group_key_is_merged_into_output(self):
+        rows = [{"g": "x", "v": 1}, {"g": "x", "v": 2}, {"g": "y", "v": 3}]
+        result = {
+            r["g"]: r
+            for r in hash_group_by(
+                rows,
+                key=lambda r: {"g": r["g"]},
+                aggregates={"n": ("count", lambda r: 1), "total": ("sum", lambda r: r["v"])},
+            )
+        }
+        assert result["x"]["n"] == 2 and result["x"]["total"] == 3
+        assert result["y"]["total"] == 3
+        assert "group_key" not in result["x"]
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(QueryError):
+            list(hash_group_by([], key=lambda r: 1, aggregates={"x": ("median", lambda r: 1)}))
+
+    def test_scalar_aggregate(self):
+        rows = [{"v": 2}, {"v": 3}]
+        result = scalar_aggregate(rows, {"total": ("sum", lambda r: r["v"])})
+        assert result == {"total": 5}
+
+    def test_scalar_aggregate_empty_input(self):
+        result = scalar_aggregate([], {"total": ("sum", lambda r: r["v"]), "n": ("count", lambda r: 1)})
+        assert result["total"] == 0 and result["n"] == 0
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=50))
+    def test_scalar_sum_matches_python_sum(self, values):
+        rows = [{"v": value} for value in values]
+        result = scalar_aggregate(rows, {"total": ("sum", lambda r: r["v"])})
+        assert result["total"] == sum(values)
+
+
+class TestOrderAndLimit:
+    def test_order_by_ascending_descending(self):
+        rows = [{"v": 3}, {"v": 1}, {"v": 2}]
+        assert [r["v"] for r in order_by(rows, key=lambda r: r["v"])] == [1, 2, 3]
+        assert [r["v"] for r in order_by(rows, key=lambda r: r["v"], descending=True)] == [3, 2, 1]
+
+    def test_limit(self):
+        assert limit([{"v": i} for i in range(10)], 3) == [{"v": 0}, {"v": 1}, {"v": 2}]
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(QueryError):
+            limit([], -1)
+
+    def test_limit_larger_than_input(self):
+        assert limit([{"v": 1}], 10) == [{"v": 1}]

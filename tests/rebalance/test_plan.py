@@ -1,0 +1,190 @@
+"""Tests for Algorithm 2 (BALANCE) and plan construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import RebalanceError
+from repro.hashing.bucket_id import BucketId, covers_exactly
+from repro.hashing.extendible import GlobalDirectory
+from repro.rebalance.plan import (
+    compute_balanced_directory,
+    compute_round_robin_directory,
+    plan_from_directories,
+)
+
+
+def uniform_directory(num_partitions, buckets_per_partition=4):
+    return GlobalDirectory.initial(num_partitions, buckets_per_partition)
+
+
+def nodes_for(partitions, per_node=4):
+    return {pid: f"nc{pid // per_node}" for pid in partitions}
+
+
+class TestBalanceRemoveNode:
+    def test_displaced_buckets_are_reassigned(self):
+        # 4 partitions x 4 buckets; remove partition 3.
+        directory = uniform_directory(4, 4)
+        targets = [0, 1, 2]
+        plan = compute_balanced_directory(directory, targets, nodes_for(range(4), per_node=1))
+        assert covers_exactly(plan.new_directory.buckets)
+        assert set(plan.new_directory.partitions()) <= set(targets)
+        # Only the displaced buckets moved (local rebalancing).
+        displaced = directory.buckets_of_partition(3)
+        assert {move.bucket for move in plan.moves} == set(displaced)
+
+    def test_load_is_balanced_after_removal(self):
+        directory = uniform_directory(4, 4)
+        targets = [0, 1, 2]
+        plan = compute_balanced_directory(directory, targets, nodes_for(range(4), per_node=1))
+        load = plan.new_directory.normalized_load()
+        assert max(load.values()) - min(load.values()) <= max(
+            b.normalized_size(plan.new_directory.global_depth)
+            for b in plan.new_directory.buckets
+        )
+
+    def test_existing_buckets_stay_put(self):
+        """Local rebalancing: buckets on surviving partitions do not move."""
+        directory = uniform_directory(8, 2)
+        targets = list(range(6))
+        plan = compute_balanced_directory(directory, targets, nodes_for(range(8), per_node=1))
+        for bucket, partition in directory.assignments.items():
+            if partition in targets:
+                assert plan.new_directory.partition_of_bucket(bucket) == partition
+
+
+class TestBalanceAddNode:
+    def test_new_partitions_receive_buckets(self):
+        directory = uniform_directory(4, 4)
+        targets = list(range(6))  # two new empty partitions
+        plan = compute_balanced_directory(directory, targets, nodes_for(range(6), per_node=1))
+        load = plan.new_directory.normalized_load()
+        assert load.get(4, 0) > 0
+        assert load.get(5, 0) > 0
+        assert covers_exactly(plan.new_directory.buckets)
+
+    def test_movement_is_proportional_not_global(self):
+        """Adding one partition moves roughly 1/(P+1) of the buckets, not all."""
+        directory = uniform_directory(8, 4)
+        targets = list(range(9))
+        plan = compute_balanced_directory(directory, targets, nodes_for(range(9), per_node=1))
+        total_buckets = len(directory)
+        assert 0 < plan.moved_buckets <= total_buckets // 3
+
+    def test_iterations_reduce_imbalance(self):
+        directory = uniform_directory(4, 8)
+        targets = list(range(5))
+        plan = compute_balanced_directory(directory, targets, nodes_for(range(5), per_node=1))
+        assert plan.normalized_imbalance() < 2.0
+
+
+class TestBalanceEdgeCases:
+    def test_empty_targets_rejected(self):
+        with pytest.raises(RebalanceError):
+            compute_balanced_directory(uniform_directory(2), [], {})
+
+    def test_missing_node_mapping_rejected(self):
+        with pytest.raises(RebalanceError):
+            compute_balanced_directory(uniform_directory(2), [0, 1], {0: "nc0"})
+
+    def test_single_target_partition_gets_everything(self):
+        directory = uniform_directory(4, 2)
+        plan = compute_balanced_directory(directory, [0], {0: "nc0"})
+        assert set(plan.new_directory.partitions()) == {0}
+        assert plan.moved_buckets == len(directory) - len(directory.buckets_of_partition(0))
+
+    def test_mixed_depth_buckets(self):
+        # Partition 0 split one of its buckets: depths differ across buckets.
+        directory = GlobalDirectory(
+            {
+                BucketId(0b00, 2): 0,
+                BucketId(0b010, 3): 0,
+                BucketId(0b110, 3): 0,
+                BucketId(0b01, 2): 1,
+                BucketId(0b11, 2): 1,
+            }
+        )
+        plan = compute_balanced_directory(directory, [0, 1], {0: "nc0", 1: "nc1"})
+        assert covers_exactly(plan.new_directory.buckets)
+
+    def test_node_tiebreak_prefers_less_loaded_node(self):
+        """With equal partition loads, displaced buckets go to the partition
+        whose *node* carries less total load."""
+        directory = GlobalDirectory(
+            {
+                BucketId(0b00, 2): 0,
+                BucketId(0b01, 2): 1,
+                BucketId(0b10, 2): 2,
+                BucketId(0b11, 2): 3,
+            }
+        )
+        # Partitions 0,1 on nc0; partition 2 on nc1; partition 3 removed.
+        partition_nodes = {0: "nc0", 1: "nc0", 2: "nc1", 3: "nc1"}
+        plan = compute_balanced_directory(directory, [0, 1, 2], partition_nodes)
+        moved = plan.moves[0]
+        assert moved.destination_partition == 2  # nc1 is the lighter node
+
+
+class TestRoundRobinBaseline:
+    def test_round_robin_covers_space(self):
+        directory = uniform_directory(4, 4)
+        plan = compute_round_robin_directory(directory, [0, 1, 2])
+        assert covers_exactly(plan.new_directory.buckets)
+        assert set(plan.new_directory.partitions()) <= {0, 1, 2}
+
+    def test_round_robin_moves_more_than_greedy(self):
+        directory = uniform_directory(8, 4)
+        targets = list(range(7))
+        greedy = compute_balanced_directory(directory, targets, nodes_for(range(8), per_node=1))
+        naive = compute_round_robin_directory(directory, targets)
+        assert naive.moved_buckets > greedy.moved_buckets
+
+    def test_round_robin_empty_targets_rejected(self):
+        with pytest.raises(RebalanceError):
+            compute_round_robin_directory(uniform_directory(2), [])
+
+
+class TestPlanFromDirectories:
+    def test_diff_produces_moves(self):
+        old = uniform_directory(2, 2)
+        new_assignments = dict(old.assignments)
+        moved_bucket = next(iter(new_assignments))
+        new_assignments[moved_bucket] = 1 - new_assignments[moved_bucket]
+        plan = plan_from_directories(old, GlobalDirectory(new_assignments))
+        assert plan.moved_buckets == 1
+        assert plan.moves[0].bucket == moved_bucket
+
+    def test_mismatched_bucket_sets_rejected(self):
+        old = uniform_directory(2, 2)
+        other = uniform_directory(2, 4)
+        with pytest.raises(RebalanceError):
+            plan_from_directories(old, other)
+
+    def test_moves_to_and_from_helpers(self):
+        old = uniform_directory(2, 2)
+        plan = compute_balanced_directory(old, [0], {0: "nc0", 1: "nc0"})
+        assert all(move.destination_partition == 0 for move in plan.moves_to(0))
+        assert all(move.source_partition == 1 for move in plan.moves_from(1))
+
+
+class TestBalanceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_partitions=st.integers(min_value=2, max_value=16),
+        buckets_per_partition=st.integers(min_value=1, max_value=8),
+        removed=st.integers(min_value=1, max_value=4),
+    )
+    def test_balance_always_produces_valid_cover(
+        self, num_partitions, buckets_per_partition, removed
+    ):
+        removed = min(removed, num_partitions - 1)
+        directory = uniform_directory(num_partitions, buckets_per_partition)
+        targets = list(range(num_partitions - removed))
+        plan = compute_balanced_directory(
+            directory, targets, nodes_for(range(num_partitions), per_node=2)
+        )
+        assert covers_exactly(plan.new_directory.buckets)
+        assert set(plan.new_directory.partitions()) <= set(targets)
+        # Every bucket is assigned to exactly one partition.
+        assert set(plan.new_directory.assignments.keys()) == set(directory.assignments.keys())

@@ -1,0 +1,119 @@
+"""Tests for the TPC-H data generator and schema."""
+
+import pytest
+
+from repro.tpch.datagen import TPCHGenerator
+from repro.tpch.schema import (
+    ALL_TABLES,
+    LINEITEM,
+    LINEITEM_INDEX,
+    ORDERS,
+    ORDERS_INDEX,
+    TABLES_BY_NAME,
+    dataset_spec,
+    rows_at_scale,
+)
+
+
+class TestSchema:
+    def test_eight_tables(self):
+        assert len(ALL_TABLES) == 8
+        assert set(TABLES_BY_NAME) == {
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        }
+
+    def test_cardinality_ratios(self):
+        # Per the TPC-H spec: 4 lineitems per order on average, 10 customers
+        # per supplier x 15, etc.
+        assert LINEITEM.rows_per_sf == 4 * ORDERS.rows_per_sf
+        assert rows_at_scale(ORDERS, 2.0) == 3_000_000
+
+    def test_fixed_tables_ignore_scale(self):
+        assert rows_at_scale(TABLES_BY_NAME["nation"], 100.0) == 25
+        assert rows_at_scale(TABLES_BY_NAME["region"], 0.001) == 5
+
+    def test_dataset_specs_attach_paper_indexes(self):
+        lineitem_spec = dataset_spec(LINEITEM)
+        orders_spec = dataset_spec(ORDERS)
+        assert lineitem_spec.index_names() == [LINEITEM_INDEX.name]
+        assert orders_spec.index_names() == [ORDERS_INDEX.name]
+        assert dataset_spec(TABLES_BY_NAME["customer"]).index_names() == []
+
+    def test_lineitem_composite_primary_key(self):
+        assert dataset_spec(LINEITEM).primary_key == ("l_orderkey", "l_linenumber")
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = list(TPCHGenerator(0.001, seed=7).orders())
+        second = list(TPCHGenerator(0.001, seed=7).orders())
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = list(TPCHGenerator(0.001, seed=7).orders())
+        second = list(TPCHGenerator(0.001, seed=8).orders())
+        assert first != second
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TPCHGenerator(0)
+
+    def test_row_counts_scale(self):
+        generator = TPCHGenerator(0.002)
+        assert generator.row_count(ORDERS) == 3000
+        assert generator.row_count(LINEITEM) == 12000
+
+    def test_orders_have_unique_keys_and_valid_custkeys(self):
+        generator = TPCHGenerator(0.001)
+        orders = list(generator.orders())
+        keys = [o["o_orderkey"] for o in orders]
+        assert len(keys) == len(set(keys))
+        num_customers = generator.row_count(TABLES_BY_NAME["customer"])
+        assert all(1 <= o["o_custkey"] <= num_customers for o in orders)
+
+    def test_lineitem_references_orders_and_has_1_to_7_lines(self):
+        generator = TPCHGenerator(0.001)
+        orders = list(generator.orders())
+        items = list(generator.lineitem(orders_rows=orders))
+        order_keys = {o["o_orderkey"] for o in orders}
+        assert all(item["l_orderkey"] in order_keys for item in items)
+        lines_per_order = {}
+        for item in items:
+            lines_per_order.setdefault(item["l_orderkey"], set()).add(item["l_linenumber"])
+        assert all(1 <= len(lines) <= 7 for lines in lines_per_order.values())
+        # Composite primary keys are unique.
+        composite = [(i["l_orderkey"], i["l_linenumber"]) for i in items]
+        assert len(composite) == len(set(composite))
+
+    def test_dates_are_within_tpch_range(self):
+        generator = TPCHGenerator(0.0005)
+        for item in generator.lineitem():
+            assert "1992-01-01" <= item["l_shipdate"] <= "1998-12-31"
+
+    def test_discounts_and_quantities_in_domain(self):
+        generator = TPCHGenerator(0.0005)
+        for item in generator.lineitem():
+            assert 0.0 <= item["l_discount"] <= 0.1
+            assert 1 <= item["l_quantity"] <= 50
+
+    def test_partsupp_composite_keys_unique(self):
+        generator = TPCHGenerator(0.001)
+        keys = [(r["ps_partkey"], r["ps_suppkey"]) for r in generator.partsupp()]
+        assert len(keys) == len(set(keys))
+
+    def test_nation_and_region_fixed_content(self):
+        generator = TPCHGenerator(0.001)
+        nations = list(generator.nation())
+        regions = list(generator.region())
+        assert len(nations) == 25
+        assert len(regions) == 5
+        assert all(0 <= n["n_regionkey"] <= 4 for n in nations)
+
+    def test_all_tables_materialisation(self):
+        tables = TPCHGenerator(0.0005).all_tables()
+        assert set(tables) == set(TABLES_BY_NAME)
+        assert len(tables["lineitem"]) > len(tables["orders"])
+
+    def test_table_dispatch_unknown(self):
+        with pytest.raises(KeyError):
+            TPCHGenerator(0.001).table("widgets")
