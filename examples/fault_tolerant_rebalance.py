@@ -1,48 +1,68 @@
 """Fault-tolerant rebalancing: crash the coordinator mid-rebalance and recover.
 
-Demonstrates the Section V-D failure handling: a rebalance is interrupted at
-two different protocol points (before and after the COMMIT record is forced),
-the recovery manager is run as the restarted CC would, and the dataset ends up
-either exactly as it was (abort) or fully rebalanced (commit) — never in
-between.
+Demonstrates the Section V-D failure handling through the client API: a
+rebalance is interrupted at two different protocol points (before and after
+the COMMIT record is forced) via ``db.rebalance(..., fault_sites=[...])``,
+recovery is run with ``db.recover()`` as the restarted CC would, and the
+dataset ends up either exactly as it was (abort) or fully rebalanced (commit)
+— never in between.
 
 Run with::
 
     python examples/fault_tolerant_rebalance.py
 """
 
-from repro.bench import SMOKE, build_loaded_cluster
-from repro.common.errors import FaultInjected
-from repro.rebalance import FaultInjector, RebalanceOperation, RebalanceRecoveryManager
+from repro.api import (
+    BucketingConfig,
+    ClusterConfig,
+    Database,
+    FaultInjected,
+    KIB,
+    LSMConfig,
+    load_tpch,
+)
+
+
+def open_loaded_database() -> Database:
+    config = ClusterConfig(
+        num_nodes=4,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
+        strategy="dynahash",
+    )
+    db = Database(config, workload_scale=100.0 / 0.0002)
+    load_tpch(db, scale_factor=0.0008, tables=("orders", "lineitem"))
+    return db
 
 
 def interrupted_rebalance(fault_site: str) -> None:
-    cluster, _workload, _load = build_loaded_cluster(
-        SMOKE, num_nodes=4, strategy_name="DynaHash"
-    )
-    records_before = cluster.record_count("lineitem")
-    target_partitions = [pid for node in cluster.nodes[:3] for pid in node.partition_ids]
+    db = open_loaded_database()
+    lineitem = db.dataset("lineitem")
+    records_before = lineitem.count()
 
-    operation = RebalanceOperation(
-        cluster,
-        "lineitem",
-        target_partitions,
-        fault_injector=FaultInjector([fault_site]),
-    )
     try:
-        operation.run()
+        db.rebalance(target_nodes=3, fault_sites=[fault_site])
         raise AssertionError("the injected fault should have fired")
     except FaultInjected as fault:
         print(f"rebalance interrupted by injected fault at {fault.site!r}")
 
-    outcomes = RebalanceRecoveryManager(cluster).recover()
+    outcomes = db.recover()
     for outcome in outcomes:
-        print(f"  recovery: rebalance #{outcome.rebalance_id} on {outcome.dataset!r} -> {outcome.action}")
+        print(
+            f"  recovery: rebalance #{outcome.rebalance_id} on "
+            f"{outcome.dataset!r} -> {outcome.action}"
+        )
 
-    assert cluster.record_count("lineitem") == records_before
-    sample_key = next(iter(cluster.dataset("lineitem").partitions.values())).primary.scan().__next__().key
-    assert cluster.lookup("lineitem", sample_key) is not None
-    print(f"  dataset consistent: {records_before} records, sample key {sample_key} readable\n")
+    assert lineitem.count() == records_before
+    sample_row = next(iter(lineitem.scan()))
+    sample_key = lineitem.spec.primary_key_of(sample_row)
+    assert lineitem.get(sample_key) is not None
+    print(
+        f"  dataset consistent: {records_before} records, "
+        f"sample key {sample_key} readable\n"
+    )
+    db.close()
 
 
 def main() -> None:

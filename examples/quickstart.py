@@ -1,62 +1,98 @@
-"""Quickstart: create a DynaHash cluster, ingest data, and scale it in.
+"""Quickstart for the ``repro.api`` client surface.
+
+Opens a :class:`~repro.api.Database` session on a 4-node DynaHash cluster,
+creates a dataset with a covering secondary index, and walks the dataset
+handle's verbs — ``insert`` / ``upsert`` / ``delete`` / ``get`` / ``scan`` /
+fluent ``query()`` — before scaling the cluster in with an online rebalance
+while lifecycle events stream to a subscriber.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import ClusterConfig, SimulatedCluster
-from repro.cluster.dataset import SecondaryIndexSpec
-from repro.common.config import BucketingConfig, LSMConfig
-from repro.common.units import KIB
-from repro.rebalance import DynaHashStrategy
+from repro.api import (
+    BucketingConfig,
+    ClusterConfig,
+    Database,
+    KIB,
+    LSMConfig,
+    SecondaryIndexSpec,
+    resolve_strategy,
+)
 
 
 def main() -> None:
     # A 4-node cluster with 4 storage partitions per node (the paper's layout),
     # using DynaHash: extendible-hash buckets that split at a maximum size.
+    # Strategies are named through the registry; options go to the factory.
     config = ClusterConfig(
         num_nodes=4,
         partitions_per_node=4,
         lsm=LSMConfig(memory_component_bytes=32 * KIB),
         bucketing=BucketingConfig(max_bucket_bytes=64 * KIB),
     )
-    cluster = SimulatedCluster(config, strategy=DynaHashStrategy(max_bucket_bytes=64 * KIB))
+    strategy = resolve_strategy("dynahash", max_bucket_bytes=64 * KIB)
 
-    # A dataset with a secondary index, like an AsterixDB dataset.
-    cluster.create_dataset(
-        "orders",
-        primary_key="o_orderkey",
-        secondary_indexes=[
-            SecondaryIndexSpec("idx_orderdate", ("o_orderdate",), included_fields=("o_custkey",))
-        ],
-    )
+    with Database(config, strategy=strategy) as db:
+        # Watch the rebalance lifecycle as it happens.
+        db.on("rebalance.*", lambda event: print(f"  [event] {event.name}"))
 
-    # Ingest through a data feed; the report carries the simulated time.
-    rows = [
-        {
-            "o_orderkey": key,
-            "o_custkey": key % 500,
-            "o_orderdate": f"199{5 + key % 3}-{(key % 12) + 1:02d}-01",
-            "o_totalprice": float(key % 9000),
-        }
-        for key in range(20_000)
-    ]
-    ingest = cluster.ingest("orders", rows)
-    print("ingest:", ingest.summary())
-    print("cluster:", cluster.describe())
+        # A dataset with a secondary index, like an AsterixDB dataset.
+        orders = db.create_dataset(
+            "orders",
+            primary_key="o_orderkey",
+            secondary_indexes=[
+                SecondaryIndexSpec(
+                    "idx_orderdate", ("o_orderdate",), included_fields=("o_custkey",)
+                )
+            ],
+        )
 
-    # Point lookups route through the extendible-hash global directory.
-    print("lookup 1234:", cluster.lookup("orders", 1234))
+        # Ingest through a data feed; the report carries the simulated time.
+        rows = [
+            {
+                "o_orderkey": key,
+                "o_custkey": key % 500,
+                "o_orderdate": f"199{5 + key % 3}-{(key % 12) + 1:02d}-01",
+                "o_totalprice": float(key % 9000),
+            }
+            for key in range(20_000)
+        ]
+        ingest = orders.insert(rows)
+        print("ingest:", ingest.summary())
+        print("cluster:", db.describe())
 
-    # Scale the cluster in by one node: an online rebalance moves only the
-    # affected buckets and every record stays readable.
-    report = cluster.remove_nodes(1)
-    print("rebalance:", report.summary())
-    for dataset_report in report.dataset_reports:
-        print("  ", dataset_report.summary())
-    assert cluster.lookup("orders", 1234)["o_custkey"] == 1234 % 500
-    print("records after rebalance:", cluster.record_count("orders"))
+        # Point lookups route through the extendible-hash global directory.
+        print("get 1234:", orders.get(1234))
+
+        # Upserts replace by primary key; deletes tombstone.
+        orders.upsert([{**orders.get(1234), "o_totalprice": 123.45}])
+        assert orders.get(1234)["o_totalprice"] == 123.45
+        deleted = orders.delete([19_998, 19_999])
+        print("delete:", deleted.summary())
+
+        # A fluent query: top customers by spend (real rows + simulated time).
+        top = (
+            orders.query()
+            .filter(lambda row: row["o_totalprice"] > 0.0)
+            .group_by("o_custkey")
+            .aggregate(total=("sum", "o_totalprice"), orders=("count", None))
+            .order_by("total", descending=True)
+            .limit(3)
+            .execute()
+        )
+        print("top customers:", list(top))
+        print("query:", top.report.summary())
+
+        # Scale the cluster in by one node: an online rebalance moves only the
+        # affected buckets and every record stays readable.
+        report = db.rebalance(remove=1)
+        print("rebalance:", report.summary())
+        for dataset_report in report.dataset_reports:
+            print("  ", dataset_report.summary())
+        assert orders.get(1234)["o_custkey"] == 1234 % 500
+        print("records after rebalance:", orders.count())
 
 
 if __name__ == "__main__":

@@ -1,53 +1,75 @@
 """TPC-H analytics on a DynaHash cluster, before and after an online rebalance.
 
-Loads a small TPC-H instance, runs real relational plans for q1, q6 and q3
-through the cluster query executor, rebalances the cluster down by one node,
-and re-runs the same queries to show that the answers are identical while the
-bucketed storage reports its (simulated) execution times.
+Loads a small TPC-H instance through the client API, runs real relational
+plans for q1, q6 and q3 with ``db.execute``, rebalances the cluster down by
+one node, and re-runs the same queries to show that the answers are identical
+while the bucketed storage reports its (simulated) execution times.  A fluent
+query over the Orders handle shows the same engine through the builder.
 
 Run with::
 
     python examples/tpch_analytics.py
 """
 
-from repro.bench import SMOKE, build_loaded_cluster
-from repro.bench.experiments import QUERY_TABLES
-from repro.query import ClusterQueryExecutor
-from repro.tpch import q1_plan, q3_plan, q6_plan
+from repro.api import (
+    BucketingConfig,
+    ClusterConfig,
+    Database,
+    KIB,
+    LSMConfig,
+    load_tpch,
+    q1_plan,
+    q3_plan,
+    q6_plan,
+)
 
-
-def run_queries(executor: ClusterQueryExecutor):
+def run_queries(db: Database):
     results = {}
     for name, plan in (("q1", q1_plan()), ("q6", q6_plan()), ("q3", q3_plan())):
-        result, report = executor.execute_plan(name, plan)
+        result, report = db.execute(name, plan)
         results[name] = result
         print(f"  {report.summary()}")
     return results
 
 
 def main() -> None:
-    cluster, _workload, load = build_loaded_cluster(
-        SMOKE, num_nodes=4, strategy_name="DynaHash", tables=QUERY_TABLES
+    config = ClusterConfig(
+        num_nodes=4,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
+        strategy="dynahash",
     )
-    print(f"loaded TPC-H SF={load.scale_factor} ({load.total_rows} rows) onto 4 nodes")
-    executor = ClusterQueryExecutor(cluster)
+    with Database(config, workload_scale=100.0 / 0.0002) as db:
+        load = load_tpch(db, scale_factor=0.0008)  # all tables (DEFAULT_TABLES)
+        print(f"loaded TPC-H SF={load.scale_factor} ({load.total_rows} rows) onto 4 nodes")
 
-    print("\nqueries on the original 4-node cluster:")
-    before = run_queries(executor)
-    print("\nq1 groups:")
-    for row in before["q1"]:
-        print("  ", row)
-    print("q6 revenue:", round(before["q6"]["revenue"], 2))
+        print("\nqueries on the original 4-node cluster:")
+        before = run_queries(db)
+        print("\nq1 groups:")
+        for row in before["q1"]:
+            print("  ", row)
+        print("q6 revenue:", round(before["q6"]["revenue"], 2))
 
-    report = cluster.remove_nodes(1)
-    print(f"\nrebalanced to 3 nodes: {report.summary()}")
+        # The fluent builder runs through the same executor and cost model.
+        orders_by_priority = (
+            db["orders"].query("orders_by_priority")
+            .group_by("o_orderpriority")
+            .aggregate(orders=("count", None))
+            .order_by("o_orderpriority")
+            .execute()
+        )
+        print("\norders by priority:", list(orders_by_priority))
 
-    print("\nsame queries on the downsized cluster:")
-    after = run_queries(ClusterQueryExecutor(cluster))
+        report = db.rebalance(remove=1)
+        print(f"\nrebalanced to 3 nodes: {report.summary()}")
 
-    assert round(before["q6"]["revenue"], 6) == round(after["q6"]["revenue"], 6)
-    assert len(before["q1"]) == len(after["q1"])
-    print("\nanswers are identical before and after the rebalance")
+        print("\nsame queries on the downsized cluster:")
+        after = run_queries(db)
+
+        assert round(before["q6"]["revenue"], 6) == round(after["q6"]["revenue"], 6)
+        assert len(before["q1"]) == len(after["q1"])
+        print("\nanswers are identical before and after the rebalance")
 
 
 if __name__ == "__main__":

@@ -15,18 +15,21 @@ ICDE 2022):
 * :mod:`repro.bench` — experiment drivers that regenerate every figure of the
   paper's evaluation.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` client surface)::
 
-    from repro import SimulatedCluster, ClusterConfig, DynaHashStrategy
+    from repro.api import ClusterConfig, Database
 
-    cluster = SimulatedCluster(ClusterConfig(num_nodes=4), strategy=DynaHashStrategy())
-    cluster.create_dataset("orders", primary_key="o_orderkey")
-    cluster.ingest("orders", rows)
-    report = cluster.remove_nodes(1)   # online rebalance
-    print(report.simulated_seconds)
+    with Database(ClusterConfig(num_nodes=4), strategy="dynahash") as db:
+        orders = db.create_dataset("orders", primary_key="o_orderkey")
+        orders.insert(rows)
+        report = db.remove_nodes(1)    # online rebalance
+        print(report.simulated_seconds)
+
+The legacy ``SimulatedCluster.ingest``/``.lookup`` calls keep working but emit
+``DeprecationWarning``; see :mod:`repro.api` for the supported verbs.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .common import BucketingConfig, ClusterConfig, CostModelConfig, LSMConfig
 
@@ -45,28 +48,42 @@ def _export_cluster_api() -> None:
     The cluster/rebalance modules import the storage substrate; keeping the
     re-exports in a helper gives a single place to extend the public surface.
     """
+    from .api import Database, Dataset  # noqa: F401
     from .cluster import SimulatedCluster  # noqa: F401
     from .rebalance import (  # noqa: F401
         ConsistentHashStrategy,
         DynaHashStrategy,
         GlobalHashingStrategy,
         StaticHashStrategy,
+        available_strategies,
+        register_strategy,
+        strategy_by_name,
     )
 
     globals().update(
+        Database=Database,
+        Dataset=Dataset,
         SimulatedCluster=SimulatedCluster,
         DynaHashStrategy=DynaHashStrategy,
         StaticHashStrategy=StaticHashStrategy,
         GlobalHashingStrategy=GlobalHashingStrategy,
         ConsistentHashStrategy=ConsistentHashStrategy,
+        available_strategies=available_strategies,
+        register_strategy=register_strategy,
+        strategy_by_name=strategy_by_name,
     )
     __all__.extend(
         [
+            "Database",
+            "Dataset",
             "SimulatedCluster",
             "DynaHashStrategy",
             "StaticHashStrategy",
             "GlobalHashingStrategy",
             "ConsistentHashStrategy",
+            "available_strategies",
+            "register_strategy",
+            "strategy_by_name",
         ]
     )
 

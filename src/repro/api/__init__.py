@@ -1,0 +1,120 @@
+"""The canonical public surface of the DynaHash reproduction.
+
+This package is the *client API*: a :class:`Database` session façade handing
+out typed :class:`Dataset` handles with fluent verbs, a string-keyed strategy
+registry, lifecycle events, and the configuration/report types client code
+needs — so applications, examples, and benches import only ``repro.api``::
+
+    from repro.api import ClusterConfig, Database
+
+    with Database(ClusterConfig(num_nodes=4), strategy="dynahash") as db:
+        orders = db.create_dataset("orders", primary_key="o_orderkey")
+        orders.insert(rows)
+        orders.upsert(changed_rows)
+        orders.delete([1, 2, 3])
+        row = orders.get(1234)
+        top = (
+            orders.query()
+            .filter(lambda r: r["o_totalprice"] > 0)
+            .group_by("o_custkey")
+            .aggregate(total=("sum", "o_totalprice"))
+            .order_by("total", descending=True)
+            .limit(10)
+            .execute()
+        )
+        db.on("rebalance.*", lambda event: print(event.name))
+        report = db.rebalance(remove=1)
+
+The legacy ``SimulatedCluster.ingest`` / ``.lookup`` calls keep working but
+emit :class:`DeprecationWarning`; ``Database.attach(cluster)`` wraps an
+existing cluster during migration.
+"""
+
+from ..cluster.dataset import DatasetSpec, SecondaryIndexSpec
+from ..cluster.reports import (
+    ClusterRebalanceReport,
+    IngestReport,
+    QueryReport,
+    RebalanceReport,
+)
+from ..common.config import (
+    BucketingConfig,
+    ClusterConfig,
+    CostModelConfig,
+    LSMConfig,
+)
+from ..common.errors import (
+    ClusterError,
+    ConfigError,
+    FaultInjected,
+    QueryError,
+    RebalanceError,
+    ReproError,
+    UnknownDatasetError,
+)
+from ..bench.reporting import format_table
+from ..common.units import GIB, KIB, MIB
+from ..query.executor import QuerySpec, TableAccess
+from ..rebalance.operation import FAULT_SITES
+from ..rebalance.recovery import RecoveryOutcome
+from ..tpch.queries import q1_plan, q3_plan, q6_plan, query_spec as tpch_query_spec
+from .database import Database
+from .dataset import Dataset, DeleteReport
+from .events import EVENT_NAMES, Event, EventBus, Subscription
+from .query import QueryBuilder, QueryResult
+from .registry import (
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+    strategy_by_name,
+)
+from .workloads import DEFAULT_TABLES, TPCHLoadResult, TPCHWorkload, load_tpch
+
+__all__ = [
+    "BucketingConfig",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterRebalanceReport",
+    "ConfigError",
+    "CostModelConfig",
+    "DEFAULT_TABLES",
+    "Database",
+    "Dataset",
+    "DatasetSpec",
+    "DeleteReport",
+    "EVENT_NAMES",
+    "Event",
+    "EventBus",
+    "FAULT_SITES",
+    "FaultInjected",
+    "GIB",
+    "IngestReport",
+    "KIB",
+    "LSMConfig",
+    "MIB",
+    "QueryBuilder",
+    "QueryError",
+    "QueryReport",
+    "QueryResult",
+    "QuerySpec",
+    "RebalanceError",
+    "RebalanceReport",
+    "RecoveryOutcome",
+    "ReproError",
+    "SecondaryIndexSpec",
+    "Subscription",
+    "TPCHLoadResult",
+    "TPCHWorkload",
+    "TableAccess",
+    "UnknownDatasetError",
+    "available_strategies",
+    "format_table",
+    "load_tpch",
+    "q1_plan",
+    "q3_plan",
+    "q6_plan",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_by_name",
+    "tpch_query_spec",
+]

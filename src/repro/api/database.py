@@ -1,0 +1,276 @@
+"""The ``Database`` session façade — the canonical entry point of the API.
+
+A :class:`Database` wraps one :class:`~repro.cluster.controller.SimulatedCluster`
+behind an AsterixDB-shaped client surface: a context-manager session that
+hands out typed :class:`~repro.api.dataset.Dataset` handles, runs resizes
+through the configured rebalancing strategy, and exposes the cluster's
+lifecycle event bus::
+
+    from repro.api import Database, ClusterConfig
+
+    with Database(ClusterConfig(num_nodes=4), strategy="dynahash") as db:
+        orders = db.create_dataset("orders", primary_key="o_orderkey")
+        orders.insert(rows)
+        db.on("rebalance.*", print)
+        report = db.rebalance(remove=1)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from ..cluster.controller import SimulatedCluster
+from ..cluster.dataset import SecondaryIndexSpec
+from ..cluster.reports import ClusterRebalanceReport, QueryReport
+from ..common.config import ClusterConfig
+from ..common.errors import ClusterError, ConfigError
+from ..common.events import Event, EventBus, Subscription
+from ..query.executor import ClusterQueryExecutor, QuerySpec
+from ..rebalance.operation import FaultInjector
+from ..rebalance.recovery import RebalanceRecoveryManager, RecoveryOutcome
+from .dataset import Dataset
+from .registry import resolve_strategy
+
+
+class Database:
+    """An open session against a (simulated) shared-nothing cluster.
+
+    Parameters
+    ----------
+    config:
+        Cluster configuration; ``config.strategy`` may name a registered
+        rebalancing strategy.
+    strategy:
+        Strategy instance or registered name (``"dynahash"``, ``"static"``,
+        ``"consistent"``, ``"hashing"``); overrides ``config.strategy``.
+        Extra ``strategy_options`` are forwarded to the strategy factory when
+        a name is given (either here or via ``config.strategy``).
+    workload_scale:
+        Work multiplier for the cost model (paper-scale simulated durations
+        from reduced-scale data).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        strategy: "Optional[str | object]" = None,
+        workload_scale: float = 1.0,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+    ):
+        config = config or ClusterConfig()
+        if strategy is None:
+            strategy = config.strategy
+        resolved = resolve_strategy(strategy, **dict(strategy_options or {}))
+        self._cluster = SimulatedCluster(
+            config, strategy=resolved, workload_scale=workload_scale
+        )
+        self._executor = ClusterQueryExecutor(self._cluster)
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    @classmethod
+    def open(
+        cls,
+        config: Optional[ClusterConfig] = None,
+        strategy: "Optional[str | object]" = None,
+        **kwargs: Any,
+    ) -> "Database":
+        """Open a new session (alias of the constructor, reads better)."""
+        return cls(config, strategy=strategy, **kwargs)
+
+    @classmethod
+    def attach(cls, cluster: SimulatedCluster) -> "Database":
+        """Wrap an existing cluster (migration path for legacy call sites)."""
+        db = cls.__new__(cls)
+        db._cluster = cluster
+        db._executor = ClusterQueryExecutor(cluster)
+        db._closed = False
+        return db
+
+    def close(self) -> None:
+        """Close the session; later verbs raise :class:`ClusterError`.
+
+        Closing is idempotent and emits ``database.close`` once.
+        """
+        if not self._closed:
+            self._closed = True
+            self._cluster.events.emit("database.close", datasets=self._cluster.dataset_names())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError("this Database session is closed")
+
+    # ------------------------------------------------------------ escape hatch
+
+    @property
+    def cluster(self) -> SimulatedCluster:
+        """The underlying simulated cluster (escape hatch; prefer the API)."""
+        return self._cluster
+
+    @property
+    def events(self) -> EventBus:
+        return self._cluster.events
+
+    @property
+    def executor(self) -> ClusterQueryExecutor:
+        return self._executor
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self._cluster.config
+
+    @property
+    def strategy(self) -> Optional[object]:
+        return self._cluster.strategy
+
+    @property
+    def num_nodes(self) -> int:
+        return self._cluster.num_nodes
+
+    @property
+    def total_partitions(self) -> int:
+        return self._cluster.total_partitions
+
+    # --------------------------------------------------------------- events
+
+    def on(self, pattern: str, callback: Callable[[Event], None]) -> Subscription:
+        """Subscribe to lifecycle events (``fnmatch`` patterns, e.g.
+        ``"rebalance.*"``); returns a cancellable subscription."""
+        return self._cluster.events.on(pattern, callback)
+
+    def once(self, pattern: str, callback: Callable[[Event], None]) -> Subscription:
+        return self._cluster.events.once(pattern, callback)
+
+    # -------------------------------------------------------------- datasets
+
+    def create_dataset(
+        self,
+        name: str,
+        primary_key: "str | Sequence[str]",
+        secondary_indexes: Sequence[SecondaryIndexSpec] = (),
+    ) -> Dataset:
+        """Create a dataset partitioned across every node; returns its handle."""
+        self._check_open()
+        self._cluster.create_dataset(name, primary_key, secondary_indexes)
+        return Dataset(self, name)
+
+    def dataset(self, name: str) -> Dataset:
+        """Handle for an existing dataset (raises if it does not exist)."""
+        self._check_open()
+        self._cluster.dataset(name)  # validates existence
+        return Dataset(self, name)
+
+    def __getitem__(self, name: str) -> Dataset:
+        return self.dataset(name)
+
+    def dataset_names(self) -> List[str]:
+        self._check_open()
+        return self._cluster.dataset_names()
+
+    def datasets(self) -> Iterator[Dataset]:
+        for name in self.dataset_names():
+            yield Dataset(self, name)
+
+    def drop_dataset(self, name: str) -> None:
+        self._check_open()
+        self._cluster.drop_dataset(name)
+
+    # ------------------------------------------------------------- rebalance
+
+    def rebalance(
+        self,
+        target_nodes: Optional[int] = None,
+        *,
+        add: Optional[int] = None,
+        remove: Optional[int] = None,
+        concurrent_rows: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
+        fault_sites: Optional[Iterable[str]] = None,
+    ) -> ClusterRebalanceReport:
+        """Resize the cluster with the configured strategy.
+
+        Exactly one of ``target_nodes``, ``add``, ``remove`` selects the new
+        size.  ``concurrent_rows`` maps dataset name -> rows ingested while
+        the rebalance's data movement is in flight (Figure 7c).
+        ``fault_sites`` injects protocol failures (see
+        :data:`repro.rebalance.operation.FAULT_SITES`); the raised
+        :class:`~repro.common.errors.FaultInjected` models the crash, after
+        which :meth:`recover` drives the Section V-D recovery cases.  Fault
+        injection requires a directory-routing strategy — the ``"hashing"``
+        baseline has no protocol sites and rejects it with
+        :class:`~repro.common.errors.ConfigError`.
+        """
+        self._check_open()
+        chosen = [value for value in (target_nodes, add, remove) if value is not None]
+        if len(chosen) != 1:
+            raise ConfigError("pass exactly one of target_nodes=, add=, remove=")
+        if target_nodes is None:
+            target_nodes = self.num_nodes + (add or 0) - (remove or 0)
+        injector = FaultInjector(list(fault_sites)) if fault_sites else None
+        return self._cluster.rebalance_to(
+            target_nodes, concurrent_rows=concurrent_rows, fault_injector=injector
+        )
+
+    def add_nodes(self, count: int = 1) -> ClusterRebalanceReport:
+        return self.rebalance(add=count)
+
+    def remove_nodes(self, count: int = 1) -> ClusterRebalanceReport:
+        return self.rebalance(remove=count)
+
+    def recover(self) -> List[RecoveryOutcome]:
+        """Run rebalance recovery as a restarted coordinator would."""
+        self._check_open()
+        outcomes = RebalanceRecoveryManager(self._cluster).recover()
+        self._cluster.events.emit(
+            "recovery.complete",
+            outcomes=[(o.rebalance_id, o.dataset, o.action) for o in outcomes],
+        )
+        return outcomes
+
+    # ----------------------------------------------------------------- query
+
+    def execute_spec(self, spec: QuerySpec) -> QueryReport:
+        """Run an access-pattern query spec (the paper's figure mode)."""
+        self._check_open()
+        return self._executor.execute_spec(spec)
+
+    def execute(
+        self, name: str, plan: Callable[..., Any], operator_depth_hint: int = 1
+    ) -> "tuple[Any, QueryReport]":
+        """Run a real operator plan (e.g. the TPC-H q1/q3/q6 plans)."""
+        self._check_open()
+        return self._executor.execute_plan(name, plan, operator_depth_hint)
+
+    # ------------------------------------------------------------ inspection
+
+    def describe(self) -> Dict[str, Any]:
+        """A structural snapshot of the session's cluster state."""
+        self._check_open()
+        snapshot = self._cluster.describe()
+        snapshot["strategy"] = getattr(
+            self._cluster.strategy, "name", None
+        ) or (self._cluster.strategy and type(self._cluster.strategy).__name__)
+        snapshot["node_ids"] = [node.node_id for node in self._cluster.nodes]
+        return snapshot
+
+    def storage_per_node(self) -> Dict[str, int]:
+        self._check_open()
+        return self._cluster.storage_per_node()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Database({state}, nodes={self._cluster.num_nodes}, "
+            f"datasets={self._cluster.dataset_names()})"
+        )

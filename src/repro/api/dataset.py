@@ -1,0 +1,194 @@
+"""Typed dataset handles: the client-side verbs of the dataset API.
+
+A :class:`Dataset` is a lightweight handle bound to a
+:class:`~repro.api.database.Database` session and a dataset name.  It owns no
+state of its own — every call re-resolves the live
+:class:`~repro.cluster.controller.DatasetRuntime`, so a handle stays valid
+across rebalances (which swap the routing directory and partition map under
+it, exactly as AsterixDB dataset names do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, TYPE_CHECKING
+
+from ..cluster.dataset import DatasetSpec
+from ..cluster.reports import IngestReport
+from ..common.errors import UnknownDatasetError
+from .query import QueryBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.controller import DatasetRuntime
+    from .database import Database
+
+
+@dataclass
+class DeleteReport:
+    """Outcome of deleting a batch of keys from a dataset."""
+
+    dataset: str
+    keys_requested: int
+    records_deleted: int
+    simulated_seconds: float
+    per_partition_deletes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def keys_missing(self) -> int:
+        return self.keys_requested - self.records_deleted
+
+    def summary(self) -> str:
+        return (
+            f"deleted {self.records_deleted}/{self.keys_requested} keys from "
+            f"{self.dataset!r} in {self.simulated_seconds:.3f}s"
+        )
+
+
+class Dataset:
+    """Handle for one dataset of an open :class:`Database` session."""
+
+    def __init__(self, database: "Database", name: str):
+        self.database = database
+        self.name = name
+
+    # -------------------------------------------------------------- plumbing
+
+    def _runtime(self) -> "DatasetRuntime":
+        self.database._check_open()
+        return self.database.cluster.dataset(self.name)
+
+    @property
+    def spec(self) -> DatasetSpec:
+        return self._runtime().spec
+
+    @property
+    def exists(self) -> bool:
+        """Whether the dataset exists — a non-throwing probe, so it answers
+        from the cluster metadata even on a closed session."""
+        try:
+            self.database.cluster.dataset(self.name)
+            return True
+        except UnknownDatasetError:
+            return False
+
+    # ------------------------------------------------------------ write path
+
+    def insert(
+        self, rows: Iterable[Mapping[str, Any]], batch_size: int = 2000
+    ) -> IngestReport:
+        """Insert rows through a data feed; returns the ingest report."""
+        self._runtime()  # enforces the session/dataset checks
+        return self.database.cluster.feed(self.name, batch_size=batch_size).ingest(rows)
+
+    def upsert(
+        self, rows: Iterable[Mapping[str, Any]], batch_size: int = 2000
+    ) -> IngestReport:
+        """Insert-or-replace rows by primary key.
+
+        The LSM write path is natively upserting (a newer entry shadows the
+        older one at the same key), so this shares :meth:`insert`'s feed path;
+        the separate verb keeps client intent explicit.
+        """
+        return self.insert(rows, batch_size=batch_size)
+
+    def delete(self, keys: "Iterable[Any] | Any") -> DeleteReport:
+        """Delete records by primary key; accepts one key or an iterable.
+
+        Missing keys are counted but not an error (deletes are tombstones in
+        an LSM tree either way).
+        """
+        if isinstance(keys, (str, bytes)) or not isinstance(keys, Iterable):
+            keys = [keys]
+        runtime = self._runtime()
+        cost = self.database.cluster.cost
+        per_partition: Dict[int, int] = {}
+        requested = 0
+        deleted = 0
+        for key in keys:
+            requested += 1
+            pid = runtime.partition_of_key(key)
+            partition = runtime.partitions[pid]
+            existing = partition.lookup(key)
+            partition.delete(key, record=existing)
+            if existing is not None:
+                deleted += 1
+                per_partition[pid] = per_partition.get(pid, 0) + 1
+        for partition in runtime.partitions.values():
+            partition.maintain()
+        simulated = cost.parse_time(requested) + cost.rpc_time(2)
+        report = DeleteReport(
+            dataset=self.name,
+            keys_requested=requested,
+            records_deleted=deleted,
+            simulated_seconds=simulated,
+            per_partition_deletes=per_partition,
+        )
+        self.database.events.emit(
+            "dataset.delete", dataset=self.name, keys=requested, deleted=deleted
+        )
+        return report
+
+    # ------------------------------------------------------------- read path
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        """Point lookup by primary key (routes via the current directory)."""
+        self._runtime()  # enforces the session/dataset checks
+        return self.database.cluster.point_lookup(self.name, key)
+
+    def scan(
+        self, low: Any = None, high: Any = None, ordered: bool = False
+    ) -> Iterator[Dict[str, Any]]:
+        """Iterate the dataset's records across every partition.
+
+        ``ordered=True`` merge-sorts each partition's buckets by primary key
+        (records still arrive partition by partition, as a cluster scan does).
+        """
+        runtime = self._runtime()
+        for pid in sorted(runtime.partitions):
+            for entry in runtime.partitions[pid].scan_primary(
+                low=low, high=high, ordered=ordered
+            ):
+                yield dict(entry.value)
+
+    def count(self) -> int:
+        """Number of live records (served from the partitions' key counts)."""
+        return self._runtime().record_count()
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key) is not None
+
+    # ----------------------------------------------------------------- query
+
+    def query(self, name: Optional[str] = None) -> QueryBuilder:
+        """Start a fluent query over this dataset."""
+        return QueryBuilder(self, name=name)
+
+    # ------------------------------------------------------------ inspection
+
+    def describe(self) -> Dict[str, Any]:
+        """A structural snapshot of this dataset."""
+        runtime = self._runtime()
+        return {
+            "name": self.name,
+            "primary_key": list(runtime.spec.primary_key),
+            "secondary_indexes": runtime.spec.index_names(),
+            "routing": runtime.routing_mode,
+            "records": runtime.record_count(),
+            "bytes": runtime.total_size_bytes,
+            "partitions": sorted(runtime.partitions),
+            "buckets": (
+                len(runtime.global_directory)
+                if runtime.global_directory is not None
+                else None
+            ),
+        }
+
+    def drop(self) -> None:
+        """Drop this dataset from the database."""
+        self.database.drop_dataset(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Dataset({self.name!r})"

@@ -1,0 +1,61 @@
+"""Lifecycle events exposed by the client API.
+
+Every :class:`~repro.api.database.Database` owns an
+:class:`~repro.common.events.EventBus` (the implementation lives in
+:mod:`repro.common.events` so the lower layers can emit without importing the
+API package).  Benches, tests, and observability code subscribe with
+``db.on(pattern, callback)`` instead of poking cluster internals.
+
+Canonical event names, in emission order for a resize:
+
+========================== ==================================================
+``dataset.create``          a dataset was created (controller)
+``dataset.drop``            a dataset was dropped (controller)
+``ingest.start``            a data feed started ingesting (feed)
+``ingest.complete``         the feed finished; payload carries the report
+``rebalance.start``         ``rebalance_to`` began (controller)
+``rebalance.dataset.start`` one dataset's rebalance operation began
+``rebalance.phase``         a protocol phase finished (initialization,
+                            data_movement, finalization)
+``rebalance.commit``        the COMMIT record was forced (the commit point)
+``rebalance.abort``         the operation aborted; payload carries the reason
+``rebalance.dataset.complete`` one dataset's operation finished
+``rebalance.complete``      the whole resize finished; payload carries the
+                            :class:`~repro.cluster.reports.ClusterRebalanceReport`
+``rebalance.error``         the resize raised (e.g. an injected fault)
+``recovery.complete``       ``db.recover()`` finished; payload lists outcomes
+``node.provision``          a node was added (before data moved onto it)
+``node.decommission``       a node was removed (after data moved away)
+``database.close``          the Database session was closed
+========================== ==================================================
+
+Patterns use ``fnmatch`` semantics: ``db.on("rebalance.*", cb)`` sees every
+rebalance event, ``db.on("*", cb)`` sees everything.
+"""
+
+from __future__ import annotations
+
+from ..common.events import Event, EventBus, Subscription
+
+#: Canonical event names (kept in one tuple so tests can assert coverage).
+EVENT_NAMES = (
+    "dataset.create",
+    "dataset.drop",
+    "dataset.delete",
+    "ingest.start",
+    "ingest.complete",
+    "rebalance.start",
+    "rebalance.dataset.start",
+    "rebalance.phase",
+    "rebalance.commit",
+    "rebalance.abort",
+    "rebalance.dataset.complete",
+    "rebalance.complete",
+    "rebalance.error",
+    "recovery.complete",
+    "node.provision",
+    "node.decommission",
+    "database.close",
+)
+
+__all__ = ["EVENT_NAMES", "Event", "EventBus", "Subscription"]

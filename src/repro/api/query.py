@@ -1,0 +1,356 @@
+"""Fluent query builder over one dataset handle.
+
+``dataset.query()`` returns a :class:`QueryBuilder` that composes the real
+relational operators of :mod:`repro.query.operators` into a plan executed by
+:class:`~repro.query.executor.ClusterQueryExecutor` — so ``execute()`` returns
+actual rows *and* the simulated-time report of the shared-nothing cost model::
+
+    result = (
+        db.dataset("orders").query()
+        .filter(lambda row: row["o_totalprice"] > 100.0)
+        .group_by("o_custkey")
+        .aggregate(total=("sum", "o_totalprice"), orders=("count", None))
+        .order_by("total", descending=True)
+        .limit(10)
+        .execute()
+    )
+    for row in result: ...
+    print(result.report.summary())
+
+The same builder can also describe the query as an access-pattern
+:class:`~repro.query.executor.QuerySpec` (what the paper's Figure 8/9 figures
+execute): ``to_spec()`` returns the spec, ``estimate()`` runs it in spec mode.
+Filter selectivities for spec mode are given alongside (or instead of) the
+row predicate: ``.filter(pred, selectivity=0.1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..common.errors import QueryError
+from ..cluster.reports import QueryReport
+from ..query.executor import (
+    ACCESS_FULL_SCAN,
+    ACCESS_PRIMARY_KEY_LOOKUPS,
+    ACCESS_SECONDARY_INDEX,
+    QueryContext,
+    QuerySpec,
+    TableAccess,
+)
+from ..query.operators import (
+    Row,
+    filter_rows,
+    hash_group_by,
+    limit as limit_rows,
+    order_by as order_rows,
+    project as project_rows,
+    scalar_aggregate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataset import Dataset
+
+
+class QueryResult:
+    """Rows plus the query's :class:`~repro.cluster.reports.QueryReport`."""
+
+    def __init__(self, rows: Any, report: QueryReport):
+        self.rows = rows
+        self.report = report
+
+    def __iter__(self) -> Iterator[Row]:
+        if isinstance(self.rows, list):
+            return iter(self.rows)
+        return iter([self.rows])
+
+    def __len__(self) -> int:
+        return len(self.rows) if isinstance(self.rows, list) else 1
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index] if isinstance(self.rows, list) else [self.rows][index]
+
+    def first(self) -> Optional[Row]:
+        if isinstance(self.rows, list):
+            return self.rows[0] if self.rows else None
+        return self.rows
+
+    def scalar(self, column: Optional[str] = None) -> Any:
+        """The single value of a one-row result (e.g. a scalar aggregate)."""
+        row = self.first()
+        if row is None:
+            return None
+        if column is not None:
+            return row[column]
+        if isinstance(row, Mapping):
+            if len(row) != 1:
+                raise QueryError(
+                    f"scalar() on a row with {len(row)} columns; name one of {sorted(row)}"
+                )
+            return next(iter(row.values()))
+        return row
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.report.simulated_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"QueryResult(rows={len(self)}, seconds={self.report.simulated_seconds:.3f})"
+
+
+def _column(row: Row, name: str) -> Any:
+    """Column access that fails with the engine's UnknownColumnError idiom."""
+    try:
+        return row[name]
+    except KeyError:
+        from ..common.errors import UnknownColumnError
+
+        raise UnknownColumnError(
+            f"row has no column {name!r}: {sorted(row)[:8]}"
+        ) from None
+
+
+def _extractor(column: "str | Callable[[Row], Any] | None") -> Callable[[Row], Any]:
+    if column is None:
+        return lambda row: 1
+    if callable(column):
+        return column
+    return lambda row, _c=column: _column(row, _c)
+
+
+class QueryBuilder:
+    """Immutable-ish fluent builder; every verb returns ``self`` for chaining."""
+
+    def __init__(self, dataset: "Dataset", name: Optional[str] = None):
+        self._dataset = dataset
+        self._name = name
+        self._ops: List[Tuple[str, Dict[str, Any]]] = []
+        self._selectivity = 1.0
+        self._access = ACCESS_FULL_SCAN
+        self._index_name: Optional[str] = None
+        self._lookups = 0
+        self._scan_count = 1
+        self._operator_depth: Optional[int] = None
+        self._ordered = False
+        self._scalar_aggs: Optional[Dict[str, Tuple[str, Callable[[Row], Any]]]] = None
+        self._group_keys: Optional[Tuple[str, ...]] = None
+
+    # --------------------------------------------------------------- access
+
+    def via_index(self, index_name: str) -> "QueryBuilder":
+        """Read through a covering secondary index instead of the primary."""
+        self._dataset.spec.index(index_name)  # validates the name
+        self._access = ACCESS_SECONDARY_INDEX
+        self._index_name = index_name
+        return self
+
+    def by_keys(self, lookups: int) -> "QueryBuilder":
+        """Spec-mode access: ``lookups`` primary-key point lookups."""
+        if lookups < 1:
+            raise QueryError("by_keys needs at least one lookup")
+        self._access = ACCESS_PRIMARY_KEY_LOOKUPS
+        self._lookups = lookups
+        return self
+
+    def ordered(self) -> "QueryBuilder":
+        """Require primary-key order from the scan (q18-style merge-sort)."""
+        self._ordered = True
+        return self
+
+    def scans(self, count: int) -> "QueryBuilder":
+        """Spec-mode: the query reads its input ``count`` times (q21-style)."""
+        if count < 1:
+            raise QueryError("scan count must be at least 1")
+        self._scan_count = count
+        return self
+
+    def depth(self, operator_depth: int) -> "QueryBuilder":
+        """Spec-mode: average operator-pipeline depth (compute heaviness)."""
+        if operator_depth < 1:
+            raise QueryError("operator_depth must be at least 1")
+        self._operator_depth = operator_depth
+        return self
+
+    # ------------------------------------------------------------ operators
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        *,
+        selectivity: Optional[float] = None,
+    ) -> "QueryBuilder":
+        """Keep rows matching ``predicate``; ``selectivity`` feeds spec mode.
+
+        Either argument may be omitted: a predicate without selectivity
+        estimates nothing for spec mode (assumed 1.0); a selectivity without
+        predicate shapes the spec but filters nothing in plan mode.
+        """
+        if predicate is None and selectivity is None:
+            raise QueryError("filter() needs a predicate and/or a selectivity")
+        if selectivity is not None:
+            if not 0.0 <= selectivity <= 1.0:
+                raise QueryError("selectivity must be within [0, 1]")
+            self._selectivity *= selectivity
+        if predicate is not None:
+            self._ops.append(("filter", {"predicate": predicate}))
+        return self
+
+    def project(
+        self,
+        *columns: str,
+        **computed: Callable[[Row], Any],
+    ) -> "QueryBuilder":
+        """Keep only ``columns``, adding ``computed`` columns from callables."""
+        if not columns and not computed:
+            raise QueryError("project() needs at least one column")
+        self._ops.append(("project", {"columns": columns, "computed": computed}))
+        return self
+
+    def group_by(self, *keys: str) -> "QueryBuilder":
+        """Group by the named columns; follow with :meth:`aggregate`."""
+        if not keys:
+            raise QueryError("group_by() needs at least one key column")
+        if self._group_keys is not None:
+            raise QueryError("group_by() may only be called once")
+        self._group_keys = keys
+        return self
+
+    def aggregate(self, **aggregates: "Tuple[str, Any]") -> "QueryBuilder":
+        """Aggregate grouped (after :meth:`group_by`) or over the whole input.
+
+        Each keyword maps an output column to ``(kind, column_or_callable)``
+        with kind in {"sum", "count", "min", "max", "avg"}; ``None`` as the
+        value works for counts: ``aggregate(n=("count", None))``.
+        """
+        if not aggregates:
+            raise QueryError("aggregate() needs at least one aggregate")
+        compiled = {
+            out: (kind, _extractor(value)) for out, (kind, value) in aggregates.items()
+        }
+        if self._group_keys is not None:
+            keys = self._group_keys
+            self._group_keys = None
+            self._ops.append(("group", {"keys": keys, "aggregates": compiled}))
+        else:
+            if self._scalar_aggs is None:
+                self._scalar_aggs = {}
+            self._scalar_aggs.update(compiled)
+        return self
+
+    def order_by(
+        self, key: "str | Callable[[Row], Any]", descending: bool = False
+    ) -> "QueryBuilder":
+        self._ops.append(
+            ("order_by", {"key": _extractor(key), "descending": descending})
+        )
+        return self
+
+    def limit(self, count: int) -> "QueryBuilder":
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        self._ops.append(("limit", {"count": count}))
+        return self
+
+    # ------------------------------------------------------------ execution
+
+    def _pipeline_depth(self) -> int:
+        if self._operator_depth is not None:
+            return self._operator_depth
+        # One scan stage plus one per composed operator stage.
+        depth = 1 + len(self._ops)
+        if self._scalar_aggs is not None:
+            depth += 1
+        return max(1, depth)
+
+    def _plan(self, context: QueryContext) -> Any:
+        if self._access == ACCESS_SECONDARY_INDEX:
+            rows: Iterable[Row] = context.scan_index(
+                self._dataset.name, self._index_name
+            )
+        else:
+            rows = context.scan(self._dataset.name, ordered=self._ordered)
+        stats = context.operator_stats
+        if self._group_keys is not None:
+            raise QueryError("group_by() without aggregate()")
+        for op, kwargs in self._ops:
+            if op == "filter":
+                rows = filter_rows(rows, kwargs["predicate"], stats)
+            elif op == "project":
+                rows = project_rows(
+                    rows, kwargs["columns"], kwargs["computed"], stats
+                )
+            elif op == "group":
+                keys = kwargs["keys"]
+                rows = hash_group_by(
+                    rows,
+                    key=lambda row, _k=keys: {k: _column(row, k) for k in _k},
+                    aggregates=kwargs["aggregates"],
+                    stats=stats,
+                )
+            elif op == "order_by":
+                rows = order_rows(rows, kwargs["key"], kwargs["descending"], stats)
+            elif op == "limit":
+                rows = limit_rows(rows, kwargs["count"])
+        if self._scalar_aggs is not None:
+            return scalar_aggregate(rows, self._scalar_aggs, stats)
+        return rows
+
+    def execute(self) -> QueryResult:
+        """Run the composed plan over the cluster; returns rows + report."""
+        if self._access == ACCESS_PRIMARY_KEY_LOOKUPS:
+            raise QueryError(
+                "by_keys() queries are access-pattern specs; use estimate(), "
+                "or Dataset.get() for real point lookups"
+            )
+        self._dataset._runtime()  # enforces the session/dataset checks
+        name = self._name or f"{self._dataset.name}.query"
+        result, report = self._dataset.database.executor.execute_plan(
+            name, self._plan, operator_depth_hint=1
+        )
+        return QueryResult(result, report)
+
+    def count(self) -> int:
+        """Execute ``COUNT(*)`` over the composed plan (a scalar aggregate)."""
+        if self._group_keys is not None:
+            raise QueryError("group_by() without aggregate()")
+        counter = QueryBuilder(self._dataset, name=f"{self._dataset.name}.count")
+        counter._ops = list(self._ops)
+        counter._access = self._access
+        counter._index_name = self._index_name
+        counter._ordered = self._ordered
+        counter._group_keys = None
+        counter._scalar_aggs = {"n": ("count", _extractor(None))}
+        return int(counter.execute().scalar("n"))
+
+    # ------------------------------------------------------------- spec mode
+
+    def to_spec(self, name: Optional[str] = None) -> QuerySpec:
+        """The equivalent access-pattern :class:`QuerySpec` (Figure 8/9 mode)."""
+        if self._group_keys is not None:
+            raise QueryError("group_by() without aggregate()")
+        return QuerySpec(
+            name=name or self._name or f"{self._dataset.name}.query",
+            accesses=(
+                TableAccess(
+                    dataset=self._dataset.name,
+                    access=self._access,
+                    index_name=self._index_name,
+                    scan_count=self._scan_count,
+                    selectivity=self._selectivity,
+                    lookups=self._lookups,
+                ),
+            ),
+            operator_depth=self._pipeline_depth(),
+            requires_primary_key_order=self._ordered,
+        )
+
+    def estimate(self, name: Optional[str] = None) -> QueryReport:
+        """Execute in spec mode: simulated cost only, no materialised rows."""
+        self._dataset._runtime()  # enforces the session/dataset checks
+        return self._dataset.database.executor.execute_spec(self.to_spec(name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryBuilder({self._dataset.name!r}, access={self._access}, "
+            f"ops={[op for op, _ in self._ops]})"
+        )

@@ -1,0 +1,35 @@
+"""Workload conveniences for the client API.
+
+Examples and benches repeatedly need "a database with TPC-H loaded"; this
+module provides that in API terms so client code never touches the cluster
+internals directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..tpch.workload import DEFAULT_TABLES, TPCHLoadResult, TPCHWorkload
+from .database import Database
+
+__all__ = ["DEFAULT_TABLES", "TPCHLoadResult", "TPCHWorkload", "load_tpch"]
+
+
+def load_tpch(
+    db: Database,
+    scale_factor: float = 0.001,
+    tables: Sequence[str] = DEFAULT_TABLES,
+    seed: Optional[int] = None,
+    batch_size: int = 2000,
+) -> TPCHLoadResult:
+    """Create and load the named TPC-H tables into ``db``.
+
+    Datasets are created with the paper's schema (covering secondary indexes
+    on LineItem and Orders) and ingested through data feeds, so ``ingest.*``
+    events fire per table.  ``seed=None`` uses the cluster config's seed.
+    """
+    workload = TPCHWorkload(
+        scale_factor=scale_factor,
+        seed=db.config.seed if seed is None else seed,
+    )
+    return workload.load(db.cluster, tables=tables, batch_size=batch_size)

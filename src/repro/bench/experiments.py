@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..cluster.controller import SimulatedCluster
-from ..query.executor import ClusterQueryExecutor
 from ..rebalance.strategies import (
     DynaHashStrategy,
     GlobalHashingStrategy,
@@ -30,8 +29,11 @@ from ..rebalance.strategies import (
     StaticHashStrategy,
 )
 from ..tpch.queries import QUERY_NAMES, query_spec
-from ..tpch.workload import TPCHWorkload
+from ..tpch.workload import TPCHLoadResult, TPCHWorkload
 from .config import SMOKE, BenchScale
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api import Database
 
 #: The three approaches the paper evaluates, in its plotting order.
 PAPER_STRATEGIES = ("Hashing", "StaticHash", "DynaHash")
@@ -55,21 +57,40 @@ def make_strategy(name: str, scale: BenchScale) -> RebalancingStrategy:
     raise ValueError(f"unknown strategy {name!r}")
 
 
-def build_loaded_cluster(
+def build_loaded_database(
     scale: BenchScale,
     num_nodes: int,
     strategy_name: str,
     tables: Sequence[str] = SCALING_TABLES,
-) -> Tuple[SimulatedCluster, TPCHWorkload, object]:
-    """Create a cluster with the given strategy and load TPC-H into it."""
-    cluster = SimulatedCluster(
+) -> "Tuple[Database, TPCHWorkload, TPCHLoadResult]":
+    """Open a :class:`~repro.api.Database` with the given strategy and load
+    TPC-H into it — the API-level entry point the experiment drivers use."""
+    # Imported lazily: repro.api re-exports bench helpers (format_table), so a
+    # module-level import here would be circular.
+    from ..api import Database
+
+    db = Database(
         scale.cluster_config(num_nodes),
         strategy=make_strategy(strategy_name, scale),
         workload_scale=scale.workload_scale,
     )
     workload = TPCHWorkload(scale_factor=scale.scale_factor(num_nodes), seed=scale.seed)
-    load_result = workload.load(cluster, tables=tables)
-    return cluster, workload, load_result
+    load_result = workload.load(db.cluster, tables=tables)
+    return db, workload, load_result
+
+
+def build_loaded_cluster(
+    scale: BenchScale,
+    num_nodes: int,
+    strategy_name: str,
+    tables: Sequence[str] = SCALING_TABLES,
+) -> Tuple[SimulatedCluster, TPCHWorkload, TPCHLoadResult]:
+    """Legacy variant of :func:`build_loaded_database` returning the raw
+    cluster (kept for existing callers and tests)."""
+    db, workload, load_result = build_loaded_database(
+        scale, num_nodes, strategy_name, tables=tables
+    )
+    return db.cluster, workload, load_result
 
 
 # ---------------------------------------------------------------------------
@@ -99,7 +120,7 @@ def run_ingestion_experiment(
         result.minutes[strategy_name] = {}
         result.splits[strategy_name] = {}
         for num_nodes in node_counts or scale.node_counts:
-            _cluster, _workload, load = build_loaded_cluster(scale, num_nodes, strategy_name)
+            _db, _workload, load = build_loaded_database(scale, num_nodes, strategy_name)
             result.minutes[strategy_name][num_nodes] = load.total_simulated_seconds / 60.0
             result.splits[strategy_name][num_nodes] = sum(
                 report.splits for report in load.reports.values()
@@ -133,15 +154,15 @@ def _cached_scaling_experiment(
         result.records_moved_remove[strategy_name] = {}
         result.records_moved_add[strategy_name] = {}
         for num_nodes in node_counts:
-            cluster, _workload, _load = build_loaded_cluster(scale, num_nodes, strategy_name)
+            db, _workload, _load = build_loaded_database(scale, num_nodes, strategy_name)
             # Paper protocol: loaded at N nodes, rebalance to N-1 (remove),
             # then back to N (add).
-            remove_report = cluster.remove_nodes(1)
+            remove_report = db.remove_nodes(1)
             result.remove_minutes[strategy_name][num_nodes] = remove_report.simulated_minutes
             result.records_moved_remove[strategy_name][num_nodes] = (
                 remove_report.total_records_moved
             )
-            add_report = cluster.add_nodes(1)
+            add_report = db.add_nodes(1)
             result.add_minutes[strategy_name][num_nodes] = add_report.simulated_minutes
             result.records_moved_add[strategy_name][num_nodes] = add_report.total_records_moved
     return result
@@ -179,9 +200,9 @@ def run_concurrent_write_experiment(
     """Figure 7c: rebalance 4 -> 3 nodes while ingesting into LineItem."""
     result = ConcurrentWriteExperimentResult()
     for rate in write_rates_krecords or scale.write_rates_krecords:
-        cluster, workload, _load = build_loaded_cluster(scale, num_nodes, "DynaHash")
+        db, workload, _load = build_loaded_database(scale, num_nodes, "DynaHash")
         concurrent_rows = workload.concurrent_lineitem_rows(rate * scale.rows_per_krecord)
-        report = cluster.rebalance_to(
+        report = db.rebalance(
             num_nodes - 1,
             concurrent_rows={"lineitem": concurrent_rows} if concurrent_rows else None,
         )
@@ -235,19 +256,18 @@ def run_query_experiment(
     result = QueryExperimentResult(num_nodes=num_nodes, downsized=downsize)
     for approach in approaches:
         strategy_name = "DynaHash" if approach.startswith("DynaHash") else approach
-        cluster, _workload, _load = build_loaded_cluster(
+        db, _workload, _load = build_loaded_database(
             scale, num_nodes, strategy_name, tables=QUERY_TABLES
         )
         if downsize:
-            cluster.remove_nodes(1)
+            db.remove_nodes(1)
         elif approach == "DynaHash-lazy-cleanup":
             # Rebalance down and back up so moved buckets leave obsolete
             # entries behind in the secondary indexes (lazy cleanup).
-            cluster.remove_nodes(1)
-            cluster.add_nodes(1)
-        executor = ClusterQueryExecutor(cluster)
+            db.remove_nodes(1)
+            db.add_nodes(1)
         result.seconds[approach] = {}
         for query_name in queries:
-            report = executor.execute_spec(query_spec(query_name))
+            report = db.execute_spec(query_spec(query_name))
             result.seconds[approach][query_name] = report.simulated_seconds
     return result

@@ -13,11 +13,13 @@ BEGIN/COMMIT/DONE records drive rebalance recovery.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..common.clock import LamportClock
 from ..common.config import BucketingConfig, ClusterConfig, LSMConfig
+from ..common.events import EventBus
 from ..common.errors import (
     ClusterError,
     ConfigError,
@@ -98,13 +100,17 @@ class SimulatedCluster:
     Parameters
     ----------
     config:
-        Cluster topology, LSM, bucketing, and cost-model configuration.
+        Cluster topology, LSM, bucketing, and cost-model configuration.  When
+        ``config.strategy`` names a registered strategy and no ``strategy``
+        argument is given, that name is resolved through the strategy
+        registry.
     strategy:
         A rebalancing strategy object (see :mod:`repro.rebalance.strategies`)
-        controlling both the initial dataset layout and how the cluster
-        rebalances when it is resized.  ``None`` defaults to DynaHash-style
-        directory routing; resizing then requires passing a strategy later via
-        :attr:`strategy`.
+        or a registered strategy name (``"dynahash"``, ``"static"``,
+        ``"consistent"``, ``"hashing"``, ...) controlling both the initial
+        dataset layout and how the cluster rebalances when it is resized.
+        ``None`` defaults to DynaHash-style directory routing; resizing then
+        requires passing a strategy later via :attr:`strategy`.
     workload_scale:
         Multiplier applied to all work quantities by the cost model, letting
         small benchmark datasets report paper-scale simulated durations.
@@ -117,7 +123,14 @@ class SimulatedCluster:
         workload_scale: float = 1.0,
     ):
         self.config = config or ClusterConfig()
+        if strategy is None and self.config.strategy is not None:
+            strategy = self.config.strategy
+        if isinstance(strategy, str):
+            from ..rebalance.strategies import strategy_by_name
+
+            strategy = strategy_by_name(strategy)
         self.strategy = strategy
+        self.events = EventBus()
         self.cost = CostModel(self.config.cost, workload_scale=workload_scale)
         self.cc = ClusterController()
         self.nodes: List[NodeController] = []
@@ -181,6 +194,7 @@ class SimulatedCluster:
                     partition = self._make_partition(runtime, pid, node, initial_buckets=[])
                     runtime.partitions[pid] = partition
                     node.add_partition(partition)
+            self.events.emit("node.provision", node=node.node_id, nodes=self.num_nodes)
         return new_nodes
 
     def decommission_nodes(self, target_nodes: int) -> List[NodeController]:
@@ -207,6 +221,7 @@ class SimulatedCluster:
                             f"{partition.record_count()} records; move them before decommissioning"
                         )
                 node.drop_dataset(runtime.spec.name)
+            self.events.emit("node.decommission", node=node.node_id, nodes=self.num_nodes)
         return removed
 
     # -------------------------------------------------------------- datasets
@@ -271,6 +286,12 @@ class SimulatedCluster:
                 runtime.partitions[pid] = partition
                 node.add_partition(partition)
         self.cc.register_dataset(runtime)
+        self.events.emit(
+            "dataset.create",
+            dataset=spec.name,
+            routing=routing_mode,
+            partitions=len(runtime.partitions),
+        )
         return runtime
 
     def dataset(self, name: str) -> DatasetRuntime:
@@ -285,6 +306,7 @@ class SimulatedCluster:
             node.drop_dataset(name)
         runtime.partitions.clear()
         self.cc.drop_dataset(name)
+        self.events.emit("dataset.drop", dataset=name)
 
     # ------------------------------------------------------------- ingestion
 
@@ -298,16 +320,42 @@ class SimulatedCluster:
         rows: Iterable[Mapping[str, Any]],
         batch_size: int = 2000,
     ) -> IngestReport:
-        """Ingest rows through a fresh feed and return its report."""
+        """Ingest rows through a fresh feed and return its report.
+
+        .. deprecated:: 1.1
+            Use the :mod:`repro.api` dataset handles instead:
+            ``db.dataset(name).insert(rows)``.
+        """
+        warnings.warn(
+            "SimulatedCluster.ingest() is deprecated; use repro.api.Database "
+            "and Dataset.insert() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.feed(dataset_name, batch_size=batch_size).ingest(rows)
 
     # ------------------------------------------------------------ read paths
 
-    def lookup(self, dataset_name: str, key: Any) -> Optional[Dict[str, Any]]:
+    def point_lookup(self, dataset_name: str, key: Any) -> Optional[Dict[str, Any]]:
         """Point lookup by primary key (routes via the current directory)."""
         runtime = self.dataset(dataset_name)
         partition_id = runtime.partition_of_key(key)
         return runtime.partitions[partition_id].lookup(key)
+
+    def lookup(self, dataset_name: str, key: Any) -> Optional[Dict[str, Any]]:
+        """Point lookup by primary key.
+
+        .. deprecated:: 1.1
+            Use the :mod:`repro.api` dataset handles instead:
+            ``db.dataset(name).get(key)``.
+        """
+        warnings.warn(
+            "SimulatedCluster.lookup() is deprecated; use repro.api.Database "
+            "and Dataset.get() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.point_lookup(dataset_name, key)
 
     def partitions_by_node(self, dataset_name: str) -> Dict[str, List[StoragePartition]]:
         """Dataset partitions grouped by node (what the query executor runs over)."""
@@ -328,7 +376,12 @@ class SimulatedCluster:
         self._next_rebalance_id += 1
         return rid
 
-    def rebalance_to(self, target_nodes: int, concurrent_rows: Optional[Mapping[str, Any]] = None):
+    def rebalance_to(
+        self,
+        target_nodes: int,
+        concurrent_rows: Optional[Mapping[str, Any]] = None,
+        fault_injector: Optional[object] = None,
+    ):
         """Resize the cluster to ``target_nodes`` using the configured strategy."""
         if target_nodes < 1:
             raise ConfigError("target_nodes must be at least 1")
@@ -336,9 +389,33 @@ class SimulatedCluster:
             raise ClusterError(
                 "no rebalancing strategy configured; pass one to SimulatedCluster(strategy=...)"
             )
-        return self.strategy.rebalance_cluster(
-            self, target_nodes, concurrent_rows=concurrent_rows
+        self.events.emit(
+            "rebalance.start",
+            strategy=getattr(self.strategy, "name", type(self.strategy).__name__),
+            old_nodes=self.num_nodes,
+            target_nodes=target_nodes,
         )
+        try:
+            report = self.strategy.rebalance_cluster(
+                self,
+                target_nodes,
+                concurrent_rows=concurrent_rows,
+                fault_injector=fault_injector,
+            )
+        except Exception as error:
+            self.events.emit(
+                "rebalance.error", target_nodes=target_nodes, error=repr(error)
+            )
+            raise
+        self.events.emit(
+            "rebalance.complete",
+            strategy=report.strategy,
+            old_nodes=report.old_nodes,
+            new_nodes=report.new_nodes,
+            committed=report.committed,
+            report=report,
+        )
+        return report
 
     def add_nodes(self, count: int = 1):
         """Scale out by ``count`` nodes (provisions, then rebalances onto them)."""

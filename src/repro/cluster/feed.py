@@ -50,6 +50,7 @@ class DataFeed:
         ``maintain=False`` skips flush/merge/split scheduling, which some unit
         tests use to control storage state precisely.
         """
+        self.cluster.events.emit("ingest.start", dataset=self.dataset_name)
         cost: CostModel = self.cluster.cost
         partitions = self.runtime.partitions
         stats_before = {pid: p.stats_snapshot() for pid, p in partitions.items()}
@@ -119,6 +120,13 @@ class DataFeed:
             merge_bytes=merge_bytes,
         )
         self.runtime.records_ingested += total_records
+        self.cluster.events.emit(
+            "ingest.complete",
+            dataset=self.dataset_name,
+            records=total_records,
+            splits=splits,
+            report=report,
+        )
         return report
 
 

@@ -159,6 +159,11 @@ class ClusterConfig:
     cost: CostModelConfig = field(default_factory=CostModelConfig)
     #: Seed for all pseudo-random choices (data generation, workload).
     seed: int = 2022
+    #: Optional rebalancing-strategy name resolved through the strategy
+    #: registry (e.g. ``"dynahash"``, ``"static"``, ``"consistent"``,
+    #: ``"hashing"``).  ``None`` keeps the legacy behaviour of passing a
+    #: strategy object to the cluster/Database directly.
+    strategy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -1,0 +1,120 @@
+"""A lightweight synchronous event bus for cluster lifecycle hooks.
+
+The client API (:mod:`repro.api`) exposes ``db.on("rebalance.start", cb)``;
+this module is the implementation, kept in :mod:`repro.common` so the lower
+layers (controller, feed, rebalance operation) can emit events without
+importing the API package that sits above them.
+
+Events are plain named payloads.  Subscribers register a dotted-name pattern
+(``fnmatch`` semantics, so ``"rebalance.*"`` matches every rebalance event and
+``"*"`` matches everything) and receive :class:`Event` objects in emission
+order; the monotonically increasing ``seq`` lets tests and metrics sinks
+assert ordering across subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One emitted event: a dotted name plus an arbitrary payload."""
+
+    name: str
+    seq: int
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.payload.get(key, default)
+
+
+EventCallback = Callable[[Event], None]
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.on`; ``cancel()`` unsubscribes."""
+
+    def __init__(self, bus: "EventBus", pattern: str, callback: EventCallback):
+        self.bus = bus
+        self.pattern = pattern
+        self.callback = callback
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.bus.off(self)
+            self.active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else "cancelled"
+        return f"Subscription({self.pattern!r}, {state})"
+
+
+class EventBus:
+    """Synchronous publish/subscribe over dotted event names.
+
+    Callbacks run inline on the emitting thread in subscription order;
+    exceptions propagate to the emitter (a misbehaving metrics hook should be
+    loud, not silently swallowed).
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: List[Subscription] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------- subscribe
+
+    def on(self, pattern: str, callback: EventCallback) -> Subscription:
+        """Subscribe ``callback`` to every event matching ``pattern``."""
+        if not pattern:
+            raise ValueError("event pattern must not be empty")
+        subscription = Subscription(self, pattern, callback)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def once(self, pattern: str, callback: EventCallback) -> Subscription:
+        """Subscribe for a single matching event, then auto-cancel."""
+
+        def _fire_once(event: Event) -> None:
+            subscription.cancel()
+            callback(event)
+
+        subscription = self.on(pattern, _fire_once)
+        return subscription
+
+    def off(self, subscription: Subscription) -> None:
+        """Remove a subscription (no-op if it is already gone)."""
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
+    # ----------------------------------------------------------------- emit
+
+    def emit(self, name: str, **payload: Any) -> Event:
+        """Emit an event to every matching subscriber; returns the event."""
+        event = Event(name=name, seq=self._seq, payload=payload)
+        self._seq += 1
+        # Iterate over a copy: a callback may subscribe/unsubscribe.
+        for subscription in list(self._subscriptions):
+            if subscription.active and fnmatchcase(name, subscription.pattern):
+                subscription.callback(event)
+        return event
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
+
+    def patterns(self) -> List[str]:
+        return [subscription.pattern for subscription in self._subscriptions]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventBus(subscribers={self.subscriber_count}, emitted={self._seq})"

@@ -33,6 +33,8 @@ from .strategies import (
     GlobalHashingStrategy,
     RebalancingStrategy,
     StaticHashStrategy,
+    available_strategies,
+    register_strategy,
     strategy_by_name,
 )
 
@@ -57,8 +59,10 @@ __all__ = [
     "StaticHashStrategy",
     "apply_abort_to_runtime",
     "apply_commit_to_runtime",
+    "available_strategies",
     "compute_balanced_directory",
     "compute_round_robin_directory",
     "plan_from_directories",
+    "register_strategy",
     "strategy_by_name",
 ]

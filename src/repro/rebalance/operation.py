@@ -151,6 +151,17 @@ class RebalanceOperation:
         self.plan: Optional[RebalancePlan] = plan
         self.old_nodes = cluster.num_nodes
 
+    def _emit(self, name: str, **payload: Any) -> None:
+        """Emit a lifecycle event on the cluster's bus (if it has one)."""
+        events = getattr(self.cluster, "events", None)
+        if events is not None:
+            events.emit(
+                name,
+                dataset=self.dataset_name,
+                rebalance_id=self.rebalance_id,
+                **payload,
+            )
+
     # ------------------------------------------------------------ utilities
 
     def _partition_nodes(self) -> Dict[int, str]:
@@ -183,21 +194,28 @@ class RebalanceOperation:
             committed=False,
             simulated_seconds=0.0,
         )
+        self._emit("rebalance.dataset.start", strategy=self.strategy_name)
         try:
             init_seconds = self._initialization_phase(report)
+            self._emit("rebalance.phase", phase="initialization", seconds=init_seconds)
             move_seconds = self._data_movement_phase(report, concurrent)
+            self._emit("rebalance.phase", phase="data_movement", seconds=move_seconds)
             final_seconds = self._finalization_phase(report)
+            self._emit("rebalance.phase", phase="finalization", seconds=final_seconds)
         except RebalanceAborted as aborted:
             abort_seconds = self._abort(str(aborted))
             report.abort_reason = str(aborted)
             report.phase_seconds["abort"] = abort_seconds
             report.simulated_seconds = sum(report.phase_seconds.values())
+            self._emit("rebalance.abort", reason=str(aborted))
+            self._emit("rebalance.dataset.complete", committed=False, report=report)
             return report
         report.committed = True
         report.phase_seconds.update(
             initialization=init_seconds, data_movement=move_seconds, finalization=final_seconds
         )
         report.simulated_seconds = init_seconds + move_seconds + final_seconds
+        self._emit("rebalance.dataset.complete", committed=True, report=report)
         return report
 
     # -- initialization ------------------------------------------------------
@@ -376,6 +394,7 @@ class RebalanceOperation:
             {"rebalance_id": self.rebalance_id},
             force=True,
         )
+        self._emit("rebalance.commit", buckets_moved=report.buckets_moved)
 
         self.faults.fire("nc_fail_before_committed")
         self.faults.fire("cc_fail_after_commit")

@@ -229,6 +229,12 @@ class GlobalHashingStrategy(RebalancingStrategy):
         concurrent_rows: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
         fault_injector: Optional[FaultInjector] = None,
     ) -> ClusterRebalanceReport:
+        if fault_injector is not None and fault_injector:
+            raise ConfigError(
+                "the Hashing baseline rebuilds datasets offline and has no "
+                "Section V protocol sites; fault injection requires a "
+                "directory-routing strategy (dynahash/statichash/consistenthash)"
+            )
         old_nodes = cluster.num_nodes
         if target_nodes > old_nodes:
             cluster.provision_nodes(target_nodes)
@@ -384,15 +390,57 @@ def hash_key_of(key: Any) -> int:
     return hash_key(key)
 
 
-def strategy_by_name(name: str) -> RebalancingStrategy:
-    """Factory used by benchmarks and examples."""
-    normalized = name.lower()
-    if normalized in ("dynahash", "dyna"):
-        return DynaHashStrategy()
-    if normalized in ("statichash", "static"):
-        return StaticHashStrategy()
-    if normalized in ("hashing", "global", "globalhashing"):
-        return GlobalHashingStrategy()
-    if normalized in ("consistenthash", "consistent"):
-        return ConsistentHashStrategy()
-    raise ConfigError(f"unknown rebalancing strategy {name!r}")
+#: canonical name -> strategy factory.
+_STRATEGY_FACTORIES: Dict[str, Any] = {}
+#: alias (lowercase) -> canonical name.
+_STRATEGY_ALIASES: Dict[str, str] = {}
+
+
+def register_strategy(name: str, factory, aliases: Sequence[str] = ()) -> None:
+    """Register a rebalancing strategy under ``name`` (plus ``aliases``).
+
+    ``factory`` is any callable returning a strategy object (usually the
+    strategy class itself); extra keyword arguments given to
+    :func:`strategy_by_name` are forwarded to it.  Registration is
+    case-insensitive and re-registering a name replaces the previous entry,
+    which lets tests and downstream code swap in instrumented strategies.
+    """
+    if not name:
+        raise ConfigError("strategy name must not be empty")
+    canonical = name.lower()
+    _STRATEGY_FACTORIES[canonical] = factory
+    _STRATEGY_ALIASES[canonical] = canonical
+    for alias in aliases:
+        _STRATEGY_ALIASES[alias.lower()] = canonical
+
+
+def available_strategies() -> List[str]:
+    """Canonical names accepted by :func:`strategy_by_name`, sorted."""
+    return sorted(_STRATEGY_FACTORIES)
+
+
+def strategy_by_name(name: str, **kwargs: Any) -> RebalancingStrategy:
+    """Resolve a registered strategy name (or alias) to a fresh instance.
+
+    Keyword arguments are forwarded to the strategy factory, e.g.
+    ``strategy_by_name("dynahash", max_bucket_bytes=64 * 1024)``.
+    """
+    normalized = str(name).strip().lower()
+    canonical = _STRATEGY_ALIASES.get(normalized)
+    if canonical is None:
+        raise ConfigError(
+            f"unknown rebalancing strategy {name!r}; "
+            f"valid choices: {', '.join(available_strategies())} "
+            f"(aliases: {', '.join(sorted(set(_STRATEGY_ALIASES) - set(_STRATEGY_FACTORIES)))})"
+        )
+    return _STRATEGY_FACTORIES[canonical](**kwargs)
+
+
+register_strategy("dynahash", DynaHashStrategy, aliases=("dyna",))
+register_strategy("statichash", StaticHashStrategy, aliases=("static",))
+register_strategy(
+    "hashing", GlobalHashingStrategy, aliases=("global", "globalhashing", "modulo")
+)
+register_strategy(
+    "consistenthash", ConsistentHashStrategy, aliases=("consistent", "consistenthashing")
+)

@@ -88,7 +88,9 @@ class TPCHWorkload:
                 rows = materialised["orders"]
             else:
                 rows = list(self.generator.table(name))
-            report = cluster.ingest(name, rows, batch_size=batch_size)
+            # Feed-path ingestion (the non-deprecated route; Database handles
+            # and legacy ``cluster.ingest`` both funnel through the same feed).
+            report = cluster.feed(name, batch_size=batch_size).ingest(rows)
             result.reports[name] = report
             result.row_counts[name] = len(rows)
         return result

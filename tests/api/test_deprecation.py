@@ -1,0 +1,86 @@
+"""Legacy SimulatedCluster shims: deprecation warnings + identical results."""
+
+import warnings
+
+import pytest
+
+from repro.api import BucketingConfig, ClusterConfig, Database, KIB, LSMConfig
+from repro.cluster import SimulatedCluster
+
+
+def config():
+    return ClusterConfig(
+        num_nodes=2,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=64 * KIB),
+    )
+
+
+def order_rows(count):
+    return [
+        {"o_orderkey": key, "o_custkey": key % 100, "o_totalprice": float(key)}
+        for key in range(count)
+    ]
+
+
+class TestDeprecatedShims:
+    def test_ingest_warns(self):
+        cluster = SimulatedCluster(config(), strategy="dynahash")
+        cluster.create_dataset("orders", primary_key="o_orderkey")
+        with pytest.warns(DeprecationWarning, match="Dataset.insert"):
+            cluster.ingest("orders", order_rows(10))
+
+    def test_lookup_warns(self):
+        cluster = SimulatedCluster(config(), strategy="dynahash")
+        cluster.create_dataset("orders", primary_key="o_orderkey")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cluster.ingest("orders", order_rows(10))
+        with pytest.warns(DeprecationWarning, match="Dataset.get"):
+            assert cluster.lookup("orders", 3)["o_custkey"] == 3
+
+    def test_old_and_new_paths_return_identical_results(self):
+        rows = order_rows(500)
+
+        old = SimulatedCluster(config(), strategy="dynahash")
+        old.create_dataset("orders", primary_key="o_orderkey")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old_report = old.ingest("orders", rows)
+
+        with Database(config(), strategy="dynahash") as db:
+            orders = db.create_dataset("orders", primary_key="o_orderkey")
+            new_report = orders.insert(rows)
+
+            assert new_report.records == old_report.records
+            assert new_report.bytes_ingested == old_report.bytes_ingested
+            assert new_report.per_partition_records == old_report.per_partition_records
+            assert new_report.simulated_seconds == pytest.approx(
+                old_report.simulated_seconds
+            )
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                for key in (0, 123, 499, 10_000):
+                    assert old.lookup("orders", key) == orders.get(key)
+
+    def test_non_deprecated_internals_do_not_warn(self):
+        """The feed path and the API handles must not trip the shims."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                orders = db.create_dataset("orders", primary_key="o_orderkey")
+                orders.insert(order_rows(50))
+                assert orders.get(7) is not None
+                orders.delete([7])
+                assert orders.count() == 49
+
+    def test_tpch_load_path_does_not_warn(self):
+        from repro.api import load_tpch
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                load = load_tpch(db, scale_factor=0.0002, tables=("region", "nation"))
+                assert load.total_rows > 0

@@ -1,0 +1,230 @@
+"""Fluent query builder: plan-mode results and spec-mode parity."""
+
+import pytest
+
+from repro.api import (
+    BucketingConfig,
+    ClusterConfig,
+    Database,
+    KIB,
+    LSMConfig,
+    QueryError,
+    QuerySpec,
+    SecondaryIndexSpec,
+    TableAccess,
+)
+from repro.query.executor import (
+    ACCESS_PRIMARY_KEY_LOOKUPS,
+    ACCESS_SECONDARY_INDEX,
+)
+
+
+def order_rows(count):
+    return [
+        {
+            "o_orderkey": key,
+            "o_custkey": key % 10,
+            "o_orderdate": f"199{5 + key % 3}-{(key % 12) + 1:02d}-01",
+            "o_totalprice": float(key),
+        }
+        for key in range(count)
+    ]
+
+
+@pytest.fixture
+def db():
+    config = ClusterConfig(
+        num_nodes=2,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=64 * KIB),
+    )
+    with Database(config, strategy="dynahash") as database:
+        orders = database.create_dataset(
+            "orders",
+            primary_key="o_orderkey",
+            secondary_indexes=[
+                SecondaryIndexSpec(
+                    "idx_date", ("o_orderdate",), included_fields=("o_custkey",)
+                )
+            ],
+        )
+        orders.insert(order_rows(1000))
+        yield database
+
+
+class TestPlanMode:
+    def test_filter_matches_manual_evaluation(self, db):
+        result = (
+            db["orders"].query().filter(lambda row: row["o_totalprice"] >= 990.0).execute()
+        )
+        assert sorted(row["o_orderkey"] for row in result) == list(range(990, 1000))
+        assert result.report.records_scanned == 1000
+
+    def test_group_by_aggregate_matches_manual(self, db):
+        result = (
+            db["orders"].query()
+            .group_by("o_custkey")
+            .aggregate(total=("sum", "o_totalprice"), n=("count", None))
+            .order_by("o_custkey")
+            .execute()
+        )
+        rows = list(result)
+        assert len(rows) == 10
+        # Each customer owns keys c, c+10, ..., c+990: 100 orders each.
+        for row in rows:
+            expected = sum(float(k) for k in range(row["o_custkey"], 1000, 10))
+            assert row["n"] == 100
+            assert row["total"] == pytest.approx(expected)
+
+    def test_order_by_and_limit(self, db):
+        result = (
+            db["orders"].query()
+            .order_by("o_totalprice", descending=True)
+            .limit(3)
+            .execute()
+        )
+        assert [row["o_orderkey"] for row in result] == [999, 998, 997]
+
+    def test_project_with_computed_columns(self, db):
+        result = (
+            db["orders"].query()
+            .filter(lambda row: row["o_orderkey"] < 5)
+            .project("o_orderkey", double=lambda row: row["o_totalprice"] * 2)
+            .order_by("o_orderkey")
+            .execute()
+        )
+        assert list(result)[2] == {"o_orderkey": 2, "double": 4.0}
+
+    def test_scalar_aggregate_and_scalar_accessor(self, db):
+        result = (
+            db["orders"].query().aggregate(revenue=("sum", "o_totalprice")).execute()
+        )
+        assert result.scalar("revenue") == pytest.approx(sum(range(1000)))
+        assert result.scalar() == pytest.approx(sum(range(1000)))
+
+    def test_count_shortcut(self, db):
+        assert db["orders"].query().count() == 1000
+        assert (
+            db["orders"].query().filter(lambda row: row["o_custkey"] == 3).count() == 100
+        )
+
+    def test_via_index_scans_covered_fields(self, db):
+        result = (
+            db["orders"].query()
+            .via_index("idx_date")
+            .group_by("o_custkey")
+            .aggregate(n=("count", None))
+            .execute()
+        )
+        assert sum(row["n"] for row in result) == 1000
+
+    def test_group_by_without_aggregate_raises(self, db):
+        builder = db["orders"].query().group_by("o_custkey")
+        with pytest.raises(QueryError):
+            builder.execute()
+        with pytest.raises(QueryError):
+            builder.count()
+        with pytest.raises(QueryError):
+            builder.to_spec()
+        with pytest.raises(QueryError):
+            builder.estimate()
+
+    def test_count_after_group_counts_groups(self, db):
+        grouped = (
+            db["orders"].query().group_by("o_custkey").aggregate(n=("count", None))
+        )
+        assert grouped.count() == 10
+
+    def test_unknown_column_raises_library_error(self, db):
+        from repro.common.errors import UnknownColumnError
+
+        with pytest.raises(UnknownColumnError):
+            list(
+                db["orders"].query().group_by("missing").aggregate(n=("count", None)).execute()
+            )
+        with pytest.raises(UnknownColumnError):
+            list(db["orders"].query().order_by("missing").execute())
+
+    def test_results_identical_across_rebalance(self, db):
+        query = lambda: (
+            db["orders"].query()
+            .group_by("o_custkey")
+            .aggregate(total=("sum", "o_totalprice"))
+            .order_by("o_custkey")
+            .execute()
+        )
+        before = [dict(row) for row in query()]
+        db.rebalance(remove=1)
+        after = [dict(row) for row in query()]
+        assert before == after
+
+
+class TestSpecParity:
+    def test_to_spec_matches_hand_built_spec(self, db):
+        built = (
+            db["orders"].query("parity")
+            .filter(selectivity=0.25)
+            .scans(2)
+            .depth(5)
+            .ordered()
+            .to_spec()
+        )
+        hand = QuerySpec(
+            name="parity",
+            accesses=(
+                TableAccess(
+                    dataset="orders",
+                    scan_count=2,
+                    selectivity=0.25,
+                ),
+            ),
+            operator_depth=5,
+            requires_primary_key_order=True,
+        )
+        assert built == hand
+
+    def test_estimate_equals_hand_built_spec_execution(self, db):
+        report_built = (
+            db["orders"].query("parity").filter(selectivity=0.5).depth(4).estimate()
+        )
+        report_hand = db.execute_spec(
+            QuerySpec(
+                name="parity",
+                accesses=(TableAccess(dataset="orders", selectivity=0.5),),
+                operator_depth=4,
+            )
+        )
+        assert report_built.simulated_seconds == pytest.approx(
+            report_hand.simulated_seconds
+        )
+        assert report_built.rows_returned == report_hand.rows_returned
+        assert report_built.bytes_scanned == report_hand.bytes_scanned
+
+    def test_selectivities_multiply(self, db):
+        spec = (
+            db["orders"].query().filter(selectivity=0.5).filter(selectivity=0.5).to_spec()
+        )
+        assert spec.accesses[0].selectivity == pytest.approx(0.25)
+
+    def test_via_index_spec(self, db):
+        spec = db["orders"].query().via_index("idx_date").to_spec("by_index")
+        assert spec.accesses[0].access == ACCESS_SECONDARY_INDEX
+        assert spec.accesses[0].index_name == "idx_date"
+
+    def test_by_keys_spec_and_execute_guard(self, db):
+        builder = db["orders"].query().by_keys(64)
+        spec = builder.to_spec()
+        assert spec.accesses[0].access == ACCESS_PRIMARY_KEY_LOOKUPS
+        assert spec.accesses[0].lookups == 64
+        assert builder.estimate().simulated_seconds > 0
+        with pytest.raises(QueryError):
+            builder.execute()
+
+    def test_unknown_index_raises(self, db):
+        with pytest.raises(Exception):
+            db["orders"].query().via_index("nope")
+
+    def test_filter_needs_an_argument(self, db):
+        with pytest.raises(QueryError):
+            db["orders"].query().filter()

@@ -1,0 +1,104 @@
+"""Strategy registry: name resolution, aliases, errors, custom registration."""
+
+import pytest
+
+from repro.api import (
+    ConfigError,
+    available_strategies,
+    register_strategy,
+    resolve_strategy,
+    strategy_by_name,
+)
+from repro.rebalance import (
+    ConsistentHashStrategy,
+    DynaHashStrategy,
+    GlobalHashingStrategy,
+    RebalancingStrategy,
+    StaticHashStrategy,
+)
+
+
+class TestStrategyByName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("dynahash", DynaHashStrategy),
+            ("DynaHash", DynaHashStrategy),
+            ("dyna", DynaHashStrategy),
+            ("statichash", StaticHashStrategy),
+            ("static", StaticHashStrategy),
+            ("hashing", GlobalHashingStrategy),
+            ("global", GlobalHashingStrategy),
+            ("globalhashing", GlobalHashingStrategy),
+            ("consistent", ConsistentHashStrategy),
+            ("consistenthash", ConsistentHashStrategy),
+        ],
+    )
+    def test_known_names_and_aliases(self, name, expected):
+        assert isinstance(strategy_by_name(name), expected)
+
+    def test_factory_kwargs_forwarded(self):
+        strategy = strategy_by_name("static", total_buckets=33)
+        assert strategy.total_buckets == 33
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            strategy_by_name("raft")
+        message = str(excinfo.value)
+        assert "raft" in message
+        for choice in ("consistenthash", "dynahash", "hashing", "statichash"):
+            assert choice in message
+
+    def test_available_strategies_sorted(self):
+        names = available_strategies()
+        assert names == sorted(names)
+        assert {"dynahash", "statichash", "hashing", "consistenthash"} <= set(names)
+
+    def test_exported_from_repro_top_level(self):
+        import repro
+
+        assert repro.strategy_by_name is strategy_by_name
+        assert isinstance(repro.strategy_by_name("dynahash"), DynaHashStrategy)
+
+
+class TestResolveStrategy:
+    def test_none_passes_through(self):
+        assert resolve_strategy(None) is None
+
+    def test_name_resolves(self):
+        assert isinstance(resolve_strategy("dynahash"), DynaHashStrategy)
+
+    def test_instance_passes_through(self):
+        strategy = StaticHashStrategy()
+        assert resolve_strategy(strategy) is strategy
+
+    def test_options_without_name_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_strategy(None, max_bucket_bytes=1)
+        with pytest.raises(ConfigError):
+            resolve_strategy(StaticHashStrategy(), total_buckets=3)
+
+    def test_non_strategy_object_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_strategy(object())
+
+
+class TestCustomRegistration:
+    def test_register_and_resolve_custom_strategy(self):
+        class NoopStrategy(RebalancingStrategy):
+            name = "Noop"
+
+        register_strategy("noop-test", NoopStrategy, aliases=("noop",))
+        try:
+            assert isinstance(strategy_by_name("noop"), NoopStrategy)
+            assert "noop-test" in available_strategies()
+        finally:
+            from repro.rebalance.strategies import _STRATEGY_ALIASES, _STRATEGY_FACTORIES
+
+            _STRATEGY_FACTORIES.pop("noop-test", None)
+            _STRATEGY_ALIASES.pop("noop-test", None)
+            _STRATEGY_ALIASES.pop("noop", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            register_strategy("", RebalancingStrategy)
