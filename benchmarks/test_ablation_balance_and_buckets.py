@@ -14,7 +14,6 @@ from conftest import print_figure
 from repro.bench import format_table
 from repro.bucketed.scan import estimate_merge_comparisons
 from repro.common.config import LSMConfig
-from repro.common.hashutil import hash_key, low_bits
 from repro.hashing.extendible import GlobalDirectory
 from repro.hashing.static_bucket import static_directory
 from repro.lsm.tree import LSMTree

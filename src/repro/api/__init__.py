@@ -52,7 +52,7 @@ from ..common.errors import (
     ReproError,
     UnknownDatasetError,
 )
-from ..bench.reporting import format_table
+from ..common.reporting import format_table
 from ..common.units import GIB, KIB, MIB
 from ..query.executor import QuerySpec, TableAccess
 from ..rebalance.operation import FAULT_SITES
@@ -68,7 +68,41 @@ from .registry import (
     resolve_strategy,
     strategy_by_name,
 )
-from .workloads import DEFAULT_TABLES, TPCHLoadResult, TPCHWorkload, load_tpch
+from ..metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    PHASE_REBALANCE,
+    PHASE_STEADY,
+)
+from .workloads import (
+    DEFAULT_TABLES,
+    DISTRIBUTIONS,
+    HotspotKeys,
+    KeyGenerator,
+    LatestKeys,
+    OPERATIONS,
+    OperationMix,
+    Phase,
+    PhaseResult,
+    Schedule,
+    TPCHLoadResult,
+    TPCHWorkload,
+    UniformKeys,
+    WorkloadDriver,
+    WorkloadReport,
+    WorkloadSpec,
+    YCSB_MIXES,
+    ZipfianKeys,
+    load_tpch,
+    make_key_generator,
+    make_mix,
+    run_workload,
+    steady_schedule,
+    storm_schedule,
+)
 
 __all__ = [
     "BucketingConfig",
@@ -77,7 +111,9 @@ __all__ = [
     "ClusterRebalanceReport",
     "ConfigError",
     "CostModelConfig",
+    "Counter",
     "DEFAULT_TABLES",
+    "DISTRIBUTIONS",
     "Database",
     "Dataset",
     "DatasetSpec",
@@ -88,10 +124,23 @@ __all__ = [
     "FAULT_SITES",
     "FaultInjected",
     "GIB",
+    "Gauge",
+    "HotspotKeys",
     "IngestReport",
     "KIB",
+    "KeyGenerator",
     "LSMConfig",
+    "LatencyHistogram",
+    "LatestKeys",
     "MIB",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "OPERATIONS",
+    "OperationMix",
+    "PHASE_REBALANCE",
+    "PHASE_STEADY",
+    "Phase",
+    "PhaseResult",
     "QueryBuilder",
     "QueryError",
     "QueryReport",
@@ -101,20 +150,32 @@ __all__ = [
     "RebalanceReport",
     "RecoveryOutcome",
     "ReproError",
+    "Schedule",
     "SecondaryIndexSpec",
     "Subscription",
     "TPCHLoadResult",
     "TPCHWorkload",
     "TableAccess",
+    "UniformKeys",
     "UnknownDatasetError",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "YCSB_MIXES",
+    "ZipfianKeys",
     "available_strategies",
     "format_table",
     "load_tpch",
+    "make_key_generator",
+    "make_mix",
     "q1_plan",
     "q3_plan",
     "q6_plan",
     "register_strategy",
     "resolve_strategy",
+    "run_workload",
+    "steady_schedule",
+    "storm_schedule",
     "strategy_by_name",
     "tpch_query_spec",
 ]

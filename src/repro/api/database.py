@@ -25,6 +25,7 @@ from ..cluster.reports import ClusterRebalanceReport, QueryReport
 from ..common.config import ClusterConfig
 from ..common.errors import ClusterError, ConfigError
 from ..common.events import Event, EventBus, Subscription
+from ..metrics import MetricsRegistry
 from ..query.executor import ClusterQueryExecutor, QuerySpec
 from ..rebalance.operation import FaultInjector
 from ..rebalance.recovery import RebalanceRecoveryManager, RecoveryOutcome
@@ -65,6 +66,7 @@ class Database:
             config, strategy=resolved, workload_scale=workload_scale
         )
         self._executor = ClusterQueryExecutor(self._cluster)
+        self._metrics = MetricsRegistry().attach(self._cluster.events)
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -85,17 +87,21 @@ class Database:
         db = cls.__new__(cls)
         db._cluster = cluster
         db._executor = ClusterQueryExecutor(cluster)
+        db._metrics = MetricsRegistry().attach(cluster.events)
         db._closed = False
         return db
 
     def close(self) -> None:
         """Close the session; later verbs raise :class:`ClusterError`.
 
-        Closing is idempotent and emits ``database.close`` once.
+        Closing is idempotent and emits ``database.close`` once.  The metrics
+        registry is detached from the bus but keeps its recorded telemetry, so
+        ``db.metrics`` stays readable after close.
         """
         if not self._closed:
             self._closed = True
             self._cluster.events.emit("database.close", datasets=self._cluster.dataset_names())
+            self._metrics.detach()
 
     @property
     def closed(self) -> bool:
@@ -126,6 +132,13 @@ class Database:
     @property
     def executor(self) -> ClusterQueryExecutor:
         return self._executor
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The session's telemetry: phase-tagged latency histograms,
+        throughput counters, and gauges, fed by the event bus (see
+        :mod:`repro.metrics`)."""
+        return self._metrics
 
     @property
     def config(self) -> ClusterConfig:
@@ -243,14 +256,26 @@ class Database:
     def execute_spec(self, spec: QuerySpec) -> QueryReport:
         """Run an access-pattern query spec (the paper's figure mode)."""
         self._check_open()
-        return self._executor.execute_spec(spec)
+        report = self._executor.execute_spec(spec)
+        self._emit_query(spec.name, report)
+        return report
 
     def execute(
         self, name: str, plan: Callable[..., Any], operator_depth_hint: int = 1
     ) -> "tuple[Any, QueryReport]":
         """Run a real operator plan (e.g. the TPC-H q1/q3/q6 plans)."""
         self._check_open()
-        return self._executor.execute_plan(name, plan, operator_depth_hint)
+        result, report = self._executor.execute_plan(name, plan, operator_depth_hint)
+        self._emit_query(name, report)
+        return result, report
+
+    def _emit_query(self, name: str, report: QueryReport) -> None:
+        self._cluster.events.emit(
+            "op.query",
+            query=name,
+            latency_seconds=report.simulated_seconds,
+            records=0,
+        )
 
     # ------------------------------------------------------------ inspection
 

@@ -6,12 +6,19 @@ state of its own — every call re-resolves the live
 :class:`~repro.cluster.controller.DatasetRuntime`, so a handle stays valid
 across rebalances (which swap the routing directory and partition map under
 it, exactly as AsterixDB dataset names do).
+
+Every verb is *instrumented*: it emits an ``op.<verb>`` event on the session's
+event bus carrying the call's simulated latency, which the session's
+:class:`~repro.metrics.MetricsRegistry` turns into phase-tagged latency
+histograms and throughput counters (see :mod:`repro.metrics`).  Latencies are
+per *call* — a batched ``insert`` records the batch call's latency, a point
+``get`` records one lookup's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, TYPE_CHECKING
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, TYPE_CHECKING
 
 from ..cluster.dataset import DatasetSpec
 from ..cluster.reports import IngestReport
@@ -71,14 +78,25 @@ class Dataset:
         except UnknownDatasetError:
             return False
 
+    def _emit_op(
+        self, op: str, latency_seconds: float, records: int = 1, **extra: Any
+    ) -> None:
+        """Publish one instrumented-verb sample on the session's event bus."""
+        self.database.events.emit(
+            f"op.{op}",
+            dataset=self.name,
+            latency_seconds=latency_seconds,
+            records=records,
+            **extra,
+        )
+
     # ------------------------------------------------------------ write path
 
     def insert(
         self, rows: Iterable[Mapping[str, Any]], batch_size: int = 2000
     ) -> IngestReport:
         """Insert rows through a data feed; returns the ingest report."""
-        self._runtime()  # enforces the session/dataset checks
-        return self.database.cluster.feed(self.name, batch_size=batch_size).ingest(rows)
+        return self._ingest(rows, batch_size, op="insert")
 
     def upsert(
         self, rows: Iterable[Mapping[str, Any]], batch_size: int = 2000
@@ -87,9 +105,18 @@ class Dataset:
 
         The LSM write path is natively upserting (a newer entry shadows the
         older one at the same key), so this shares :meth:`insert`'s feed path;
-        the separate verb keeps client intent explicit.
+        the separate verb keeps client intent explicit (and the two verbs are
+        metered as distinct ``op.insert`` / ``op.update`` samples).
         """
-        return self.insert(rows, batch_size=batch_size)
+        return self._ingest(rows, batch_size, op="update")
+
+    def _ingest(
+        self, rows: Iterable[Mapping[str, Any]], batch_size: int, op: str
+    ) -> IngestReport:
+        self._runtime()  # enforces the session/dataset checks
+        report = self.database.cluster.feed(self.name, batch_size=batch_size).ingest(rows)
+        self._emit_op(op, report.simulated_seconds, records=report.records)
+        return report
 
     def delete(self, keys: "Iterable[Any] | Any") -> DeleteReport:
         """Delete records by primary key; accepts one key or an iterable.
@@ -126,14 +153,37 @@ class Dataset:
         self.database.events.emit(
             "dataset.delete", dataset=self.name, keys=requested, deleted=deleted
         )
+        self._emit_op("delete", simulated, records=requested, deleted=deleted)
         return report
 
     # ------------------------------------------------------------- read path
 
     def get(self, key: Any) -> Optional[Dict[str, Any]]:
-        """Point lookup by primary key (routes via the current directory)."""
-        self._runtime()  # enforces the session/dataset checks
-        return self.database.cluster.point_lookup(self.name, key)
+        """Point lookup by primary key (routes via the current directory).
+
+        The emitted ``op.read`` latency charges the client/CC round trip plus
+        the per-component open overhead and disk pages the probe actually
+        touched (taken from the partition's storage-stats delta), so lookups
+        get slower as a bucket accumulates unmerged components.
+        """
+        runtime = self._runtime()
+        partition_id = runtime.partition_of_key(key)
+        partition = runtime.partitions[partition_id]
+        stats_before = partition.stats_snapshot()
+        record = partition.lookup(key)
+        delta = partition.stats_snapshot().diff(stats_before)
+        cost = self.database.cluster.cost
+        latency = (
+            cost.rpc_time(2)
+            + cost.component_open_time(delta.components_opened)
+            # One page per component probed past the Bloom filters; charged
+            # unscaled because a point read touches one page regardless of
+            # what data scale the run represents.
+            + (delta.components_opened * self.database.config.lsm.page_bytes)
+            / cost.config.disk_read_bytes_per_sec
+        )
+        self._emit_op("read", latency, found=record is not None)
+        return record
 
     def scan(
         self, low: Any = None, high: Any = None, ordered: bool = False
@@ -142,13 +192,26 @@ class Dataset:
 
         ``ordered=True`` merge-sorts each partition's buckets by primary key
         (records still arrive partition by partition, as a cluster scan does).
+        A fully consumed scan emits one ``op.scan`` sample whose latency
+        covers the bytes it returned; an abandoned iterator emits nothing.
         """
         runtime = self._runtime()
+        bytes_read = 0
+        rows = 0
         for pid in sorted(runtime.partitions):
             for entry in runtime.partitions[pid].scan_primary(
                 low=low, high=high, ordered=ordered
             ):
+                bytes_read += entry.size_bytes
+                rows += 1
                 yield dict(entry.value)
+        cost = self.database.cluster.cost
+        latency = (
+            cost.rpc_time(2)
+            + cost.component_open_time(len(runtime.partitions))
+            + cost.disk_read_time(bytes_read)
+        )
+        self._emit_op("scan", latency, records=rows)
 
     def count(self) -> int:
         """Number of live records (served from the partitions' key counts)."""

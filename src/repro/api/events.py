@@ -27,7 +27,20 @@ Canonical event names, in emission order for a resize:
 ``node.provision``          a node was added (before data moved onto it)
 ``node.decommission``       a node was removed (after data moved away)
 ``database.close``          the Database session was closed
+``op.read``                 an instrumented ``Dataset.get`` completed
+``op.insert``               an instrumented ``Dataset.insert`` batch completed
+``op.update``               a ``Dataset.upsert`` (or a concurrent write
+                            replicated during a rebalance) completed
+``op.delete``               an instrumented ``Dataset.delete`` completed
+``op.scan``                 an instrumented ``Dataset.scan`` was fully consumed
+``op.query``                a query (plan or spec mode) completed
 ========================== ==================================================
+
+Every ``op.*`` payload carries ``latency_seconds`` (the call's simulated
+latency) and ``records``; the session's
+:class:`~repro.metrics.MetricsRegistry` subscribes to ``op.*`` and turns the
+samples into latency histograms tagged with the cluster phase in flight
+(steady vs rebalance).
 
 Patterns use ``fnmatch`` semantics: ``db.on("rebalance.*", cb)`` sees every
 rebalance event, ``db.on("*", cb)`` sees everything.
@@ -56,6 +69,12 @@ EVENT_NAMES = (
     "node.provision",
     "node.decommission",
     "database.close",
+    "op.read",
+    "op.insert",
+    "op.update",
+    "op.delete",
+    "op.scan",
+    "op.query",
 )
 
 __all__ = ["EVENT_NAMES", "Event", "EventBus", "Subscription"]

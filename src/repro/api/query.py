@@ -26,7 +26,7 @@ row predicate: ``.filter(pred, selectivity=0.1)``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from ..common.errors import QueryError
 from ..cluster.reports import QueryReport
@@ -304,7 +304,7 @@ class QueryBuilder:
             )
         self._dataset._runtime()  # enforces the session/dataset checks
         name = self._name or f"{self._dataset.name}.query"
-        result, report = self._dataset.database.executor.execute_plan(
+        result, report = self._dataset.database.execute(
             name, self._plan, operator_depth_hint=1
         )
         return QueryResult(result, report)
@@ -347,7 +347,7 @@ class QueryBuilder:
     def estimate(self, name: Optional[str] = None) -> QueryReport:
         """Execute in spec mode: simulated cost only, no materialised rows."""
         self._dataset._runtime()  # enforces the session/dataset checks
-        return self._dataset.database.executor.execute_spec(self.to_spec(name))
+        return self._dataset.database.execute_spec(self.to_spec(name))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

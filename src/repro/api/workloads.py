@@ -1,8 +1,17 @@
-"""Workload conveniences for the client API.
+"""Workloads for the client API: TPC-H loading and the traffic engine.
 
-Examples and benches repeatedly need "a database with TPC-H loaded"; this
-module provides that in API terms so client code never touches the cluster
-internals directly.
+This module is the one import point for everything workload-shaped:
+
+* :func:`load_tpch` — "a database with TPC-H loaded", in API terms, for the
+  paper's figure experiments;
+* the YCSB-style traffic engine re-exported from :mod:`repro.workload` — key
+  distributions, operation mixes, phased schedules, and the
+  :class:`~repro.workload.driver.WorkloadDriver` / :func:`run_workload` pair
+  that drives sustained mixed traffic through :class:`~repro.api.dataset.Dataset`
+  handles while ``db.metrics`` records phase-tagged latency histograms.
+
+Client code should not import :mod:`repro.workload` or :mod:`repro.tpch`
+directly; everything here is also re-exported from :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -10,9 +19,56 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..tpch.workload import DEFAULT_TABLES, TPCHLoadResult, TPCHWorkload
+from ..workload import (
+    DISTRIBUTIONS,
+    HotspotKeys,
+    KeyGenerator,
+    LatestKeys,
+    OPERATIONS,
+    OperationMix,
+    Phase,
+    PhaseResult,
+    Schedule,
+    UniformKeys,
+    WorkloadDriver,
+    WorkloadReport,
+    WorkloadSpec,
+    YCSB_MIXES,
+    ZipfianKeys,
+    make_key_generator,
+    make_mix,
+    run_workload,
+    steady_schedule,
+    storm_schedule,
+)
 from .database import Database
 
-__all__ = ["DEFAULT_TABLES", "TPCHLoadResult", "TPCHWorkload", "load_tpch"]
+__all__ = [
+    "DEFAULT_TABLES",
+    "DISTRIBUTIONS",
+    "HotspotKeys",
+    "KeyGenerator",
+    "LatestKeys",
+    "OPERATIONS",
+    "OperationMix",
+    "Phase",
+    "PhaseResult",
+    "Schedule",
+    "TPCHLoadResult",
+    "TPCHWorkload",
+    "UniformKeys",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "YCSB_MIXES",
+    "ZipfianKeys",
+    "load_tpch",
+    "make_key_generator",
+    "make_mix",
+    "run_workload",
+    "steady_schedule",
+    "storm_schedule",
+]
 
 
 def load_tpch(

@@ -8,12 +8,15 @@ from .experiments import (
     IngestionExperimentResult,
     QueryExperimentResult,
     ScalingExperimentResult,
+    TrafficExperimentResult,
     build_loaded_cluster,
+    build_loaded_database,
     make_strategy,
     run_concurrent_write_experiment,
     run_ingestion_experiment,
     run_query_experiment,
     run_scaling_experiment,
+    run_traffic_experiment,
 )
 from .reporting import format_table, markdown_table, per_query_table, series_table
 
@@ -27,7 +30,9 @@ __all__ = [
     "QueryExperimentResult",
     "SMOKE",
     "ScalingExperimentResult",
+    "TrafficExperimentResult",
     "build_loaded_cluster",
+    "build_loaded_database",
     "format_table",
     "make_strategy",
     "markdown_table",
@@ -36,5 +41,6 @@ __all__ = [
     "run_ingestion_experiment",
     "run_query_experiment",
     "run_scaling_experiment",
+    "run_traffic_experiment",
     "series_table",
 ]

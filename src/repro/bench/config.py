@@ -14,11 +14,11 @@ Two presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
 from ..common.config import BucketingConfig, ClusterConfig, CostModelConfig, LSMConfig
-from ..common.units import GIB, KIB, MIB
+from ..common.units import KIB
 
 #: TPC-H scale factor per node used by the paper.
 PAPER_SCALE_PER_NODE = 100.0

@@ -13,10 +13,16 @@ Figure map (Section VI):
 * Figure 7c — :func:`run_concurrent_write_experiment`
 * Figure 8a/8b — :func:`run_query_experiment` (original cluster)
 * Figure 9a/9b — :func:`run_query_experiment` with ``downsize=True``
+
+Beyond the paper's figures, :func:`run_traffic_experiment` drives sustained
+YCSB-style mixed traffic through the client API while a rebalance is in
+flight and reports phase-tagged latency percentiles (the Figure 7c story as
+first-class telemetry).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Tuple
@@ -86,7 +92,18 @@ def build_loaded_cluster(
     tables: Sequence[str] = SCALING_TABLES,
 ) -> Tuple[SimulatedCluster, TPCHWorkload, TPCHLoadResult]:
     """Legacy variant of :func:`build_loaded_database` returning the raw
-    cluster (kept for existing callers and tests)."""
+    cluster.
+
+    .. deprecated:: 1.2
+        Duplicated by :func:`build_loaded_database`; call that and use
+        ``db.cluster`` where the raw cluster is genuinely needed.
+    """
+    warnings.warn(
+        "build_loaded_cluster() is deprecated; use build_loaded_database() "
+        "and its Database handle (db.cluster for the raw cluster) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     db, workload, load_result = build_loaded_database(
         scale, num_nodes, strategy_name, tables=tables
     )
@@ -270,4 +287,90 @@ def run_query_experiment(
         for query_name in queries:
             report = db.execute_spec(query_spec(query_name))
             result.seconds[approach][query_name] = report.simulated_seconds
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Traffic experiment: mixed YCSB-style load across a rebalance
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TrafficExperimentResult:
+    """Phase-tagged latency percentiles from one traffic run."""
+
+    #: The driver's workload report (phase op counts, rebalance report, seed).
+    report: "object"
+    #: Frozen metrics snapshot (the determinism contract).
+    snapshot: "object"
+    #: ``{"steady": ms, "rebalance": ms}`` — p99 write latency per phase.
+    write_p99_ms: Dict[str, float] = field(default_factory=dict)
+    read_p99_ms: Dict[str, float] = field(default_factory=dict)
+    total_ops: int = 0
+    simulated_seconds: float = 0.0
+    #: The full latency table rendered by the metrics registry.
+    latency_table: str = ""
+
+    def table(self) -> str:
+        return self.latency_table
+
+
+def run_traffic_experiment(
+    scale: BenchScale = SMOKE,
+    num_nodes: int = 4,
+    mix: str = "A",
+    keys: str = "zipfian",
+    initial_records: int = 600,
+    warmup: int = 80,
+    steady: int = 260,
+    spike: int = 200,
+    ramp: int = 60,
+    rebalance_add: int = 1,
+    seed: Optional[int] = None,
+) -> TrafficExperimentResult:
+    """Drive a warmup → steady → spike → ramp storm across a node-add rebalance.
+
+    Unlike the figure drivers, traffic runs at ``workload_scale=1`` so each
+    operation's simulated latency is a client-visible service time rather
+    than a paper-scale projection; the relative steady-vs-rebalance
+    comparison is what the experiment reports.
+    """
+    # Imported lazily, like Database: repro.api re-exports bench helpers.
+    from ..api import Database
+    from ..workload import WorkloadDriver, WorkloadSpec, storm_schedule
+
+    db = Database(
+        scale.cluster_config(num_nodes),
+        strategy=make_strategy("DynaHash", scale),
+    )
+    spec = WorkloadSpec(
+        dataset="traffic",
+        initial_records=initial_records,
+        mix=mix,
+        keys=keys,
+        schedule=storm_schedule(
+            warmup=warmup,
+            steady=steady,
+            spike=spike,
+            ramp=ramp,
+            rebalance={"add": rebalance_add},
+        ),
+    )
+    driver = WorkloadDriver(db, spec, seed=scale.seed if seed is None else seed)
+    report = driver.run()
+    registry = db.metrics
+    result = TrafficExperimentResult(
+        report=report,
+        snapshot=report.snapshot,
+        write_p99_ms={
+            phase: seconds * 1e3 for phase, seconds in report.write_p99_seconds.items()
+        },
+        read_p99_ms={
+            phase: seconds * 1e3 for phase, seconds in report.read_p99_seconds.items()
+        },
+        total_ops=report.total_ops,
+        simulated_seconds=report.simulated_seconds,
+        latency_table=registry.report(),
+    )
+    db.close()
     return result

@@ -2,34 +2,18 @@
 
 The harness prints the same rows/series the paper's figures report; these
 helpers render them as aligned text tables (for the console and for
-EXPERIMENTS.md).
+EXPERIMENTS.md).  The generic :func:`format_table` lives in
+:mod:`repro.common.reporting` (the metrics layer uses it too) and is
+re-exported here for existing callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
+from ..common.reporting import _cell, format_table
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Render an aligned text table."""
-    str_rows = [[_cell(value) for value in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in str_rows:
-        for index, value in enumerate(row):
-            widths[index] = max(widths[index], len(value))
-    lines = [
-        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
-        "  ".join("-" * widths[index] for index in range(len(headers))),
-    ]
-    for row in str_rows:
-        lines.append("  ".join(value.ljust(widths[index]) for index, value in enumerate(row)))
-    return "\n".join(lines)
-
-
-def _cell(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)
+__all__ = ["format_table", "markdown_table", "per_query_table", "series_table"]
 
 
 def series_table(

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..common.clock import LamportClock
-from ..common.config import BucketingConfig, ClusterConfig, LSMConfig
+from ..common.config import BucketingConfig, ClusterConfig
 from ..common.events import EventBus
 from ..common.errors import (
     ClusterError,

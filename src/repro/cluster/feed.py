@@ -13,7 +13,7 @@ nodes with slowest-node semantics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional
+from typing import Any, Dict, Iterable, Mapping
 
 from ..common.hashutil import hash_key
 from ..lsm.entry import estimate_value_size

@@ -10,7 +10,7 @@ clock used to accumulate the node's busy time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..common.clock import LamportClock, SimulatedClock
 from ..common.errors import UnknownDatasetError

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, List, Mapping, Tuple
 
 
 @dataclass(frozen=True)
@@ -98,11 +98,19 @@ class EventBus:
     # ----------------------------------------------------------------- emit
 
     def emit(self, name: str, **payload: Any) -> Event:
-        """Emit an event to every matching subscriber; returns the event."""
+        """Emit an event to every matching subscriber; returns the event.
+
+        The subscriber list is snapshotted per emission, so callbacks may
+        freely subscribe or unsubscribe (themselves or others) mid-emission:
+        a subscription added during the emission does not see the current
+        event, and one cancelled during the emission no longer fires for it
+        (the ``active`` flag is re-checked immediately before each callback).
+        Nested emits take their own snapshots and are unaffected.
+        """
         event = Event(name=name, seq=self._seq, payload=payload)
         self._seq += 1
-        # Iterate over a copy: a callback may subscribe/unsubscribe.
-        for subscription in list(self._subscriptions):
+        snapshot: Tuple[Subscription, ...] = tuple(self._subscriptions)
+        for subscription in snapshot:
             if subscription.active and fnmatchcase(name, subscription.pattern):
                 subscription.callback(event)
         return event

@@ -1,0 +1,35 @@
+"""Generic text-table rendering shared across layers.
+
+:func:`format_table` is used by the benchmark harness (figure tables), the
+metrics registry (latency reports), and the examples; it lives in
+:mod:`repro.common` so low layers like :mod:`repro.metrics` can render
+reports without depending on the benchmark harness above them.  The
+bench-specific shapes (series/per-query/markdown tables) stay in
+:mod:`repro.bench.reporting`, which re-exports this function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(value.ljust(widths[index]) for index, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -12,7 +12,7 @@ Section II-A taxonomy executable.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from ..common.errors import ClusterError
 from ..common.hashutil import hash64, hash_key

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..common.errors import DirectoryError
-from ..common.hashutil import hash_key, low_bits
+from ..common.hashutil import hash_key
 from .bucket_id import BucketId, ROOT_BUCKET, covers_exactly
 
 

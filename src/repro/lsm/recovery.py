@@ -13,7 +13,7 @@ Cluster-level rebalance recovery (the six cases of Section V-D) lives in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from .entry import Entry
 from .tree import LSMTree

@@ -1,0 +1,31 @@
+"""Telemetry: latency histograms, counters/gauges, and the metrics registry.
+
+The registry subscribes to the cluster event bus and tags every operation
+sample with the cluster phase in flight (``steady`` vs ``rebalance``), so
+"p99 write latency during a rehash" is a first-class metric.  See
+:mod:`repro.metrics.registry` for the full story.
+"""
+
+from .counters import Counter, Gauge
+from .histogram import LatencyHistogram, SUMMARY_PERCENTILES
+from .registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    OP_NAMES,
+    PHASE_REBALANCE,
+    PHASE_STEADY,
+    WRITE_OPS,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "OP_NAMES",
+    "PHASE_REBALANCE",
+    "PHASE_STEADY",
+    "SUMMARY_PERCENTILES",
+    "WRITE_OPS",
+]

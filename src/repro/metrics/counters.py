@@ -1,0 +1,46 @@
+"""Monotonic counters and last-value gauges.
+
+Deliberately tiny: the simulator is single-threaded, so these are plain
+numbers with a metrics-shaped API (``increment`` / ``set``) and comparable
+snapshots for the determinism tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (ops executed, records ingested...)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def increment(self, amount: Number = 1) -> Number:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for level values")
+        self.value += amount
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value-wins level (current cluster size, in-flight phase...)."""
+
+    def __init__(self, name: str, value: Optional[Number] = None):
+        self.name = name
+        self.value: Optional[Number] = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, delta: Number) -> None:
+        self.value = (self.value or 0) + delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, {self.value})"

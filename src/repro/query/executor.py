@@ -17,8 +17,8 @@ the shared-nothing rule that a query is as slow as its slowest node:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence
 
 from ..bucketed.scan import estimate_merge_comparisons
 from ..common.errors import QueryError

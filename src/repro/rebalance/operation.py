@@ -25,13 +25,13 @@ Node/CC failures can be injected at the protocol sites named in
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..common.errors import FaultInjected, RebalanceAborted, RebalanceError
 from ..hashing.bucket_id import BucketId
 from ..hashing.extendible import GlobalDirectory
+from ..lsm.entry import estimate_value_size
 from ..lsm.wal import LogRecordType
 from ..cluster.reports import RebalanceReport
 from .concurrency import LogReplicator
@@ -185,7 +185,6 @@ class RebalanceOperation:
         that the running operation cannot resolve (the recovery manager must
         then be invoked, exactly like a restarted CC/NC would).
         """
-        cost = self.cluster.cost
         report = RebalanceReport(
             strategy=self.strategy_name,
             dataset=self.dataset_name,
@@ -300,6 +299,26 @@ class RebalanceOperation:
         writes_per_move = (
             max(1, len(concurrent_rows) // max(1, len(moves))) if concurrent_rows else 0
         )
+
+        def concurrent_write(row: Mapping[str, Any]) -> None:
+            replicator.write(row)
+            # Publish the per-write latency a client would observe mid-rehash:
+            # the write is parsed and applied at its source, then its log
+            # record crosses the network twice (ship + replication ack) before
+            # the extra destination round trip acknowledges it — which is why
+            # writes are slower while a rebalance is in flight (Figure 7c).
+            row_bytes = estimate_value_size(dict(row))
+            self._emit(
+                "op.update",
+                latency_seconds=(
+                    cost.parse_time(1)
+                    + cost.network_time(2 * row_bytes)
+                    + cost.rpc_time(3)
+                ),
+                records=1,
+                concurrent=True,
+            )
+
         row_iter = iter(concurrent_rows)
         for move in moves:
             self.faults.fire("nc_fail_before_prepare")
@@ -308,9 +327,9 @@ class RebalanceOperation:
                 row = next(row_iter, None)
                 if row is None:
                     break
-                replicator.write(row)
+                concurrent_write(row)
         for row in row_iter:
-            replicator.write(row)
+            concurrent_write(row)
 
         work = mover.work
         report.records_moved = work.records_moved

@@ -13,7 +13,7 @@ crash) and finishes every rebalance that has a BEGIN but no DONE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..lsm.wal import LogRecord, LogRecordType

@@ -17,12 +17,12 @@ ring so that resizes move only the buckets whose ring owner changed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..common.config import BucketingConfig
-from ..common.errors import ConfigError, RebalanceError
+from ..common.errors import ConfigError
 from ..common.hashutil import hash64
-from ..hashing.bucket_id import ROOT_BUCKET, BucketId
+from ..hashing.bucket_id import ROOT_BUCKET
 from ..hashing.consistent import ConsistentHashRing
 from ..hashing.extendible import GlobalDirectory
 from ..hashing.static_bucket import static_buckets, static_directory

@@ -23,12 +23,8 @@ from typing import Dict, Iterator, List, Optional
 from .schema import (
     ALL_TABLES,
     CUSTOMER,
-    LINEITEM,
-    NATION,
     ORDERS,
     PART,
-    PARTSUPP,
-    REGION,
     SUPPLIER,
     TableSpec,
     rows_at_scale,

@@ -15,7 +15,7 @@ them fixed (nation/region) exactly as dbgen does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..cluster.dataset import DatasetSpec, SecondaryIndexSpec
 

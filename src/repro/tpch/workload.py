@@ -9,11 +9,11 @@ scale factor grows with the cluster ("100 times the number of NCs"), which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..cluster.reports import IngestReport
 from .datagen import TPCHGenerator
-from .schema import ALL_TABLES, TABLES_BY_NAME, dataset_spec
+from .schema import TABLES_BY_NAME, dataset_spec
 
 #: Tables that dominate storage and the evaluation; benchmarks that need to
 #: run fast can load only these.

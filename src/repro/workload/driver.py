@@ -1,0 +1,461 @@
+"""The workload driver: executes phased traffic through the client API.
+
+A :class:`WorkloadDriver` turns a :class:`WorkloadSpec` (dataset, operation
+mix, key distribution, phased schedule) into real operations against a
+:class:`~repro.api.database.Database` session — ``get``/``insert``/``upsert``/
+``delete``/``scan`` through the typed :class:`~repro.api.dataset.Dataset`
+handles, so every operation flows through the same instrumented verbs client
+code uses and lands in ``db.metrics`` tagged with the cluster phase in flight.
+
+Determinism
+-----------
+One :class:`random.Random` seeded from ``ClusterConfig.seed`` (or an explicit
+``seed=``) drives *every* stochastic choice in order: operation draws, key
+draws, and the jittered feed-batch sizes used to flush buffered inserts.  Two
+drivers with the same seed against identically configured databases therefore
+produce bit-identical metric snapshots — the contract the determinism tests
+pin down.
+
+Traffic during a rebalance
+--------------------------
+A phase carrying ``rebalance={"add": 1}`` overlaps its traffic with the
+resize, respecting the paper's Section V-A concurrency control:
+
+* *Writes* ride the concurrent-write replication path (the same machinery as
+  Figure 7c): they are applied at their source partitions and, for moving
+  buckets, replicated to the destinations — a plain ``Dataset.insert`` during
+  movement would be lost when the moved bucket is cleaned up at commit.
+  Deletes drawn during a rebalance phase are downgraded to upserts because
+  the replication channel carries upserting log records only.
+* *Reads and scans* execute inside ``rebalance.phase`` event callbacks, i.e.
+  genuinely **while** the operation is between protocol phases: the old
+  directory is still live and the source partitions still serve every moved
+  bucket until the commit point, exactly as the protocol promises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING, Union
+
+from ..metrics import MetricsSnapshot, PHASE_REBALANCE, PHASE_STEADY
+from .keygen import (
+    DISTRIBUTIONS,
+    KeyGenerator,
+    ZipfianKeys,
+    make_key_generator,
+)
+from .mixes import OperationMix, make_mix
+from .schedule import Phase, Schedule, steady_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.database import Database
+    from ..api.dataset import Dataset
+    from ..cluster.reports import ClusterRebalanceReport
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What traffic to drive: dataset, shape, and schedule."""
+
+    #: Dataset the traffic targets (created by :meth:`WorkloadDriver.prepare`
+    #: when missing and ``create_dataset`` is True).
+    dataset: str = "traffic"
+    #: Primary-key field name of the driver's records.
+    primary_key: str = "k"
+    #: Records preloaded before the schedule starts (the initial keyspace).
+    initial_records: int = 1000
+    #: Approximate payload bytes per record.
+    payload_bytes: int = 64
+    #: Default operation mix (YCSB preset name or :class:`OperationMix`).
+    mix: Union[str, OperationMix] = "B"
+    #: Default key distribution (name or :class:`KeyGenerator` instance).
+    keys: Union[str, KeyGenerator] = "zipfian"
+    #: The phased schedule; None means one steady phase of ``default_ops``.
+    schedule: Optional[Schedule] = None
+    #: Ops for the implicit steady schedule when ``schedule`` is None.
+    default_ops: int = 1000
+    #: Mean feed batch size for buffered inserts (preload and insert ops).
+    batch_size: int = 32
+    #: Relative jitter applied to each flush's batch size, drawn from the
+    #: driver RNG (a seeded stochastic path; 0 disables the jitter).
+    batch_jitter: float = 0.25
+    #: Keys spanned by one scan operation.
+    scan_span: int = 16
+    #: Create the dataset if it does not exist yet.
+    create_dataset: bool = True
+
+    def __post_init__(self) -> None:
+        if self.initial_records < 0:
+            raise ValueError("initial_records must be non-negative")
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if not 0.0 <= self.batch_jitter < 1.0:
+            raise ValueError("batch_jitter must be in [0, 1)")
+        if self.scan_span < 1:
+            raise ValueError("scan_span must be at least 1")
+        if self.default_ops < 0:
+            raise ValueError("default_ops must be non-negative")
+
+
+@dataclass
+class PhaseResult:
+    """Operation counts observed while one phase ran."""
+
+    name: str
+    ops: int = 0
+    reads: int = 0
+    reads_found: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    scans: int = 0
+    scan_rows: int = 0
+    #: Simulated seconds the metrics clock advanced during the phase.
+    simulated_seconds: float = 0.0
+    rebalance_report: "Optional[ClusterRebalanceReport]" = None
+
+    @property
+    def reads_missing(self) -> int:
+        return self.reads - self.reads_found
+
+
+@dataclass
+class WorkloadReport:
+    """Everything one :meth:`WorkloadDriver.run` produced."""
+
+    spec: WorkloadSpec
+    seed: int
+    phases: List[PhaseResult] = field(default_factory=list)
+    #: Frozen registry view at the end of the run — cumulative across runs on
+    #: the same session, identical across same-seed fresh sessions (the
+    #: determinism contract).
+    snapshot: Optional[MetricsSnapshot] = None
+    #: p99 write latency (seconds) per cluster phase, over *this run's*
+    #: samples only — the Figure 7c metric.
+    write_p99_seconds: Dict[str, float] = field(default_factory=dict)
+    read_p99_seconds: Dict[str, float] = field(default_factory=dict)
+    total_ops: int = 0
+    simulated_seconds: float = 0.0
+
+    def phase(self, name: str) -> PhaseResult:
+        for result in self.phases:
+            if result.name == name:
+                return result
+        raise KeyError(f"no phase named {name!r} in this report")
+
+    def summary(self) -> str:
+        lines = [
+            f"workload {self.spec.dataset!r}: {self.total_ops} ops in "
+            f"{self.simulated_seconds:.3f} simulated seconds (seed={self.seed})"
+        ]
+        for result in self.phases:
+            marker = " [rebalance]" if result.rebalance_report is not None else ""
+            lines.append(
+                f"  {result.name}: {result.ops} ops "
+                f"(r={result.reads} i={result.inserts} u={result.updates} "
+                f"d={result.deletes} s={result.scans}){marker}"
+            )
+        for phase_name in (PHASE_STEADY, PHASE_REBALANCE):
+            p99 = self.write_p99_seconds.get(phase_name)
+            if p99 is not None:
+                lines.append(f"  write p99 [{phase_name}]: {p99 * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+
+class WorkloadDriver:
+    """Drives one :class:`WorkloadSpec` against an open database session."""
+
+    def __init__(
+        self,
+        db: "Database",
+        spec: Optional[WorkloadSpec] = None,
+        seed: Optional[int] = None,
+        **spec_overrides: Any,
+    ):
+        if spec is not None and spec_overrides:
+            raise ValueError("pass either a WorkloadSpec or keyword overrides, not both")
+        self.db = db
+        self.spec = spec or WorkloadSpec(**spec_overrides)
+        #: Every stochastic choice (op draws, key draws, batch jitter) comes
+        #: from this one RNG, seeded from the cluster config by default.
+        self.seed = db.config.seed if seed is None else seed
+        self.rng = random.Random(self.seed)
+        self.metrics = db.metrics
+        self._mix = make_mix(self.spec.mix)
+        self._keys = self._make_key_generator(self.spec.keys)
+        #: The next primary key an insert op will allocate; keys below this
+        #: bound form the live keyspace the read/update/scan draws cover.
+        self.next_key = 0
+        self._pending_rows: List[Dict[str, Any]] = []
+        self._batch_target = self._draw_batch_target()
+        self._prepared = False
+
+    # -------------------------------------------------------------- plumbing
+
+    @property
+    def dataset(self) -> "Dataset":
+        return self.db.dataset(self.spec.dataset)
+
+    def _make_key_generator(self, keys: Union[str, KeyGenerator]) -> KeyGenerator:
+        """Build a generator from a distribution name or pass an instance through."""
+        if isinstance(keys, KeyGenerator):
+            return keys
+        name = str(keys).lower()
+        if name not in DISTRIBUTIONS:
+            # Let make_key_generator raise its uniform error message.
+            return make_key_generator(name)
+        if name == "zipfian":
+            # Zipfian needs its keyspace size up front for the zeta constant.
+            # Use at least a 1024-rank grid so a small (or empty) preload does
+            # not degenerate to hammering a handful of keys; draws fold into
+            # the live keyspace, and stretch across it if inserts outgrow the
+            # grid (see ZipfianKeys.next_index).
+            return ZipfianKeys(num_keys=max(1024, self.spec.initial_records))
+        return make_key_generator(name)
+
+    def _phase_keys(self, phase: Phase) -> KeyGenerator:
+        """The phase's key-distribution override, or the workload default."""
+        if phase.keys is None:
+            return self._keys
+        return self._make_key_generator(phase.keys)
+
+    def _draw_batch_target(self) -> int:
+        jitter = self.spec.batch_jitter
+        if jitter == 0.0:
+            return self.spec.batch_size
+        scale = 1.0 + jitter * (2.0 * self.rng.random() - 1.0)
+        return max(1, round(self.spec.batch_size * scale))
+
+    def _row(self, index: int) -> Dict[str, Any]:
+        payload = f"{index:010d}"
+        if self.spec.payload_bytes > len(payload):
+            payload += "x" * (self.spec.payload_bytes - len(payload))
+        return {self.spec.primary_key: index, "payload": payload}
+
+    @property
+    def live_keys(self) -> int:
+        """Size of the currently allocated keyspace (flushed or pending)."""
+        return max(1, self.next_key)
+
+    @property
+    def durable_keys(self) -> int:
+        """Size of the *flushed* keyspace — what reads can actually find.
+
+        Keys of inserts still sitting in the client-side batch buffer are
+        excluded, otherwise "read latest" workloads (YCSB D) would mostly
+        probe rows that have not reached the cluster yet.
+        """
+        return max(1, self.next_key - len(self._pending_rows))
+
+    # --------------------------------------------------------------- prepare
+
+    def prepare(self) -> None:
+        """Create (if needed) and preload the dataset; idempotent."""
+        if self._prepared:
+            return
+        if self.spec.dataset not in self.db.dataset_names():
+            if not self.spec.create_dataset:
+                raise ValueError(
+                    f"dataset {self.spec.dataset!r} does not exist and "
+                    "create_dataset is False"
+                )
+            self.db.create_dataset(self.spec.dataset, primary_key=self.spec.primary_key)
+        dataset = self.dataset
+        self.next_key = dataset.count()
+        remaining = self.spec.initial_records - self.next_key
+        cluster = self.db.cluster
+        while remaining > 0:
+            batch = min(remaining, self._draw_batch_target())
+            rows = [self._row(self.next_key + offset) for offset in range(batch)]
+            # Preload is setup, not traffic: feed directly (the documented
+            # escape hatch) so bulk-load batches do not contaminate the
+            # steady-phase write histograms the Figure 7c comparison reads.
+            cluster.feed(self.spec.dataset, batch_size=batch).ingest(rows)
+            self.next_key += batch
+            remaining -= batch
+        self._prepared = True
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> WorkloadReport:
+        """Execute the whole schedule and return the workload report.
+
+        ``report.simulated_seconds`` and the percentile fields cover *this
+        run's traffic only*: the duration is the metrics-clock delta across
+        the run (the preload's raw-feed bulk load emits no op samples, so it
+        does not advance the clock), and the latency populations are deltas
+        against the registry state at run start — back-to-back runs on one
+        session each report their own numbers.  ``report.snapshot`` is the
+        session registry at the end of the run — cumulative across runs on
+        the same session, identical across same-seed fresh sessions.
+        """
+        run_started = self.metrics.clock.now
+        since = self.metrics.snapshot()
+        self.prepare()
+        schedule = self.spec.schedule or steady_schedule(self.spec.default_ops)
+        report = WorkloadReport(spec=self.spec, seed=self.seed)
+        for phase in schedule:
+            started = self.metrics.clock.now
+            if phase.rebalance is not None:
+                result = self._run_rebalance_phase(phase)
+            else:
+                result = self._run_traffic_phase(phase)
+            result.simulated_seconds = self.metrics.clock.now - started
+            report.phases.append(result)
+        self._flush_inserts()
+        report.total_ops = sum(result.ops for result in report.phases)
+        report.simulated_seconds = self.metrics.clock.now - run_started
+        for phase_name in (PHASE_STEADY, PHASE_REBALANCE):
+            writes = self.metrics.write_latency_since(since, phase_name)
+            if writes.count:
+                report.write_p99_seconds[phase_name] = writes.percentile(0.99)
+            reads = self.metrics.latency_since(since, "read", phase_name)
+            if reads.count:
+                report.read_p99_seconds[phase_name] = reads.percentile(0.99)
+        report.snapshot = self.metrics.snapshot()
+        return report
+
+    # ------------------------------------------------------- steady traffic
+
+    def _run_traffic_phase(self, phase: Phase) -> PhaseResult:
+        mix = make_mix(phase.mix) if phase.mix is not None else self._mix
+        keys = self._phase_keys(phase)
+        result = PhaseResult(name=phase.name)
+        started = self.metrics.clock.now
+        for _ in range(phase.ops):
+            if (
+                phase.max_seconds is not None
+                and self.metrics.clock.now - started >= phase.max_seconds
+            ):
+                break
+            self._execute_op(mix.choose(self.rng), keys, result)
+        self._flush_inserts()
+        return result
+
+    def _execute_op(self, op: str, keys: KeyGenerator, result: PhaseResult) -> None:
+        dataset = self.dataset
+        result.ops += 1
+        if op == "read":
+            key = keys.next_index(self.rng, self.durable_keys)
+            record = dataset.get(key)
+            result.reads += 1
+            if record is not None:
+                result.reads_found += 1
+        elif op == "insert":
+            self._pending_rows.append(self._row(self.next_key))
+            self.next_key += 1
+            result.inserts += 1
+            if len(self._pending_rows) >= self._batch_target:
+                self._flush_inserts()
+        elif op == "update":
+            key = keys.next_index(self.rng, self.durable_keys)
+            dataset.upsert([self._row(key)], batch_size=1)
+            result.updates += 1
+        elif op == "delete":
+            key = keys.next_index(self.rng, self.durable_keys)
+            dataset.delete(key)
+            result.deletes += 1
+        elif op == "scan":
+            low = keys.next_index(self.rng, self.durable_keys)
+            rows = list(dataset.scan(low=low, high=low + self.spec.scan_span))
+            result.scans += 1
+            result.scan_rows += len(rows)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown operation {op!r}")
+
+    def _flush_inserts(self) -> None:
+        if not self._pending_rows:
+            return
+        rows, self._pending_rows = self._pending_rows, []
+        self.dataset.insert(rows, batch_size=len(rows))
+        # Redraw the jittered batch target for the next flush (seeded).
+        self._batch_target = self._draw_batch_target()
+
+    # ------------------------------------------------- traffic during resize
+
+    def _run_rebalance_phase(self, phase: Phase) -> PhaseResult:
+        assert phase.rebalance is not None
+        mix = make_mix(phase.mix) if phase.mix is not None else self._mix
+        keys = self._phase_keys(phase)
+        result = PhaseResult(name=phase.name)
+        self._flush_inserts()
+
+        # Partition the phase's draws: writes ride the replication path,
+        # reads/scans execute inside the protocol-phase event callbacks.
+        # Draws target the keyspace durable at phase start — keys allocated
+        # to this phase's concurrent inserts are only applied mid-movement,
+        # so reads probing them would mostly miss.
+        durable = self.durable_keys
+        write_rows: List[Dict[str, Any]] = []
+        foreground: List[Tuple[str, int]] = []
+        for _ in range(phase.ops):
+            op = mix.choose(self.rng)
+            result.ops += 1
+            if op == "insert":
+                write_rows.append(self._row(self.next_key))
+                self.next_key += 1
+                result.inserts += 1
+            elif op in ("update", "delete"):
+                # Deletes are downgraded to upserts: the rebalance replication
+                # channel carries upserting log records only (Section V-A).
+                key = keys.next_index(self.rng, durable)
+                write_rows.append(self._row(key))
+                result.updates += 1
+            elif op == "scan":
+                foreground.append(("scan", keys.next_index(self.rng, durable)))
+            else:
+                foreground.append(("read", keys.next_index(self.rng, durable)))
+
+        pending = list(foreground)
+
+        def run_foreground(count: int) -> None:
+            dataset = self.dataset
+            for _ in range(min(count, len(pending))):
+                op, key = pending.pop(0)
+                if op == "scan":
+                    rows = list(dataset.scan(low=key, high=key + self.spec.scan_span))
+                    result.scans += 1
+                    result.scan_rows += len(rows)
+                else:
+                    record = dataset.get(key)
+                    result.reads += 1
+                    if record is not None:
+                        result.reads_found += 1
+
+        def on_protocol_phase(event) -> None:
+            # Run half the foreground ops after initialization and the rest
+            # after data movement — both points are genuinely mid-rebalance
+            # (the directory swap and bucket cleanup happen at commit, so the
+            # sources still serve; finalization fires after the commit).
+            if event.get("phase") == "initialization":
+                run_foreground((len(pending) + 1) // 2)
+            elif event.get("phase") == "data_movement":
+                run_foreground(len(pending))
+
+        subscription = self.db.on("rebalance.phase", on_protocol_phase)
+        try:
+            result.rebalance_report = self.db.rebalance(
+                **dict(phase.rebalance),
+                concurrent_rows={self.spec.dataset: write_rows} if write_rows else None,
+            )
+        finally:
+            subscription.cancel()
+        # Foreground ops the protocol produced no window for (e.g. a strategy
+        # that emits no phase events) still execute, tagged with the phase the
+        # registry is in by then.
+        run_foreground(len(pending))
+        return result
+
+
+def run_workload(
+    db: "Database",
+    spec: Optional[WorkloadSpec] = None,
+    seed: Optional[int] = None,
+    **spec_overrides: Any,
+) -> WorkloadReport:
+    """One-call convenience: build a driver, run it, return the report."""
+    return WorkloadDriver(db, spec, seed=seed, **spec_overrides).run()

@@ -1,0 +1,180 @@
+"""Key distributions for the traffic engine (the YCSB core distributions).
+
+A generator maps a seeded :class:`random.Random` plus the current keyspace
+size onto a key *index* in ``[0, limit)``; the driver turns indexes into
+primary-key values.  Keeping the RNG external means one driver-owned RNG
+seeds every stochastic choice (key draws, batch sizes, scan lengths), which
+is what makes two runs with the same seed bit-identical.
+
+Distributions (Cooper et al., "Benchmarking Cloud Serving Systems with
+YCSB", SoCC'10):
+
+* :class:`UniformKeys` — every key equally likely.
+* :class:`ZipfianKeys` — the YCSB zeta-normalised zipfian; index 0 is the
+  hottest key.  ``scrambled=True`` hashes the draw across the keyspace so
+  the hot set is not one contiguous range (YCSB's ScrambledZipfian).
+* :class:`HotspotKeys` — a hot fraction of the keyspace absorbs a fixed
+  fraction of the traffic.
+* :class:`LatestKeys` — zipfian over the most recently inserted keys
+  (YCSB's SkewedLatest; workload D reads what was just written).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..common.hashutil import hash_key
+
+
+class KeyGenerator:
+    """Base class: draw a key index in ``[0, limit)`` from ``rng``."""
+
+    name = "base"
+
+    def next_index(self, rng: random.Random, limit: int) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_limit(limit: int) -> None:
+        if limit < 1:
+            raise ValueError("key generator needs a non-empty keyspace (limit >= 1)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class UniformKeys(KeyGenerator):
+    """Every live key is equally likely."""
+
+    name = "uniform"
+
+    def next_index(self, rng: random.Random, limit: int) -> int:
+        self._check_limit(limit)
+        return rng.randrange(limit)
+
+
+class ZipfianKeys(KeyGenerator):
+    """The YCSB zipfian generator over a fixed keyspace of ``num_keys``.
+
+    ``theta`` is the skew (YCSB default 0.99; higher is more skewed).  The
+    zeta normalisation constant is precomputed for ``num_keys``, so draws are
+    O(1); when the live keyspace is smaller than ``num_keys`` the draw is
+    folded into range, which preserves the skew shape.
+    """
+
+    name = "zipfian"
+
+    def __init__(self, num_keys: int, theta: float = 0.99, scrambled: bool = False):
+        if num_keys < 1:
+            raise ValueError("num_keys must be at least 1")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.num_keys = num_keys
+        self.theta = theta
+        self.scrambled = scrambled
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(num_keys, theta)
+        zeta2 = self._zeta(2, theta)
+        self._eta = (1.0 - (2.0 / num_keys) ** (1.0 - theta)) / (
+            1.0 - zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i**theta) for i in range(1, n + 1))
+
+    def _draw(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.num_keys * ((self._eta * u) - self._eta + 1.0) ** self._alpha)
+
+    def next_index(self, rng: random.Random, limit: int) -> int:
+        self._check_limit(limit)
+        index = min(self._draw(rng), self.num_keys - 1)
+        if self.scrambled:
+            index = hash_key(index) % self.num_keys
+        if limit <= self.num_keys:
+            return index % limit
+        # The live keyspace outgrew the precomputed grid (inserts during the
+        # run): stretch the draw across it so new keys stay reachable while
+        # the skew shape is preserved.
+        return index * limit // self.num_keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flavour = "scrambled " if self.scrambled else ""
+        return f"ZipfianKeys({flavour}n={self.num_keys}, theta={self.theta})"
+
+
+class HotspotKeys(KeyGenerator):
+    """A hot fraction of the keyspace receives a fixed share of the traffic.
+
+    With the defaults, 20% of the keys serve 80% of the operations.  The hot
+    set is the *lowest* indexes, so tests can reason about it directly.
+    """
+
+    name = "hotspot"
+
+    def __init__(self, hot_fraction: float = 0.2, hot_probability: float = 0.8):
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 < hot_probability <= 1.0:
+            raise ValueError("hot_probability must be in (0, 1]")
+        self.hot_fraction = hot_fraction
+        self.hot_probability = hot_probability
+
+    def next_index(self, rng: random.Random, limit: int) -> int:
+        self._check_limit(limit)
+        hot_count = max(1, int(limit * self.hot_fraction))
+        if hot_count >= limit or rng.random() < self.hot_probability:
+            return rng.randrange(min(hot_count, limit))
+        return hot_count + rng.randrange(limit - hot_count)
+
+
+class LatestKeys(KeyGenerator):
+    """Zipfian skew towards the most recently inserted keys.
+
+    A fixed-size zipfian window is anchored at the *end* of the live
+    keyspace: offset 0 is the newest key.  YCSB workload D uses this with a
+    95/5 read/insert mix.
+    """
+
+    name = "latest"
+
+    def __init__(self, window: int = 256, theta: float = 0.99):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._zipfian = ZipfianKeys(window, theta=theta)
+
+    def next_index(self, rng: random.Random, limit: int) -> int:
+        self._check_limit(limit)
+        offset = self._zipfian.next_index(rng, min(self.window, limit))
+        return limit - 1 - offset
+
+
+#: Registry of distribution names for config-style construction.
+DISTRIBUTIONS = {
+    "uniform": UniformKeys,
+    "zipfian": ZipfianKeys,
+    "hotspot": HotspotKeys,
+    "latest": LatestKeys,
+}
+
+
+def make_key_generator(name: str, **options) -> KeyGenerator:
+    """Build a distribution by name (``uniform``/``zipfian``/``hotspot``/``latest``)."""
+    try:
+        factory = DISTRIBUTIONS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown key distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
+        ) from None
+    try:
+        return factory(**options)
+    except TypeError as error:
+        # e.g. zipfian without num_keys: surface a config error, not a crash.
+        raise ValueError(f"key distribution {name!r}: {error}") from None

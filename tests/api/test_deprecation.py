@@ -84,3 +84,27 @@ class TestDeprecatedShims:
             with Database(config(), strategy="dynahash") as db:
                 load = load_tpch(db, scale_factor=0.0002, tables=("region", "nation"))
                 assert load.total_rows > 0
+
+    def test_build_loaded_cluster_warns_and_matches_the_database_variant(self):
+        """The legacy bench helper is a duplicate of build_loaded_database."""
+        from repro.bench import SMOKE, build_loaded_cluster, build_loaded_database
+
+        with pytest.warns(DeprecationWarning, match="build_loaded_database"):
+            cluster, _workload, load = build_loaded_cluster(
+                SMOKE, num_nodes=2, strategy_name="DynaHash", tables=("region",)
+            )
+        db, _workload, db_load = build_loaded_database(
+            SMOKE, num_nodes=2, strategy_name="DynaHash", tables=("region",)
+        )
+        assert cluster.record_count("region") == db.cluster.record_count("region")
+        assert load.total_rows == db_load.total_rows
+
+    def test_traffic_engine_paths_do_not_warn(self):
+        """The new workload driver never trips the deprecated shims."""
+        from repro.api import run_workload
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                report = run_workload(db, initial_records=40, default_ops=30)
+                assert report.total_ops == 30

@@ -6,7 +6,7 @@ from repro.common.config import LSMConfig
 from repro.common.errors import StorageError
 from repro.bucketed.bucket import Bucket
 from repro.bucketed.split import split_bucket
-from repro.hashing.bucket_id import ROOT_BUCKET, BucketId
+from repro.hashing.bucket_id import ROOT_BUCKET
 from repro.lsm.manifest import Manifest
 
 

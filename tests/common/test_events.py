@@ -1,0 +1,130 @@
+"""EventBus emission-safety regressions: mutating subscribers mid-emission.
+
+``EventBus.emit`` snapshots the subscriber list per emission, so callbacks
+may subscribe or unsubscribe (themselves or others) while an event is being
+delivered without corrupting the iteration or changing who sees the current
+event.
+"""
+
+from repro.common.events import EventBus
+
+
+class TestEmitSnapshot:
+    def test_subscriber_unsubscribing_itself_mid_callback(self):
+        bus = EventBus()
+        seen = []
+
+        def once_by_hand(event):
+            seen.append(event.name)
+            subscription.cancel()
+
+        subscription = bus.on("tick", once_by_hand)
+        bus.emit("tick")
+        bus.emit("tick")
+        assert seen == ["tick"]
+        assert bus.subscriber_count == 0
+
+    def test_callback_cancelling_a_later_subscriber_suppresses_it(self):
+        bus = EventBus()
+        seen = []
+
+        def first(event):
+            seen.append("first")
+            later.cancel()
+
+        bus.on("tick", first)
+        later = bus.on("tick", lambda event: seen.append("later"))
+        bus.emit("tick")
+        assert seen == ["first"]  # the cancelled subscriber never fired
+
+    def test_callback_cancelling_an_earlier_subscriber_keeps_current_emission_safe(self):
+        bus = EventBus()
+        seen = []
+
+        earlier = bus.on("tick", lambda event: seen.append("earlier"))
+        bus.on("tick", lambda event: (seen.append("second"), earlier.cancel()))
+        bus.emit("tick")
+        assert seen == ["earlier", "second"]
+        bus.emit("tick")
+        assert seen == ["earlier", "second", "second"]
+
+    def test_subscribing_during_emission_does_not_see_the_current_event(self):
+        bus = EventBus()
+        seen = []
+
+        def recruiter(event):
+            seen.append("recruiter")
+            bus.on("tick", lambda event: seen.append("recruit"))
+
+        bus.on("tick", recruiter)
+        bus.emit("tick")
+        assert seen == ["recruiter"]  # the new subscriber missed this event
+        seen.clear()
+        bus.emit("tick")
+        assert seen == ["recruiter", "recruit"]  # ...but sees the next one
+
+    def test_mass_unsubscribe_mid_emission_delivers_to_no_cancelled_subscriber(self):
+        bus = EventBus()
+        seen = []
+        subscriptions = []
+
+        def nuke_everything(event):
+            seen.append("nuke")
+            for subscription in subscriptions:
+                subscription.cancel()
+
+        bus.on("tick", nuke_everything)
+        subscriptions.extend(
+            bus.on("tick", lambda event, i=i: seen.append(i)) for i in range(5)
+        )
+        bus.emit("tick")
+        assert seen == ["nuke"]
+        assert bus.subscriber_count == 1
+
+    def test_once_inside_emission_of_the_same_pattern(self):
+        bus = EventBus()
+        seen = []
+
+        def arm_once(event):
+            bus.once("tick", lambda event: seen.append("once"))
+
+        bus.on("tick", arm_once)
+        bus.emit("tick")  # arms the once-handler; it must not fire yet
+        assert seen == []
+        bus.emit("tick")
+        assert seen == ["once"]
+        bus.emit("tick")
+        assert seen == ["once", "once"]  # re-armed each emission, fired once each
+
+    def test_nested_emit_takes_its_own_snapshot(self):
+        bus = EventBus()
+        order = []
+
+        def outer(event):
+            order.append(f"outer:{event.name}")
+            if event.name == "outer.event":
+                bus.emit("inner.event")
+                # Subscribed after the nested emit: must see neither the
+                # current outer event nor the already-delivered inner one.
+                bus.on("*", lambda event: order.append(f"late:{event.name}"))
+
+        bus.on("*", outer)
+        bus.emit("outer.event")
+        assert order == ["outer:outer.event", "outer:inner.event"]
+        bus.emit("inner.event")
+        assert order[2:] == ["outer:inner.event", "late:inner.event"]
+
+    def test_sequence_numbers_stay_monotonic_across_reentrancy(self):
+        bus = EventBus()
+        seqs = []
+
+        def reenter(event):
+            seqs.append(event.seq)
+            if event.name == "outer":
+                bus.emit("inner")
+
+        bus.on("*", reenter)
+        bus.emit("outer")
+        bus.emit("outer")
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)

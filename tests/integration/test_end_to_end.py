@@ -8,7 +8,7 @@ readable and every query answer stays identical.
 
 import pytest
 
-from repro.bench import SMOKE, build_loaded_cluster
+from repro.bench import SMOKE, build_loaded_database
 from repro.bench.experiments import QUERY_TABLES
 from repro.common.errors import FaultInjected
 from repro.query import ClusterQueryExecutor
@@ -22,10 +22,10 @@ from repro.tpch import q1_plan, q6_plan
 
 @pytest.fixture(scope="module")
 def dynahash_cluster():
-    cluster, workload, load = build_loaded_cluster(
+    db, workload, load = build_loaded_database(
         SMOKE, num_nodes=4, strategy_name="DynaHash", tables=QUERY_TABLES
     )
-    return cluster, workload, load
+    return db.cluster, workload, load
 
 
 class TestLoadAndQuery:
@@ -60,9 +60,10 @@ class TestLoadAndQuery:
 
 class TestRepeatedRebalancing:
     def test_scale_in_out_cycle_preserves_answers(self):
-        cluster, _workload, _load = build_loaded_cluster(
+        db, _workload, _load = build_loaded_database(
             SMOKE, num_nodes=4, strategy_name="DynaHash", tables=("orders", "lineitem", "customer", "part", "supplier", "nation", "region", "partsupp")
         )
+        cluster = db.cluster
         executor = ClusterQueryExecutor(cluster)
         baseline, _ = executor.execute_plan("q6", q6_plan())
         record_counts = {name: cluster.record_count(name) for name in cluster.dataset_names()}
@@ -76,9 +77,10 @@ class TestRepeatedRebalancing:
         assert final["revenue"] == pytest.approx(baseline["revenue"], rel=1e-9)
 
     def test_concurrent_writes_survive_scale_in(self):
-        cluster, workload, _load = build_loaded_cluster(
+        db, workload, _load = build_loaded_database(
             SMOKE, num_nodes=3, strategy_name="DynaHash"
         )
+        cluster = db.cluster
         before = cluster.record_count("lineitem")
         concurrent = workload.concurrent_lineitem_rows(150)
         report = cluster.rebalance_to(2, concurrent_rows={"lineitem": concurrent})
@@ -89,9 +91,10 @@ class TestRepeatedRebalancing:
             assert cluster.lookup("lineitem", key) is not None
 
     def test_crash_then_recover_then_rebalance_again(self):
-        cluster, _workload, _load = build_loaded_cluster(
+        db, _workload, _load = build_loaded_database(
             SMOKE, num_nodes=3, strategy_name="DynaHash"
         )
+        cluster = db.cluster
         records = cluster.record_count("lineitem")
         targets = [pid for node in cluster.nodes[:2] for pid in node.partition_ids]
         operation = RebalanceOperation(

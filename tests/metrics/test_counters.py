@@ -1,0 +1,31 @@
+"""Counters and gauges."""
+
+import pytest
+
+from repro.metrics import Counter, Gauge
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter("ops")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("ops").increment(-1)
+
+
+class TestGauge:
+    def test_set_is_last_value_wins(self):
+        gauge = Gauge("nodes")
+        gauge.set(4)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_add_from_unset_starts_at_zero(self):
+        gauge = Gauge("inflight")
+        gauge.add(2)
+        gauge.add(-1)
+        assert gauge.value == 1

@@ -1,0 +1,163 @@
+"""Latency histogram: exact percentiles on known inputs, merging, validation."""
+
+import pytest
+
+from repro.metrics import LatencyHistogram
+
+
+def edge_histogram():
+    """Buckets with upper edges 1, 2, 4, 8 ms (growth 2 from 1 ms)."""
+    return LatencyHistogram(min_latency=1e-3, growth=2.0, buckets=4)
+
+
+class TestRecording:
+    def test_counts_land_in_the_right_buckets(self):
+        hist = edge_histogram()
+        hist.record(0.5e-3)  # at/below the first edge
+        hist.record(1e-3)  # exactly on the first edge
+        hist.record(3e-3)  # inside (2, 4]
+        hist.record(100e-3)  # beyond the last edge -> overflow
+        assert hist.counts == [2, 0, 1, 0, 1]
+        assert hist.count == 4
+
+    def test_min_max_mean_are_exact(self):
+        hist = edge_histogram()
+        for value in (1e-3, 2e-3, 6e-3):
+            hist.record(value)
+        assert hist.min_value == 1e-3
+        assert hist.max_value == 6e-3
+        assert hist.mean == pytest.approx(3e-3)
+
+    def test_weighted_record(self):
+        hist = edge_histogram()
+        hist.record(1e-3, count=10)
+        assert hist.count == 10
+        assert hist.total == pytest.approx(10e-3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            edge_histogram().record(-1.0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            edge_histogram().record(1e-3, count=0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_latency=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=0)
+
+
+class TestPercentiles:
+    def test_exact_on_bucket_edges(self):
+        """Values recorded on bucket edges are reported exactly."""
+        hist = edge_histogram()
+        for _ in range(50):
+            hist.record(1e-3)
+        for _ in range(45):
+            hist.record(4e-3)
+        for _ in range(5):
+            hist.record(8e-3)
+        assert hist.percentile(0.50) == pytest.approx(1e-3)
+        assert hist.percentile(0.95) == pytest.approx(4e-3)
+        assert hist.percentile(0.99) == pytest.approx(8e-3)
+        assert hist.percentile(1.0) == pytest.approx(8e-3)
+
+    def test_never_under_reports(self):
+        """Off-edge values report the containing bucket's upper edge."""
+        hist = edge_histogram()
+        for _ in range(100):
+            hist.record(2.5e-3)  # inside (2, 4]
+        assert hist.percentile(0.5) == pytest.approx(4e-3)
+        assert hist.percentile(0.5) >= 2.5e-3
+
+    def test_overflow_reports_exact_observed_max(self):
+        hist = edge_histogram()
+        hist.record(123e-3)
+        assert hist.percentile(0.99) == pytest.approx(123e-3)
+
+    def test_empty_histogram_reports_zero(self):
+        assert edge_histogram().percentile(0.99) == 0.0
+        assert edge_histogram().mean == 0.0
+
+    def test_quantile_validation(self):
+        hist = edge_histogram()
+        hist.record(1e-3)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_summary_row(self):
+        hist = edge_histogram()
+        for _ in range(99):
+            hist.record(1e-3)
+        hist.record(8e-3)
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(1e-3)
+        assert summary["p99"] == pytest.approx(1e-3)
+        assert summary["max"] == pytest.approx(8e-3)
+
+
+class TestMergeAndSnapshot:
+    def test_merge_combines_counts_and_extremes(self):
+        left, right = edge_histogram(), edge_histogram()
+        left.record(1e-3)
+        right.record(8e-3)
+        right.record(0.2e-3)
+        left.merge(right)
+        assert left.count == 3
+        assert left.min_value == 0.2e-3
+        assert left.max_value == 8e-3
+        assert left.percentile(1.0) == pytest.approx(8e-3)
+
+    def test_merge_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError):
+            edge_histogram().merge(LatencyHistogram(min_latency=1e-6))
+
+    def test_snapshot_equality_tracks_content(self):
+        left, right = edge_histogram(), edge_histogram()
+        left.record(1e-3)
+        right.record(1e-3)
+        assert left.snapshot() == right.snapshot()
+        right.record(2e-3)
+        assert left.snapshot() != right.snapshot()
+
+    def test_since_isolates_newer_samples(self):
+        hist = edge_histogram()
+        hist.record(1e-3, count=10)
+        earlier = hist.snapshot()
+        hist.record(8e-3, count=5)
+        delta = hist.since(earlier)
+        assert delta.count == 5
+        assert delta.percentile(0.5) == pytest.approx(8e-3)
+        assert hist.count == 15  # the source histogram is untouched
+
+    def test_since_none_copies_everything(self):
+        hist = edge_histogram()
+        hist.record(2e-3, count=3)
+        delta = hist.since(None)
+        assert delta.snapshot() == hist.snapshot()
+
+    def test_since_rejects_foreign_snapshots(self):
+        hist = edge_histogram()
+        hist.record(1e-3)
+        with pytest.raises(ValueError, match="bucket grid"):
+            hist.since(LatencyHistogram(min_latency=1e-6).snapshot())
+        other = edge_histogram()
+        other.record(1e-3, count=5)
+        with pytest.raises(ValueError, match="past"):
+            hist.since(other.snapshot())
+
+    def test_nonzero_buckets(self):
+        hist = edge_histogram()
+        hist.record(1e-3, count=3)
+        hist.record(100e-3)
+        populated = hist.nonzero_buckets()
+        assert populated[0] == (1e-3, 3)
+        assert populated[-1] == (float("inf"), 1)
+        assert len(hist) == 4

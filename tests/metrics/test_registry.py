@@ -1,0 +1,182 @@
+"""The metrics registry: event-driven, phase-tagged telemetry."""
+
+import pytest
+
+from repro.common.events import EventBus
+from repro.metrics import (
+    MetricsRegistry,
+    PHASE_REBALANCE,
+    PHASE_STEADY,
+)
+
+
+def attached():
+    bus = EventBus()
+    registry = MetricsRegistry().attach(bus)
+    return bus, registry
+
+
+class TestPhaseTagging:
+    def test_starts_steady(self):
+        _bus, registry = attached()
+        assert registry.phase == PHASE_STEADY
+        assert not registry.in_rebalance
+
+    def test_rebalance_events_flip_the_phase(self):
+        bus, registry = attached()
+        bus.emit("op.update", latency_seconds=1e-3)
+        bus.emit("rebalance.start", old_nodes=4, target_nodes=5)
+        assert registry.in_rebalance
+        bus.emit("op.update", latency_seconds=2e-3)
+        bus.emit("rebalance.complete")
+        assert registry.phase == PHASE_STEADY
+        bus.emit("op.update", latency_seconds=1e-3)
+
+        assert registry.histogram("update", PHASE_STEADY).count == 2
+        assert registry.histogram("update", PHASE_REBALANCE).count == 1
+
+    def test_rebalance_error_returns_to_steady(self):
+        bus, registry = attached()
+        bus.emit("rebalance.start")
+        bus.emit("rebalance.error", error="boom")
+        assert registry.phase == PHASE_STEADY
+        assert registry.counter("rebalance.errors").value == 1
+
+    def test_write_latency_merges_the_write_ops(self):
+        bus, registry = attached()
+        bus.emit("op.insert", latency_seconds=1e-3)
+        bus.emit("op.update", latency_seconds=2e-3)
+        bus.emit("op.delete", latency_seconds=4e-3)
+        bus.emit("op.read", latency_seconds=8e-3)
+        writes = registry.write_latency(PHASE_STEADY)
+        assert writes.count == 3
+        assert writes.max_value == pytest.approx(4e-3)
+
+
+class TestEventHandling:
+    def test_op_events_feed_counters_and_clock(self):
+        bus, registry = attached()
+        bus.emit("op.read", latency_seconds=2e-3, records=1, dataset="orders")
+        bus.emit("op.insert", latency_seconds=3e-3, records=10, dataset="orders")
+        assert registry.counter("ops.total").value == 2
+        assert registry.counter("ops.read").value == 1
+        assert registry.counter("records.insert").value == 10
+        assert registry.counter("ops.dataset.orders").value == 2
+        assert registry.clock.now == pytest.approx(5e-3)
+        assert registry.ops_per_second() == pytest.approx(2 / 5e-3)
+
+    def test_node_and_dataset_events(self):
+        bus, registry = attached()
+        bus.emit("dataset.create", dataset="orders")
+        bus.emit("node.provision", node="nc4", nodes=5)
+        bus.emit("node.decommission", node="nc4", nodes=4)
+        bus.emit("dataset.drop", dataset="orders")
+        assert registry.counter("datasets.created").value == 1
+        assert registry.counter("datasets.dropped").value == 1
+        assert registry.gauge("cluster.nodes").value == 4
+
+    def test_ingest_complete_counts_records_and_splits(self):
+        bus, registry = attached()
+        bus.emit("ingest.complete", dataset="orders", records=100, splits=3)
+        assert registry.counter("ingest.records").value == 100
+        assert registry.counter("ingest.splits").value == 3
+
+
+class TestWiring:
+    def test_attach_is_idempotent_per_bus(self):
+        bus = EventBus()
+        registry = MetricsRegistry()
+        registry.attach(bus)
+        before = bus.subscriber_count
+        registry.attach(bus)
+        assert bus.subscriber_count == before
+
+    def test_detach_stops_recording(self):
+        bus, registry = attached()
+        registry.detach()
+        bus.emit("op.read", latency_seconds=1e-3)
+        assert registry.counter("ops.total").value == 0
+        assert bus.subscriber_count == 0
+
+
+class TestSnapshotAndReport:
+    def test_identical_event_sequences_snapshot_equal(self):
+        def drive(bus):
+            bus.emit("op.read", latency_seconds=1e-3)
+            bus.emit("rebalance.start")
+            bus.emit("op.update", latency_seconds=2e-3)
+            bus.emit("rebalance.complete")
+
+        bus_a, registry_a = attached()
+        bus_b, registry_b = attached()
+        drive(bus_a)
+        drive(bus_b)
+        assert registry_a.snapshot() == registry_b.snapshot()
+
+        bus_a.emit("op.read", latency_seconds=1e-3)
+        assert registry_a.snapshot() != registry_b.snapshot()
+
+    def test_snapshot_histogram_count_accessor(self):
+        bus, registry = attached()
+        bus.emit("rebalance.start")
+        bus.emit("op.update", latency_seconds=1e-3)
+        snapshot = registry.snapshot()
+        assert snapshot.histogram_count("update", PHASE_REBALANCE) == 1
+        assert snapshot.histogram_count("update", PHASE_STEADY) == 0
+
+    def test_report_renders_rows_per_op_and_phase(self):
+        bus, registry = attached()
+        bus.emit("op.read", latency_seconds=1e-3)
+        bus.emit("rebalance.start")
+        bus.emit("op.update", latency_seconds=2e-3)
+        text = registry.report()
+        assert "read" in text and "update" in text
+        assert "steady" in text and "rebalance" in text
+        assert "p99" in text
+
+    def test_empty_report(self):
+        _bus, registry = attached()
+        assert "no operation samples" in registry.report()
+
+    def test_passive_reads_never_change_the_snapshot(self):
+        """latency()/write_latency()/ops_per_second()/report() are read-only."""
+        bus, registry = attached()
+        bus.emit("op.read", latency_seconds=1e-3)
+        before = registry.snapshot()
+        registry.latency("scan", PHASE_REBALANCE)
+        registry.latency("update")
+        registry.write_latency(PHASE_REBALANCE)
+        registry.ops_per_second("delete")
+        registry.report()
+        assert registry.snapshot() == before
+
+    def test_latency_since_scopes_to_a_snapshot(self):
+        bus, registry = attached()
+        bus.emit("op.update", latency_seconds=1e-3)
+        mark = registry.snapshot()
+        bus.emit("op.update", latency_seconds=4e-3)
+        bus.emit("op.insert", latency_seconds=2e-3)
+        delta = registry.write_latency_since(mark, PHASE_STEADY)
+        assert delta.count == 2
+        assert registry.latency_since(mark, "update", PHASE_STEADY).count == 1
+        assert registry.latency_since(mark, "scan", PHASE_STEADY).count == 0
+        # since=None means everything recorded so far.
+        assert registry.write_latency_since(None, PHASE_STEADY).count == 3
+
+    def test_rebalance_duration_is_not_double_counted(self):
+        """Ops sampled mid-rebalance overlap it; only the remainder advances
+        the clock when the rebalance completes."""
+
+        class FakeReport:
+            simulated_seconds = 10.0
+
+        bus, registry = attached()
+        bus.emit("rebalance.start")
+        bus.emit("op.update", latency_seconds=4.0)  # concurrent with the resize
+        bus.emit("rebalance.complete", report=FakeReport())
+        assert registry.clock.now == pytest.approx(10.0)  # not 14.0
+
+        bus.emit("rebalance.start")
+        bus.emit("op.update", latency_seconds=12.0)  # ops outlast the resize
+        bus.emit("rebalance.complete", report=FakeReport())
+        assert registry.clock.now == pytest.approx(22.0)

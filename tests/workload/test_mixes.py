@@ -1,0 +1,70 @@
+"""Operation mixes: normalisation, sampling, and the YCSB presets."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload import OPERATIONS, OperationMix, YCSB_MIXES, make_mix
+
+
+class TestOperationMix:
+    def test_weights_normalise_to_one(self):
+        mix = OperationMix(read=3, update=1)
+        weights = mix.weights()
+        assert weights["read"] == pytest.approx(0.75)
+        assert weights["update"] == pytest.approx(0.25)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_write_fraction(self):
+        mix = OperationMix(read=0.5, insert=0.2, update=0.2, delete=0.1)
+        assert mix.write_fraction == pytest.approx(0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMix(read=-0.1, update=1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMix()
+
+    def test_choose_matches_the_ratios(self):
+        mix = OperationMix(read=0.8, update=0.2)
+        rng = random.Random(3)
+        counts = Counter(mix.choose(rng) for _ in range(10_000))
+        assert set(counts) == {"read", "update"}
+        assert 0.77 <= counts["read"] / 10_000 <= 0.83
+
+    def test_choose_is_deterministic_per_seed(self):
+        mix = OperationMix(read=0.5, insert=0.2, update=0.2, delete=0.05, scan=0.05)
+        draws_a = [mix.choose(random.Random(9)) for _ in range(1)]
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        assert [mix.choose(rng_a) for _ in range(100)] == [
+            mix.choose(rng_b) for _ in range(100)
+        ]
+        assert draws_a[0] in OPERATIONS
+
+
+class TestPresets:
+    def test_all_six_ycsb_workloads_exist(self):
+        assert set(YCSB_MIXES) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_preset_shapes(self):
+        assert YCSB_MIXES["A"].weights()["update"] == pytest.approx(0.5)
+        assert YCSB_MIXES["B"].weights()["read"] == pytest.approx(0.95)
+        assert YCSB_MIXES["C"].weights()["read"] == pytest.approx(1.0)
+        assert YCSB_MIXES["D"].weights()["insert"] == pytest.approx(0.05)
+        assert YCSB_MIXES["E"].weights()["scan"] == pytest.approx(0.95)
+        assert YCSB_MIXES["F"].write_fraction == pytest.approx(0.5)
+
+    def test_make_mix_resolves_names_case_insensitively(self):
+        assert make_mix("a") is YCSB_MIXES["A"]
+        assert make_mix("B") is YCSB_MIXES["B"]
+
+    def test_make_mix_passes_instances_through(self):
+        mix = OperationMix(read=1.0)
+        assert make_mix(mix) is mix
+
+    def test_make_mix_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown operation mix"):
+            make_mix("Z")
