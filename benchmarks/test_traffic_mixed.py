@@ -9,7 +9,11 @@ the metrics registry reports tail write latency broken out by cluster phase
 
 from conftest import print_figure
 
-from repro.bench import run_traffic_experiment
+from repro.bench import (
+    run_traffic_experiment,
+    traffic_artifact_payload,
+    write_bench_artifact,
+)
 from repro.metrics import PHASE_REBALANCE, PHASE_STEADY
 
 
@@ -38,3 +42,8 @@ def test_traffic_mixed_smoke(benchmark, bench_scale):
     # Same scale, same seed: the traffic engine is deterministic end to end.
     again = run_traffic_experiment(bench_scale)
     assert again.snapshot == result.snapshot
+
+    # Persist the perf trajectory (no-op unless REPRO_BENCH_ARTIFACT_DIR set).
+    write_bench_artifact(
+        "traffic_mixed", traffic_artifact_payload("traffic_mixed", result)
+    )

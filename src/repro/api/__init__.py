@@ -24,10 +24,10 @@ needs — so applications, examples, and benches import only ``repro.api``::
         )
         db.on("rebalance.*", lambda event: print(event.name))
         report = db.rebalance(remove=1)
+        db.autopilot(policy="cost_aware")  # metrics-driven auto-rebalancing
 
-The legacy ``SimulatedCluster.ingest`` / ``.lookup`` calls keep working but
-emit :class:`DeprecationWarning`; ``Database.attach(cluster)`` wraps an
-existing cluster during migration.
+``Database.attach(cluster)`` wraps an existing :class:`SimulatedCluster`
+(the escape hatch for code that builds clusters directly).
 """
 
 from ..cluster.dataset import DatasetSpec, SecondaryIndexSpec
@@ -54,6 +54,22 @@ from ..common.errors import (
 )
 from ..common.reporting import format_table
 from ..common.units import GIB, KIB, MIB
+from ..control import (
+    Autopilot,
+    AutopilotDecision,
+    AutopilotPolicy,
+    ClusterObservation,
+    CostAwarePolicy,
+    PlanProjection,
+    PolicyDecision,
+    ScheduledPolicy,
+    ThresholdPolicy,
+    WhatIfPlanner,
+    available_policies,
+    policy_by_name,
+    register_policy,
+    resolve_policy,
+)
 from ..query.executor import QuerySpec, TableAccess
 from ..rebalance.operation import FAULT_SITES
 from ..rebalance.recovery import RecoveryOutcome
@@ -105,11 +121,16 @@ from .workloads import (
 )
 
 __all__ = [
+    "Autopilot",
+    "AutopilotDecision",
+    "AutopilotPolicy",
     "BucketingConfig",
     "ClusterConfig",
     "ClusterError",
+    "ClusterObservation",
     "ClusterRebalanceReport",
     "ConfigError",
+    "CostAwarePolicy",
     "CostModelConfig",
     "Counter",
     "DEFAULT_TABLES",
@@ -141,6 +162,8 @@ __all__ = [
     "PHASE_STEADY",
     "Phase",
     "PhaseResult",
+    "PlanProjection",
+    "PolicyDecision",
     "QueryBuilder",
     "QueryError",
     "QueryReport",
@@ -151,27 +174,34 @@ __all__ = [
     "RecoveryOutcome",
     "ReproError",
     "Schedule",
+    "ScheduledPolicy",
     "SecondaryIndexSpec",
     "Subscription",
     "TPCHLoadResult",
     "TPCHWorkload",
     "TableAccess",
+    "ThresholdPolicy",
     "UniformKeys",
     "UnknownDatasetError",
+    "WhatIfPlanner",
     "WorkloadDriver",
     "WorkloadReport",
     "WorkloadSpec",
     "YCSB_MIXES",
     "ZipfianKeys",
+    "available_policies",
     "available_strategies",
     "format_table",
     "load_tpch",
     "make_key_generator",
     "make_mix",
+    "policy_by_name",
     "q1_plan",
     "q3_plan",
     "q6_plan",
+    "register_policy",
     "register_strategy",
+    "resolve_policy",
     "resolve_strategy",
     "run_workload",
     "steady_schedule",

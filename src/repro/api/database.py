@@ -27,6 +27,7 @@ from ..common.errors import ClusterError, ConfigError
 from ..common.events import Event, EventBus, Subscription
 from ..metrics import MetricsRegistry
 from ..query.executor import ClusterQueryExecutor, QuerySpec
+from ..control.autopilot import Autopilot
 from ..rebalance.operation import FaultInjector
 from ..rebalance.recovery import RebalanceRecoveryManager, RecoveryOutcome
 from .dataset import Dataset
@@ -67,6 +68,7 @@ class Database:
         )
         self._executor = ClusterQueryExecutor(self._cluster)
         self._metrics = MetricsRegistry().attach(self._cluster.events)
+        self._autopilot: "Optional[Autopilot]" = None
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -88,6 +90,7 @@ class Database:
         db._cluster = cluster
         db._executor = ClusterQueryExecutor(cluster)
         db._metrics = MetricsRegistry().attach(cluster.events)
+        db._autopilot = None
         db._closed = False
         return db
 
@@ -99,6 +102,8 @@ class Database:
         ``db.metrics`` stays readable after close.
         """
         if not self._closed:
+            if self._autopilot is not None:
+                self._autopilot.stop()
             self._closed = True
             self._cluster.events.emit("database.close", datasets=self._cluster.dataset_names())
             self._metrics.detach()
@@ -240,6 +245,47 @@ class Database:
 
     def remove_nodes(self, count: int = 1) -> ClusterRebalanceReport:
         return self.rebalance(remove=count)
+
+    # -------------------------------------------------------------- autopilot
+
+    def autopilot(
+        self,
+        policy: "str | object" = "threshold",
+        *,
+        policy_options: Optional[Mapping[str, Any]] = None,
+        start: bool = True,
+        **engine_options: Any,
+    ) -> Autopilot:
+        """Attach an autopilot control loop to this session.
+
+        ``policy`` is a registered policy name (``"threshold"``,
+        ``"cost_aware"``, ``"scheduled"``; see
+        :func:`repro.control.register_policy`) or a policy instance;
+        ``policy_options`` are forwarded to the policy factory when a name is
+        given, and ``engine_options`` (``check_every_ops``,
+        ``cooldown_seconds``, ``hysteresis``, ``dry_run``,
+        ``max_rebalances``) configure the engine's guardrails.
+
+        The engine subscribes to the session's ``op.*`` events, so ordinary
+        traffic drives its evaluations — a hotspot spike can trigger a
+        rebalance mid-run with no explicit :meth:`rebalance` call.  One
+        engine per session: attaching a new one stops its predecessor.
+        """
+        self._check_open()
+        if self._autopilot is not None:
+            self._autopilot.stop()
+        pilot = Autopilot(
+            self, policy, policy_options=policy_options, **engine_options
+        )
+        self._autopilot = pilot
+        if start:
+            pilot.start()
+        return pilot
+
+    @property
+    def autopilot_engine(self) -> Optional[Autopilot]:
+        """The attached autopilot engine, if :meth:`autopilot` was called."""
+        return self._autopilot
 
     def recover(self) -> List[RecoveryOutcome]:
         """Run rebalance recovery as a restarted coordinator would."""

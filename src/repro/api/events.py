@@ -27,6 +27,17 @@ Canonical event names, in emission order for a resize:
 ``node.provision``          a node was added (before data moved onto it)
 ``node.decommission``       a node was removed (after data moved away)
 ``database.close``          the Database session was closed
+``autopilot.start``         an autopilot engine attached to the session
+``autopilot.stop``          the engine detached; payload carries its tallies
+``autopilot.decision``      a policy decided to act; payload carries action,
+                            target_nodes, reason, and the engine outcome
+``autopilot.skip``          a guardrail vetoed the decision (cooldown,
+                            hysteresis, max_rebalances)
+``autopilot.dry_run``       dry-run mode: the decision was planned, not run
+``autopilot.rebalance.start``    the engine began executing a rebalance
+``autopilot.rebalance.complete`` the policy-triggered rebalance finished;
+                            payload carries the
+                            :class:`~repro.cluster.reports.ClusterRebalanceReport`
 ``op.read``                 an instrumented ``Dataset.get`` completed
 ``op.insert``               an instrumented ``Dataset.insert`` batch completed
 ``op.update``               a ``Dataset.upsert`` (or a concurrent write
@@ -69,6 +80,13 @@ EVENT_NAMES = (
     "node.provision",
     "node.decommission",
     "database.close",
+    "autopilot.start",
+    "autopilot.stop",
+    "autopilot.decision",
+    "autopilot.skip",
+    "autopilot.dry_run",
+    "autopilot.rebalance.start",
+    "autopilot.rebalance.complete",
     "op.read",
     "op.insert",
     "op.update",

@@ -1,0 +1,75 @@
+"""Machine-readable benchmark artifacts: the perf trajectory on disk.
+
+CI (and local runs) can persist each bench driver's headline numbers —
+ops/sec plus p50/p99 latency broken out by cluster phase — as a
+``BENCH_<name>.json`` file, so consecutive runs form a comparable perf
+trajectory instead of scrolling away in a log.  Writing is opt-in: when
+``REPRO_BENCH_ARTIFACT_DIR`` is unset (and no explicit directory is given)
+:func:`write_bench_artifact` is a no-op, keeping plain ``pytest`` runs free
+of side effects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+#: Environment variable selecting where artifacts are written.
+ARTIFACT_DIR_ENV = "REPRO_BENCH_ARTIFACT_DIR"
+
+
+def bench_artifact_dir() -> Optional[str]:
+    """The configured artifact directory, or ``None`` when disabled."""
+    value = os.environ.get(ARTIFACT_DIR_ENV, "").strip()
+    return value or None
+
+
+def write_bench_artifact(
+    name: str,
+    payload: Mapping[str, Any],
+    directory: "Optional[str | Path]" = None,
+) -> Optional[str]:
+    """Write ``BENCH_<name>.json`` and return its path (``None`` if disabled).
+
+    ``directory`` overrides the ``REPRO_BENCH_ARTIFACT_DIR`` environment
+    variable; with neither set the call does nothing.  The JSON is sorted and
+    indented so artifact diffs between runs stay readable.
+    """
+    target = Path(directory) if directory is not None else None
+    if target is None:
+        configured = bench_artifact_dir()
+        if configured is None:
+            return None
+        target = Path(configured)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(dict(payload), sort_keys=True, indent=2) + "\n")
+    return str(path)
+
+
+def traffic_artifact_payload(name: str, result: Any) -> Dict[str, Any]:
+    """The standard artifact body for a traffic-shaped experiment result.
+
+    Works for any result carrying ``total_ops``, ``simulated_seconds``, the
+    per-phase ``write_p99_ms`` / ``read_p99_ms`` dicts, and a ``percentiles``
+    mapping (``"op[phase]"`` -> summary row, seconds) — i.e.
+    :class:`~repro.bench.experiments.TrafficExperimentResult` and
+    :class:`~repro.bench.experiments.AutopilotExperimentResult`.
+    """
+    simulated = float(getattr(result, "simulated_seconds", 0.0))
+    total_ops = int(getattr(result, "total_ops", 0))
+    payload: Dict[str, Any] = {
+        "name": name,
+        "total_ops": total_ops,
+        "simulated_seconds": simulated,
+        "ops_per_second": total_ops / simulated if simulated > 0 else 0.0,
+        "write_p99_ms": dict(getattr(result, "write_p99_ms", {})),
+        "read_p99_ms": dict(getattr(result, "read_p99_ms", {})),
+        #: Per-(op, phase) percentile rows in seconds: count/mean/p50/p95/p99/max.
+        "op_phase_percentiles": {
+            key: dict(row) for key, row in dict(getattr(result, "percentiles", {})).items()
+        },
+    }
+    return payload

@@ -17,17 +17,17 @@ Figure map (Section VI):
 Beyond the paper's figures, :func:`run_traffic_experiment` drives sustained
 YCSB-style mixed traffic through the client API while a rebalance is in
 flight and reports phase-tagged latency percentiles (the Figure 7c story as
-first-class telemetry).
+first-class telemetry), and :func:`run_autopilot_experiment` lets the
+:mod:`repro.control` autopilot close the loop — a hotspot storm with **no**
+scheduled rebalance that the policy detects, plans, and resolves on its own.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING, Tuple
 
-from ..cluster.controller import SimulatedCluster
 from ..rebalance.strategies import (
     DynaHashStrategy,
     GlobalHashingStrategy,
@@ -83,31 +83,6 @@ def build_loaded_database(
     workload = TPCHWorkload(scale_factor=scale.scale_factor(num_nodes), seed=scale.seed)
     load_result = workload.load(db.cluster, tables=tables)
     return db, workload, load_result
-
-
-def build_loaded_cluster(
-    scale: BenchScale,
-    num_nodes: int,
-    strategy_name: str,
-    tables: Sequence[str] = SCALING_TABLES,
-) -> Tuple[SimulatedCluster, TPCHWorkload, TPCHLoadResult]:
-    """Legacy variant of :func:`build_loaded_database` returning the raw
-    cluster.
-
-    .. deprecated:: 1.2
-        Duplicated by :func:`build_loaded_database`; call that and use
-        ``db.cluster`` where the raw cluster is genuinely needed.
-    """
-    warnings.warn(
-        "build_loaded_cluster() is deprecated; use build_loaded_database() "
-        "and its Database handle (db.cluster for the raw cluster) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    db, workload, load_result = build_loaded_database(
-        scale, num_nodes, strategy_name, tables=tables
-    )
-    return db.cluster, workload, load_result
 
 
 # ---------------------------------------------------------------------------
@@ -310,6 +285,9 @@ class TrafficExperimentResult:
     simulated_seconds: float = 0.0
     #: The full latency table rendered by the metrics registry.
     latency_table: str = ""
+    #: Machine-readable percentile rows per ``"op[phase]"`` (seconds) — what
+    #: the ``BENCH_<name>.json`` artifact persists.
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def table(self) -> str:
         return self.latency_table
@@ -371,6 +349,132 @@ def run_traffic_experiment(
         total_ops=report.total_ops,
         simulated_seconds=report.simulated_seconds,
         latency_table=registry.report(),
+        percentiles=registry.summaries(),
+    )
+    db.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Autopilot experiment: policy-triggered rebalancing under a hotspot storm
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AutopilotExperimentResult:
+    """What one autopilot run decided and what it cost foreground traffic."""
+
+    #: The driver's workload report (includes ``autopilot_decisions``).
+    report: "object"
+    #: Frozen metrics snapshot — includes the ``autopilot.*`` decision
+    #: counters (the determinism contract covers the decisions too).
+    snapshot: "object"
+    #: The engine's comparable decision history: (action, target, outcome).
+    decision_trace: List[Tuple[str, Optional[int], str]] = field(default_factory=list)
+    rebalances_triggered: int = 0
+    nodes_before: int = 0
+    nodes_after: int = 0
+    write_p99_ms: Dict[str, float] = field(default_factory=dict)
+    read_p99_ms: Dict[str, float] = field(default_factory=dict)
+    total_ops: int = 0
+    simulated_seconds: float = 0.0
+    latency_table: str = ""
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    autopilot_summary: str = ""
+
+    def table(self) -> str:
+        return self.latency_table
+
+
+def run_autopilot_experiment(
+    scale: BenchScale = SMOKE,
+    num_nodes: int = 3,
+    policy: str = "cost_aware",
+    mix: str = "B",
+    keys: str = "zipfian",
+    initial_records: int = 600,
+    warmup: int = 80,
+    steady: int = 240,
+    spike: int = 320,
+    recover: int = 160,
+    check_every_ops: int = 40,
+    cooldown_seconds: float = 0.05,
+    node_capacity_bytes: Optional[int] = None,
+    policy_options: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+) -> AutopilotExperimentResult:
+    """Drive a hotspot storm with **no scheduled rebalance** and let the
+    autopilot close the loop: detect (metrics) → plan (what-if simulation) →
+    rebalance (through the normal machinery) → recover (traffic continues).
+
+    The spike phase concentrates an insert-heavy hotspot mix on a sliver of
+    the keyspace, growing the hot partitions until the policy's capacity /
+    skew triggers fire; the engine then executes the cheapest projected plan
+    mid-run.  Deterministic under ``scale.seed`` — same seed, same decisions.
+    """
+    from ..api import Database
+    from ..workload import OperationMix, Phase, Schedule, WorkloadDriver, WorkloadSpec
+
+    db = Database(
+        scale.cluster_config(num_nodes),
+        strategy=make_strategy("DynaHash", scale),
+    )
+    if node_capacity_bytes is None:
+        # Size the budget so the preload sits comfortably (~50% mean
+        # utilization at ~128 stored bytes/record) and the spike's insert
+        # volume pushes the hottest node through the high-water mark mid-run.
+        node_capacity_bytes = max(1, 256 * initial_records // num_nodes)
+    if policy_options is None:
+        # The balance bar sits above the preload's natural bucket skew so the
+        # run's *capacity* trajectory — not the initial layout — is what
+        # trips the policy, squarely inside the spike phase.
+        policy_options = {
+            "node_capacity_bytes": node_capacity_bytes,
+            "balance_bar": 1.8,
+        }
+    pilot = db.autopilot(
+        policy=policy,
+        policy_options=policy_options,
+        check_every_ops=check_every_ops,
+        cooldown_seconds=cooldown_seconds,
+    )
+    spike_mix = OperationMix(name="spike", read=0.3, insert=0.6, update=0.1)
+    spec = WorkloadSpec(
+        dataset="autopilot",
+        initial_records=initial_records,
+        mix=mix,
+        keys=keys,
+        schedule=Schedule(
+            (
+                Phase(name="warmup", ops=warmup, keys="uniform"),
+                Phase(name="steady", ops=steady),
+                Phase(name="spike", ops=spike, keys="hotspot", mix=spike_mix),
+                Phase(name="recover", ops=recover),
+            )
+        ),
+    )
+    driver = WorkloadDriver(db, spec, seed=scale.seed if seed is None else seed)
+    nodes_before = db.num_nodes
+    report = driver.run()
+    registry = db.metrics
+    result = AutopilotExperimentResult(
+        report=report,
+        snapshot=report.snapshot,
+        decision_trace=pilot.decision_trace(),
+        rebalances_triggered=pilot.rebalances_triggered,
+        nodes_before=nodes_before,
+        nodes_after=db.num_nodes,
+        write_p99_ms={
+            phase: seconds * 1e3 for phase, seconds in report.write_p99_seconds.items()
+        },
+        read_p99_ms={
+            phase: seconds * 1e3 for phase, seconds in report.read_p99_seconds.items()
+        },
+        total_ops=report.total_ops,
+        simulated_seconds=report.simulated_seconds,
+        latency_table=registry.report(),
+        percentiles=registry.summaries(),
+        autopilot_summary=pilot.summary(),
     )
     db.close()
     return result

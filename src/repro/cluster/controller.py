@@ -13,9 +13,8 @@ BEGIN/COMMIT/DONE records drive rebalance recovery.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..common.clock import LamportClock
 from ..common.config import BucketingConfig, ClusterConfig
@@ -35,7 +34,6 @@ from .dataset import DatasetSpec, SecondaryIndexSpec
 from .feed import DataFeed, RoutingSnapshot
 from .node import NodeController
 from .partition import StoragePartition
-from .reports import IngestReport
 
 
 @dataclass
@@ -314,48 +312,20 @@ class SimulatedCluster:
         """Open a data feed against the dataset's current routing state."""
         return DataFeed(self, dataset_name, batch_size=batch_size)
 
-    def ingest(
-        self,
-        dataset_name: str,
-        rows: Iterable[Mapping[str, Any]],
-        batch_size: int = 2000,
-    ) -> IngestReport:
-        """Ingest rows through a fresh feed and return its report.
-
-        .. deprecated:: 1.1
-            Use the :mod:`repro.api` dataset handles instead:
-            ``db.dataset(name).insert(rows)``.
-        """
-        warnings.warn(
-            "SimulatedCluster.ingest() is deprecated; use repro.api.Database "
-            "and Dataset.insert() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.feed(dataset_name, batch_size=batch_size).ingest(rows)
-
     # ------------------------------------------------------------ read paths
 
     def point_lookup(self, dataset_name: str, key: Any) -> Optional[Dict[str, Any]]:
-        """Point lookup by primary key (routes via the current directory)."""
+        """Point lookup by primary key (routes via the current directory).
+
+        Client code should prefer the :mod:`repro.api` handles
+        (``db.dataset(name).get(key)``); this is the internal routing path
+        they share with the query executor.  The deprecated ``ingest`` /
+        ``lookup`` shims were removed in 1.3 — use ``Dataset.insert`` /
+        ``Dataset.get``.
+        """
         runtime = self.dataset(dataset_name)
         partition_id = runtime.partition_of_key(key)
         return runtime.partitions[partition_id].lookup(key)
-
-    def lookup(self, dataset_name: str, key: Any) -> Optional[Dict[str, Any]]:
-        """Point lookup by primary key.
-
-        .. deprecated:: 1.1
-            Use the :mod:`repro.api` dataset handles instead:
-            ``db.dataset(name).get(key)``.
-        """
-        warnings.warn(
-            "SimulatedCluster.lookup() is deprecated; use repro.api.Database "
-            "and Dataset.get() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.point_lookup(dataset_name, key)
 
     def partitions_by_node(self, dataset_name: str) -> Dict[str, List[StoragePartition]]:
         """Dataset partitions grouped by node (what the query executor runs over)."""

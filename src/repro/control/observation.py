@@ -1,0 +1,132 @@
+"""Cluster observations: the frozen input every autopilot policy decides on.
+
+A :class:`ClusterObservation` is captured from a live
+:class:`~repro.api.database.Database` session right before each policy
+evaluation.  It is deliberately a *value* — frozen, hashable fields only — so
+two runs with the same seed capture identical observation sequences and
+therefore make identical decisions (the autopilot determinism contract), and
+so tests can compare observations directly.
+
+Everything here is derived from state that is itself deterministic: the
+metrics registry's simulated clock and counters, and the cluster's per-node
+storage accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING, Tuple
+
+from ..metrics import PHASE_REBALANCE, PHASE_STEADY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.database import Database
+
+
+def balance_ratio(values: "Sequence[int]") -> float:
+    """max/mean over ``values`` (1.0 = perfectly balanced or no data).
+
+    The one definition of "balance" shared by observations and what-if
+    projections, so policies always compare like with like.
+    """
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    return max(values) / mean
+
+
+@dataclass(frozen=True)
+class ClusterObservation:
+    """What the autopilot sees: load, balance, capacity, and tail latency."""
+
+    #: The metrics clock at capture time (simulated seconds).
+    simulated_seconds: float
+    num_nodes: int
+    total_partitions: int
+    #: ``(node_id, bytes)`` pairs, sorted by node id.
+    storage_per_node: Tuple[Tuple[str, int], ...]
+    total_bytes: int
+    max_node_bytes: int
+    #: Per-node byte skew, max/mean (1.0 = perfectly balanced).
+    node_balance_ratio: float
+    #: Per-partition byte skew across all datasets (hotspot partitions push
+    #: this up well before whole nodes look imbalanced).
+    partition_balance_ratio: float
+    max_partition_bytes: int
+    total_records: int
+    #: Total operations the metrics registry has counted so far.
+    ops_total: int
+    #: Whether a rebalance is currently in flight (registry phase).
+    in_rebalance: bool
+    rebalances_started: int
+    rebalances_completed: int
+    #: Cumulative p99s in seconds; 0.0 when no samples exist for the phase.
+    steady_write_p99: float
+    steady_read_p99: float
+    rebalance_write_p99: float
+    dataset_names: Tuple[str, ...]
+
+    @classmethod
+    def capture(cls, db: "Database") -> "ClusterObservation":
+        """Snapshot the session's cluster and telemetry state."""
+        cluster = db.cluster
+        metrics = db.metrics
+        storage = tuple(sorted(cluster.storage_per_node().items()))
+        node_bytes = tuple(size for _, size in storage)
+        partition_bytes: dict = {}
+        total_records = 0
+        for name in cluster.dataset_names():
+            runtime = cluster.dataset(name)
+            total_records += runtime.record_count()
+            for pid, partition in runtime.partitions.items():
+                partition_bytes[pid] = partition_bytes.get(pid, 0) + partition.size_bytes
+        per_partition = tuple(partition_bytes[pid] for pid in sorted(partition_bytes))
+        return cls(
+            simulated_seconds=metrics.clock.now,
+            num_nodes=cluster.num_nodes,
+            total_partitions=cluster.total_partitions,
+            storage_per_node=storage,
+            total_bytes=sum(node_bytes),
+            max_node_bytes=max(node_bytes) if node_bytes else 0,
+            node_balance_ratio=balance_ratio(node_bytes),
+            partition_balance_ratio=balance_ratio(per_partition),
+            max_partition_bytes=max(per_partition) if per_partition else 0,
+            total_records=total_records,
+            ops_total=int(metrics.counter_value("ops.total")),
+            in_rebalance=metrics.in_rebalance,
+            rebalances_started=int(metrics.counter_value("rebalance.started")),
+            rebalances_completed=int(metrics.counter_value("rebalance.completed")),
+            steady_write_p99=_p99(metrics.write_latency(PHASE_STEADY)),
+            steady_read_p99=_p99(metrics.latency("read", PHASE_STEADY)),
+            rebalance_write_p99=_p99(metrics.write_latency(PHASE_REBALANCE)),
+            dataset_names=tuple(cluster.dataset_names()),
+        )
+
+    # ------------------------------------------------------------ conveniences
+
+    def mean_node_bytes(self) -> float:
+        return self.total_bytes / self.num_nodes if self.num_nodes else 0.0
+
+    def utilization(self, node_capacity_bytes: int) -> float:
+        """Peak node utilization against a per-node capacity budget."""
+        if node_capacity_bytes <= 0:
+            raise ValueError("node_capacity_bytes must be positive")
+        return self.max_node_bytes / node_capacity_bytes
+
+    def mean_utilization(self, node_capacity_bytes: int) -> float:
+        if node_capacity_bytes <= 0:
+            raise ValueError("node_capacity_bytes must be positive")
+        return self.mean_node_bytes() / node_capacity_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterObservation(t={self.simulated_seconds:.3f}s, "
+            f"nodes={self.num_nodes}, bytes={self.total_bytes}, "
+            f"balance={self.node_balance_ratio:.2f})"
+        )
+
+
+def _p99(histogram) -> float:
+    return histogram.percentile(0.99) if histogram.count else 0.0

@@ -1,0 +1,527 @@
+"""Autopilot policies: turning observations into rebalance decisions.
+
+A policy is anything with ``decide(observation, planner) -> PolicyDecision``
+and a ``name``.  Three built-ins cover the production archetypes:
+
+* :class:`ThresholdPolicy` — classic trigger rules: per-node byte skew,
+  hotspot partitions, capacity pressure against a per-node budget, and p99
+  write-latency regression against the first steady baseline it observes.
+* :class:`CostAwarePolicy` — simulates candidate plans (re-target, add node,
+  remove node) through the :class:`~repro.control.planner.WhatIfPlanner` /
+  cluster cost model and picks the cheapest plan whose projected post-move
+  balance clears a bar.
+* :class:`ScheduledPolicy` — cron-like maintenance driven by the *simulated*
+  clock: fire a fixed action every N simulated seconds.
+
+Policies are registered in a string-keyed registry mirroring the PR 1
+strategy registry, so client code writes ``db.autopilot(policy="cost_aware")``
+and plugs in custom policies with :func:`register_policy`.
+
+Policies may be stateful (the threshold policy remembers its p99 baseline,
+the scheduled policy its next fire time); a fresh instance is built per
+autopilot engine, so state never leaks between sessions and two same-seed
+runs traverse identical state sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ConfigError
+from .observation import ClusterObservation
+from .planner import PlanProjection, WhatIfPlanner
+
+#: The four decision actions a policy can return.
+ACTION_NONE = "none"
+ACTION_ADD = "add"
+ACTION_REMOVE = "remove"
+ACTION_RETARGET = "retarget"
+
+ACTIONS = (ACTION_NONE, ACTION_ADD, ACTION_REMOVE, ACTION_RETARGET)
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One policy verdict: do nothing, or rebalance to ``target_nodes``."""
+
+    action: str
+    target_nodes: Optional[int] = None
+    reason: str = ""
+    #: The winning what-if projection, when the policy simulated candidates.
+    projection: Optional[PlanProjection] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigError(f"unknown decision action {self.action!r}; one of {ACTIONS}")
+        if self.action != ACTION_NONE and (
+            self.target_nodes is None or self.target_nodes < 1
+        ):
+            raise ConfigError(f"a {self.action!r} decision needs target_nodes >= 1")
+
+    @property
+    def wants_rebalance(self) -> bool:
+        return self.action != ACTION_NONE
+
+    def signature(self) -> Tuple[str, Optional[int]]:
+        """The identity hysteresis streaks compare on."""
+        return (self.action, self.target_nodes)
+
+
+def no_action(reason: str = "") -> PolicyDecision:
+    return PolicyDecision(ACTION_NONE, reason=reason)
+
+
+def _action_for(target_nodes: int, current_nodes: int) -> str:
+    if target_nodes > current_nodes:
+        return ACTION_ADD
+    if target_nodes < current_nodes:
+        return ACTION_REMOVE
+    return ACTION_RETARGET
+
+
+class AutopilotPolicy:
+    """Base class; subclasses implement :meth:`decide`."""
+
+    name = "base"
+
+    def decide(
+        self, observation: ClusterObservation, planner: WhatIfPlanner
+    ) -> PolicyDecision:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class ThresholdPolicy(AutopilotPolicy):
+    """Trigger rules over skew, hotspots, capacity, and tail latency.
+
+    Parameters
+    ----------
+    skew_threshold:
+        Per-node byte skew (max/mean) above which the policy re-targets the
+        current node set (re-running Algorithm 2 spreads drifted buckets).
+    partition_skew_threshold:
+        Optional per-partition skew trigger — hotspot partitions push this up
+        before whole nodes look imbalanced.  ``None`` disables it.
+    node_capacity_bytes:
+        Per-node capacity budget; ``None`` disables both capacity triggers.
+    capacity_high / capacity_low:
+        Peak utilization above ``capacity_high`` adds ``step`` nodes; mean
+        utilization below ``capacity_low`` removes ``step`` (when the
+        post-removal mean would still sit comfortably under the high mark).
+    p99_regression_factor:
+        Optional: when the cumulative steady write p99 exceeds this multiple
+        of the first non-zero baseline it observed, add a node.
+    """
+
+    name = "Threshold"
+
+    def __init__(
+        self,
+        skew_threshold: float = 1.5,
+        partition_skew_threshold: Optional[float] = None,
+        node_capacity_bytes: Optional[int] = None,
+        capacity_high: float = 0.85,
+        capacity_low: float = 0.25,
+        p99_regression_factor: Optional[float] = None,
+        step: int = 1,
+        min_nodes: int = 1,
+        max_nodes: Optional[int] = None,
+    ):
+        if skew_threshold < 1.0:
+            raise ConfigError("skew_threshold must be at least 1.0")
+        if not 0.0 < capacity_low < capacity_high:
+            raise ConfigError("need 0 < capacity_low < capacity_high")
+        if step < 1:
+            raise ConfigError("step must be at least 1")
+        self.skew_threshold = skew_threshold
+        self.partition_skew_threshold = partition_skew_threshold
+        self.node_capacity_bytes = node_capacity_bytes
+        self.capacity_high = capacity_high
+        self.capacity_low = capacity_low
+        self.p99_regression_factor = p99_regression_factor
+        self.step = step
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self._baseline_p99: Optional[float] = None
+
+    def decide(
+        self, observation: ClusterObservation, planner: WhatIfPlanner
+    ) -> PolicyDecision:
+        nodes = observation.num_nodes
+        can_add = self.max_nodes is None or nodes + self.step <= self.max_nodes
+        can_remove = nodes - self.step >= self.min_nodes
+
+        if self.node_capacity_bytes is not None and can_add:
+            peak = observation.utilization(self.node_capacity_bytes)
+            if peak >= self.capacity_high:
+                return PolicyDecision(
+                    ACTION_ADD,
+                    target_nodes=nodes + self.step,
+                    reason=(
+                        f"capacity pressure: peak node utilization "
+                        f"{peak:.2f} >= {self.capacity_high:.2f}"
+                    ),
+                )
+
+        # Both skew triggers re-target the current node set — but only when
+        # Algorithm 2 would actually move buckets.  Skew a rebalance cannot
+        # fix (e.g. one dominant never-split bucket) must not burn an empty
+        # rebalance every cooldown window.
+        if observation.node_balance_ratio > self.skew_threshold:
+            if planner.project(nodes).buckets_moved > 0:
+                return PolicyDecision(
+                    ACTION_RETARGET,
+                    target_nodes=nodes,
+                    reason=(
+                        f"node skew {observation.node_balance_ratio:.2f} > "
+                        f"{self.skew_threshold:.2f}"
+                    ),
+                )
+
+        if (
+            self.partition_skew_threshold is not None
+            and observation.partition_balance_ratio > self.partition_skew_threshold
+        ):
+            if planner.project(nodes).buckets_moved > 0:
+                return PolicyDecision(
+                    ACTION_RETARGET,
+                    target_nodes=nodes,
+                    reason=(
+                        f"hotspot partition skew {observation.partition_balance_ratio:.2f} > "
+                        f"{self.partition_skew_threshold:.2f}"
+                    ),
+                )
+
+        if self.p99_regression_factor is not None:
+            current = observation.steady_write_p99
+            if self._baseline_p99 is None:
+                if current > 0:
+                    self._baseline_p99 = current
+            elif can_add and current > self.p99_regression_factor * self._baseline_p99:
+                baseline = self._baseline_p99
+                # Re-baseline at the regressed level: the cumulative histogram
+                # can never fall back, so without this one regression episode
+                # would re-fire an add on every evaluation forever.
+                self._baseline_p99 = current
+                return PolicyDecision(
+                    ACTION_ADD,
+                    target_nodes=nodes + self.step,
+                    reason=(
+                        f"steady write p99 regressed {current / baseline:.1f}x "
+                        f"over the {baseline * 1e3:.3f} ms baseline"
+                    ),
+                )
+
+        if self.node_capacity_bytes is not None and can_remove:
+            mean = observation.mean_utilization(self.node_capacity_bytes)
+            after = observation.total_bytes / (
+                (nodes - self.step) * self.node_capacity_bytes
+            )
+            if mean < self.capacity_low and after < self.capacity_high * 0.9:
+                return PolicyDecision(
+                    ACTION_REMOVE,
+                    target_nodes=nodes - self.step,
+                    reason=(
+                        f"underutilized: mean node utilization {mean:.2f} < "
+                        f"{self.capacity_low:.2f}"
+                    ),
+                )
+
+        return no_action("all thresholds clear")
+
+
+class CostAwarePolicy(AutopilotPolicy):
+    """Simulate candidate plans and pick the cheapest that restores balance.
+
+    When a trigger fires (byte skew above ``balance_bar``, capacity pressure,
+    or sustained underutilization), the policy projects every candidate —
+    re-target at the current size, add up to ``max_step`` nodes, remove up to
+    ``max_step`` — through the what-if planner and picks the *cheapest*
+    (estimated data-movement seconds) whose projected post-move balance
+    clears ``balance_bar`` and whose projected peak utilization stays under
+    ``capacity_high``.  A capacity-driven trigger must act even when no
+    candidate fully clears the bar, so it falls back to the best-balance
+    candidate; a pure skew trigger stays put instead of paying for a move
+    that would not fix the skew.
+    """
+
+    name = "CostAware"
+
+    def __init__(
+        self,
+        balance_bar: float = 1.3,
+        node_capacity_bytes: Optional[int] = None,
+        capacity_high: float = 0.85,
+        capacity_low: float = 0.3,
+        max_step: int = 1,
+        min_nodes: int = 1,
+        max_nodes: Optional[int] = None,
+        consider_retarget: bool = True,
+    ):
+        if balance_bar < 1.0:
+            raise ConfigError("balance_bar must be at least 1.0")
+        if not 0.0 < capacity_low < capacity_high:
+            raise ConfigError("need 0 < capacity_low < capacity_high")
+        if max_step < 1:
+            raise ConfigError("max_step must be at least 1")
+        self.balance_bar = balance_bar
+        self.node_capacity_bytes = node_capacity_bytes
+        self.capacity_high = capacity_high
+        self.capacity_low = capacity_low
+        self.max_step = max_step
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.consider_retarget = consider_retarget
+
+    # ------------------------------------------------------------------ decide
+
+    def decide(
+        self, observation: ClusterObservation, planner: WhatIfPlanner
+    ) -> PolicyDecision:
+        nodes = observation.num_nodes
+        triggers = self._triggers(observation)
+        if not triggers:
+            return no_action("balanced and within capacity")
+
+        projections = planner.candidates(self._candidate_sizes(nodes, triggers))
+        # A re-target that moves nothing is a no-op by construction —
+        # Algorithm 2 already considers the layout balanced — so it can never
+        # relieve a trigger and only burns a rebalance.
+        feasible = [
+            p
+            for p in projections
+            if p.feasible and not (p.target_nodes == nodes and p.buckets_moved == 0)
+        ]
+        cleared = [p for p in feasible if self._clears_bar(p)]
+        # Capacity pressure should act even when nothing fully clears the
+        # bar — but only with a plan that genuinely relieves it.  Without
+        # the improvement guard a dominant hot bucket (which no node count
+        # can spread) would trigger an endless scale-out.
+        improving = [p for p in feasible if self._improves(p, observation)]
+        if cleared:
+            # The tentpole contract: cheapest plan whose projected post-move
+            # balance (and capacity headroom) clears the bar.
+            best = min(
+                cleared,
+                key=lambda p: (
+                    p.estimated_seconds,
+                    abs(p.target_nodes - nodes),
+                    p.target_nodes,
+                ),
+            )
+            picked = "cheapest clearing plan"
+        elif "capacity" in triggers and improving:
+            best = min(
+                improving,
+                key=lambda p: (
+                    p.projected_balance_ratio,
+                    p.estimated_seconds,
+                    p.target_nodes,
+                ),
+            )
+            picked = "best-balance plan (bar not cleared)"
+        else:
+            return no_action(
+                f"triggered ({', '.join(triggers)}) but no candidate plan clears "
+                f"balance bar {self.balance_bar:.2f} or improves the layout"
+            )
+        action = _action_for(best.target_nodes, nodes)
+        return PolicyDecision(
+            action,
+            target_nodes=best.target_nodes,
+            reason=(
+                f"{'/'.join(triggers)}: {picked} -> {best.target_nodes} nodes "
+                f"(~{best.estimated_seconds:.2f}s movement, projected balance "
+                f"{best.projected_balance_ratio:.2f})"
+            ),
+            projection=best,
+        )
+
+    # ------------------------------------------------------------------ pieces
+
+    def _triggers(self, observation: ClusterObservation) -> List[str]:
+        triggers: List[str] = []
+        if self.node_capacity_bytes is not None:
+            if observation.utilization(self.node_capacity_bytes) >= self.capacity_high:
+                triggers.append("capacity")
+            elif (
+                observation.num_nodes > self.min_nodes
+                and observation.mean_utilization(self.node_capacity_bytes)
+                <= self.capacity_low
+            ):
+                triggers.append("underutilized")
+        if observation.node_balance_ratio > self.balance_bar:
+            triggers.append("skew")
+        return triggers
+
+    def _candidate_sizes(self, nodes: int, triggers: Sequence[str]) -> List[int]:
+        sizes: List[int] = []
+        # Re-targeting spreads drifted buckets but adds no capacity, so it is
+        # only a candidate for pure skew; capacity pressure must grow.
+        if self.consider_retarget and "skew" in triggers and "capacity" not in triggers:
+            sizes.append(nodes)
+        grow = "capacity" in triggers or "skew" in triggers
+        for step in range(1, self.max_step + 1):
+            if grow and (self.max_nodes is None or nodes + step <= self.max_nodes):
+                sizes.append(nodes + step)
+            if "underutilized" in triggers and nodes - step >= self.min_nodes:
+                sizes.append(nodes - step)
+        return sizes
+
+    def _clears_bar(self, projection: PlanProjection) -> bool:
+        if projection.projected_balance_ratio > self.balance_bar:
+            return False
+        if self.node_capacity_bytes is not None:
+            peak = projection.projected_max_node_bytes / self.node_capacity_bytes
+            if peak > self.capacity_high:
+                return False
+        return True
+
+    def _improves(
+        self, projection: PlanProjection, observation: ClusterObservation
+    ) -> bool:
+        """Whether the plan meaningfully reduces peak bytes or skew (5%+)."""
+        better_peak = (
+            projection.projected_max_node_bytes <= observation.max_node_bytes * 0.95
+        )
+        better_balance = (
+            projection.projected_balance_ratio <= observation.node_balance_ratio * 0.95
+        )
+        return better_peak or better_balance
+
+
+class ScheduledPolicy(AutopilotPolicy):
+    """Cron-like maintenance on the simulated clock.
+
+    Fires every ``interval_seconds`` of *simulated* time (the metrics clock,
+    so schedules are deterministic and independent of wall-clock speed).  The
+    fixed ``action`` is ``"retarget"`` (re-run Algorithm 2 at the current
+    size — periodic bucket grooming), ``"add"``, or ``"remove"``; an explicit
+    ``target_nodes`` overrides the action arithmetic.
+    """
+
+    name = "Scheduled"
+
+    def __init__(
+        self,
+        interval_seconds: float,
+        action: str = ACTION_RETARGET,
+        amount: int = 1,
+        target_nodes: Optional[int] = None,
+        min_nodes: int = 1,
+        max_nodes: Optional[int] = None,
+    ):
+        if interval_seconds <= 0:
+            raise ConfigError("interval_seconds must be positive")
+        if action not in (ACTION_ADD, ACTION_REMOVE, ACTION_RETARGET):
+            raise ConfigError(
+                f"scheduled action must be add/remove/retarget, got {action!r}"
+            )
+        if amount < 1:
+            raise ConfigError("amount must be at least 1")
+        self.interval_seconds = interval_seconds
+        self.action = action
+        self.amount = amount
+        self.target_nodes = target_nodes
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self._next_fire: Optional[float] = None
+
+    def decide(
+        self, observation: ClusterObservation, planner: WhatIfPlanner
+    ) -> PolicyDecision:
+        now = observation.simulated_seconds
+        if self._next_fire is None:
+            self._next_fire = now + self.interval_seconds
+            return no_action("schedule armed")
+        if now < self._next_fire:
+            return no_action("not due yet")
+        while self._next_fire <= now:
+            self._next_fire += self.interval_seconds
+        target = self._target_for(observation.num_nodes)
+        if target is None:
+            return no_action("scheduled action hit the node-count bounds")
+        return PolicyDecision(
+            _action_for(target, observation.num_nodes),
+            target_nodes=target,
+            reason=f"scheduled {self.action} every {self.interval_seconds:g}s",
+        )
+
+    def _target_for(self, nodes: int) -> Optional[int]:
+        if self.target_nodes is not None:
+            return self.target_nodes if self.target_nodes >= 1 else None
+        if self.action == ACTION_ADD:
+            target = nodes + self.amount
+            return target if self.max_nodes is None or target <= self.max_nodes else None
+        if self.action == ACTION_REMOVE:
+            target = nodes - self.amount
+            return target if target >= self.min_nodes else None
+        return nodes
+
+
+# ---------------------------------------------------------------------------
+# The policy registry (mirrors the rebalancing-strategy registry)
+# ---------------------------------------------------------------------------
+
+#: canonical name -> policy factory.
+_POLICY_FACTORIES: Dict[str, Any] = {}
+#: alias (lowercase) -> canonical name.
+_POLICY_ALIASES: Dict[str, str] = {}
+
+
+def register_policy(name: str, factory, aliases: Sequence[str] = ()) -> None:
+    """Register an autopilot policy under ``name`` (plus ``aliases``).
+
+    ``factory`` is any callable returning a policy object (usually the policy
+    class itself); extra keyword arguments given to :func:`policy_by_name` are
+    forwarded to it.  Registration is case-insensitive and re-registering a
+    name replaces the previous entry, so tests and downstream code can swap
+    in instrumented policies.
+    """
+    if not name:
+        raise ConfigError("policy name must not be empty")
+    canonical = name.lower()
+    _POLICY_FACTORIES[canonical] = factory
+    _POLICY_ALIASES[canonical] = canonical
+    for alias in aliases:
+        _POLICY_ALIASES[alias.lower()] = canonical
+
+
+def available_policies() -> List[str]:
+    """Canonical names accepted by :func:`policy_by_name`, sorted."""
+    return sorted(_POLICY_FACTORIES)
+
+
+def policy_by_name(name: str, **kwargs: Any) -> AutopilotPolicy:
+    """Resolve a registered policy name (or alias) to a fresh instance."""
+    normalized = str(name).strip().lower()
+    canonical = _POLICY_ALIASES.get(normalized)
+    if canonical is None:
+        raise ConfigError(
+            f"unknown autopilot policy {name!r}; "
+            f"valid choices: {', '.join(available_policies())} "
+            f"(aliases: {', '.join(sorted(set(_POLICY_ALIASES) - set(_POLICY_FACTORIES)))})"
+        )
+    return _POLICY_FACTORIES[canonical](**kwargs)
+
+
+def resolve_policy(policy: "str | AutopilotPolicy", **kwargs: Any) -> AutopilotPolicy:
+    """Resolve a policy given as a registered name or an instance."""
+    if isinstance(policy, str):
+        return policy_by_name(policy, **kwargs)
+    if kwargs:
+        raise ConfigError("policy options are only valid with a policy name")
+    if not hasattr(policy, "decide"):
+        raise ConfigError(
+            f"{policy!r} is not an autopilot policy (missing decide); "
+            f"pass an instance or one of: {', '.join(available_policies())}"
+        )
+    return policy
+
+
+register_policy("threshold", ThresholdPolicy, aliases=("skew", "thresholds"))
+register_policy("cost_aware", CostAwarePolicy, aliases=("costaware", "cost-aware", "cost"))
+register_policy("scheduled", ScheduledPolicy, aliases=("cron", "schedule"))

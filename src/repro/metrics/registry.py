@@ -23,6 +23,8 @@ throughput numbers are deterministic and comparable across runs.
 
 from __future__ import annotations
 
+import json
+
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -62,6 +64,52 @@ class MetricsSnapshot:
         snap = self.histograms.get(f"{op}[{phase}]")
         return snap[1] if snap is not None else 0
 
+    # ------------------------------------------------------------ persistence
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the snapshot to JSON (a stable, sorted document).
+
+        The round trip is lossless: ``MetricsSnapshot.from_json(s.to_json())``
+        compares *equal* to ``s``, so bench runs and the autopilot can persist
+        telemetry to disk and replay it later without breaking the
+        determinism contract.
+        """
+        return json.dumps(
+            {
+                "version": 1,
+                "phase": self.phase,
+                "simulated_seconds": self.simulated_seconds,
+                "counters": self.counters,
+                "gauges": self.gauges,
+                # Histogram snapshots are (counts, count, total, min, max)
+                # tuples; JSON has no tuples, so they travel as lists and
+                # from_json restores the tuple shape.
+                "histograms": {
+                    key: [list(snap[0]), *snap[1:]] for key, snap in self.histograms.items()
+                },
+            },
+            sort_keys=True,
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        """Rebuild a snapshot serialised by :meth:`to_json`."""
+        data = json.loads(text)
+        version = data.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported MetricsSnapshot JSON version {version!r}")
+        return cls(
+            phase=data["phase"],
+            simulated_seconds=data["simulated_seconds"],
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={
+                key: (tuple(value[0]), *value[1:])
+                for key, value in data.get("histograms", {}).items()
+            },
+        )
+
 
 class MetricsRegistry:
     """All telemetry of one database session, fed by the event bus."""
@@ -97,6 +145,7 @@ class MetricsRegistry:
             bus.on("node.*", self._on_node_change),
             bus.on("dataset.create", self._on_dataset_create),
             bus.on("dataset.drop", self._on_dataset_drop),
+            bus.on("autopilot.*", self._on_autopilot),
         ]
         return self
 
@@ -210,6 +259,16 @@ class MetricsRegistry:
     def _on_dataset_drop(self, event: Event) -> None:
         self.counter("datasets.dropped").increment()
 
+    def _on_autopilot(self, event: Event) -> None:
+        """Count every ``autopilot.*`` lifecycle event by its full name, so
+        control-plane decisions appear in snapshots like any other telemetry
+        (e.g. ``autopilot.decision``, ``autopilot.rebalance.complete``)."""
+        self.counter(event.name).increment()
+        if event.name == "autopilot.start":
+            self.gauge("autopilot.active").set(1)
+        elif event.name == "autopilot.stop":
+            self.gauge("autopilot.active").set(0)
+
     # ---------------------------------------------------------------- queries
 
     def latency(self, op: str, phase: Optional[str] = None) -> LatencyHistogram:
@@ -260,6 +319,17 @@ class MetricsRegistry:
             merged.merge(self.latency_since(since, op, phase))
         return merged
 
+    def counter_value(self, name: str) -> float:
+        """Read a counter without creating it (0 when never incremented).
+
+        Unlike :meth:`counter`, passive reads never register a zero-valued
+        counter, so inspection cannot perturb :meth:`snapshot` equality (the
+        determinism contract) — and unlike :meth:`snapshot` it does not copy
+        every histogram just to read one number.
+        """
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
     def ops_per_second(self, op: Optional[str] = None) -> float:
         """Throughput in operations per *simulated* second (read-only)."""
         if self.clock.now <= 0:
@@ -281,6 +351,18 @@ class MetricsRegistry:
                 for (op, phase), histogram in sorted(self._histograms.items())
             },
         )
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """Percentile summaries per populated ``"op[phase]"`` histogram.
+
+        The machine-readable companion of :meth:`report` — what the bench
+        artifact writer persists (count, mean, p50/p95/p99, max in seconds).
+        """
+        return {
+            f"{op}[{phase}]": histogram.summary()
+            for (op, phase), histogram in sorted(self._histograms.items())
+            if histogram.count
+        }
 
     def report(self, unit: str = "ms") -> str:
         """An aligned latency table: one row per (op, phase) with percentiles."""

@@ -31,6 +31,15 @@ resize, respecting the paper's Section V-A concurrency control:
   genuinely **while** the operation is between protocol phases: the old
   directory is still live and the source partitions still serve every moved
   bucket until the commit point, exactly as the protocol promises.
+
+Autopilot
+---------
+When the session has an :class:`~repro.control.autopilot.Autopilot` attached
+(``db.autopilot(...)``), the driver's traffic *is* the control loop's input:
+the engine re-evaluates its policy every N ``op.*`` events, so a hotspot
+spike phase can organically trigger a policy-driven rebalance mid-run with no
+``rebalance=`` key in the schedule.  The run's report carries the decisions
+taken while it ran (``report.autopilot_decisions``).
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.database import Database
     from ..api.dataset import Dataset
     from ..cluster.reports import ClusterRebalanceReport
+    from ..control.autopilot import AutopilotDecision
 
 
 @dataclass(frozen=True)
@@ -140,6 +150,12 @@ class WorkloadReport:
     read_p99_seconds: Dict[str, float] = field(default_factory=dict)
     total_ops: int = 0
     simulated_seconds: float = 0.0
+    #: Decisions the session's autopilot engine took *during this run* (empty
+    #: when no engine is attached) — how "phased traffic organically triggers
+    #: a rebalance" shows up in the report.
+    autopilot_decisions: "List[AutopilotDecision]" = field(default_factory=list)
+    #: How many of those decisions executed a rebalance.
+    autopilot_rebalances: int = 0
 
     def phase(self, name: str) -> PhaseResult:
         for result in self.phases:
@@ -158,6 +174,11 @@ class WorkloadReport:
                 f"  {result.name}: {result.ops} ops "
                 f"(r={result.reads} i={result.inserts} u={result.updates} "
                 f"d={result.deletes} s={result.scans}){marker}"
+            )
+        if self.autopilot_decisions:
+            lines.append(
+                f"  autopilot: {len(self.autopilot_decisions)} decisions, "
+                f"{self.autopilot_rebalances} rebalances triggered"
             )
         for phase_name in (PHASE_STEADY, PHASE_REBALANCE):
             p99 = self.write_p99_seconds.get(phase_name)
@@ -298,6 +319,12 @@ class WorkloadDriver:
         self.prepare()
         schedule = self.spec.schedule or steady_schedule(self.spec.default_ops)
         report = WorkloadReport(spec=self.spec, seed=self.seed)
+        # The autopilot engine (if one is attached) evaluates off the op.*
+        # events this run emits; remember where its log stood so the report
+        # can carry just this run's decisions.
+        pilot = getattr(self.db, "autopilot_engine", None)
+        decisions_before = len(pilot.decisions) if pilot is not None else 0
+        rebalances_before = pilot.rebalances_triggered if pilot is not None else 0
         for phase in schedule:
             started = self.metrics.clock.now
             if phase.rebalance is not None:
@@ -316,6 +343,9 @@ class WorkloadDriver:
             reads = self.metrics.latency_since(since, "read", phase_name)
             if reads.count:
                 report.read_p99_seconds[phase_name] = reads.percentile(0.99)
+        if pilot is not None:
+            report.autopilot_decisions = list(pilot.decisions[decisions_before:])
+            report.autopilot_rebalances = pilot.rebalances_triggered - rebalances_before
         report.snapshot = self.metrics.snapshot()
         return report
 

@@ -1,0 +1,129 @@
+"""The PR 1 deprecation cycle is finished: the legacy shims are *gone*.
+
+``SimulatedCluster.ingest`` / ``.lookup`` and the bench helper
+``build_loaded_cluster`` spent two releases emitting ``DeprecationWarning``;
+this module pins down their removal — the attributes no longer exist, the
+canonical replacements cover the old behaviour, and none of the supported
+paths raise deprecation warnings anymore.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import BucketingConfig, ClusterConfig, Database, KIB, LSMConfig
+from repro.cluster import SimulatedCluster
+
+
+def config():
+    return ClusterConfig(
+        num_nodes=2,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=64 * KIB),
+    )
+
+
+def order_rows(count):
+    return [
+        {"o_orderkey": key, "o_custkey": key % 100, "o_totalprice": float(key)}
+        for key in range(count)
+    ]
+
+
+class TestShimsRemoved:
+    def test_cluster_ingest_shim_is_gone(self):
+        cluster = SimulatedCluster(config(), strategy="dynahash")
+        assert not hasattr(cluster, "ingest")
+
+    def test_cluster_lookup_shim_is_gone(self):
+        cluster = SimulatedCluster(config(), strategy="dynahash")
+        assert not hasattr(cluster, "lookup")
+
+    def test_build_loaded_cluster_is_gone(self):
+        import repro.bench
+
+        assert not hasattr(repro.bench, "build_loaded_cluster")
+        with pytest.raises(ImportError):
+            from repro.bench import build_loaded_cluster  # noqa: F401
+
+    def test_internal_feed_path_replaces_ingest(self):
+        """``feed(...).ingest(rows)`` is the canonical low-level write path."""
+        cluster = SimulatedCluster(config(), strategy="dynahash")
+        cluster.create_dataset("orders", primary_key="o_orderkey")
+        report = cluster.feed("orders").ingest(order_rows(100))
+        assert report.records == 100
+        assert cluster.point_lookup("orders", 3)["o_custkey"] == 3
+
+    def test_api_handles_match_the_internal_path(self):
+        rows = order_rows(500)
+
+        low_level = SimulatedCluster(config(), strategy="dynahash")
+        low_level.create_dataset("orders", primary_key="o_orderkey")
+        low_report = low_level.feed("orders").ingest(rows)
+
+        with Database(config(), strategy="dynahash") as db:
+            orders = db.create_dataset("orders", primary_key="o_orderkey")
+            api_report = orders.insert(rows)
+
+            assert api_report.records == low_report.records
+            assert api_report.bytes_ingested == low_report.bytes_ingested
+            assert api_report.per_partition_records == low_report.per_partition_records
+            assert api_report.simulated_seconds == pytest.approx(
+                low_report.simulated_seconds
+            )
+            for key in (0, 123, 499, 10_000):
+                assert low_level.point_lookup("orders", key) == orders.get(key)
+
+
+class TestNoDeprecationWarnings:
+    def test_api_verbs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                orders = db.create_dataset("orders", primary_key="o_orderkey")
+                orders.insert(order_rows(50))
+                assert orders.get(7) is not None
+                orders.delete([7])
+                assert orders.count() == 49
+
+    def test_tpch_load_path_does_not_warn(self):
+        from repro.api import load_tpch
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                load = load_tpch(db, scale_factor=0.0002, tables=("region", "nation"))
+                assert load.total_rows > 0
+
+    def test_traffic_engine_paths_do_not_warn(self):
+        from repro.api import run_workload
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                report = run_workload(db, initial_records=40, default_ops=30)
+                assert report.total_ops == 30
+
+    def test_bench_builder_does_not_warn(self):
+        from repro.bench import SMOKE, build_loaded_database
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            db, _workload, load = build_loaded_database(
+                SMOKE, num_nodes=2, strategy_name="DynaHash", tables=("region",)
+            )
+            assert load.total_rows > 0
+            assert db.cluster.record_count("region") == load.total_rows
+
+    def test_autopilot_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(config(), strategy="dynahash") as db:
+                db.create_dataset("orders", primary_key="o_orderkey")
+                pilot = db.autopilot(policy="threshold", check_every_ops=5)
+                orders = db.dataset("orders")
+                orders.insert(order_rows(30))
+                for key in range(20):
+                    orders.get(key)
+                pilot.stop()

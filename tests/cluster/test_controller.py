@@ -93,16 +93,16 @@ class TestIngestAndLookup:
     def test_ingest_and_point_lookup(self):
         cluster = SimulatedCluster(small_config())
         cluster.create_dataset("orders", "o_orderkey")
-        report = cluster.ingest("orders", rows(500))
+        report = cluster.feed("orders").ingest(rows(500))
         assert report.records == 500
         assert report.simulated_seconds > 0
         assert cluster.record_count("orders") == 500
-        assert cluster.lookup("orders", 123)["o_custkey"] == 23
+        assert cluster.point_lookup("orders", 123)["o_custkey"] == 23
 
     def test_ingest_distributes_across_partitions(self):
         cluster = SimulatedCluster(small_config(num_nodes=2, partitions_per_node=2))
         cluster.create_dataset("orders", "o_orderkey")
-        report = cluster.ingest("orders", rows(2000))
+        report = cluster.feed("orders").ingest(rows(2000))
         populated = [pid for pid, count in report.per_partition_records.items() if count > 0]
         assert len(populated) == 4
         counts = list(report.per_partition_records.values())
@@ -111,7 +111,7 @@ class TestIngestAndLookup:
     def test_ingest_report_per_node_times(self):
         cluster = SimulatedCluster(small_config())
         cluster.create_dataset("orders", "o_orderkey")
-        report = cluster.ingest("orders", rows(200))
+        report = cluster.feed("orders").ingest(rows(200))
         assert set(report.per_node_seconds.keys()) == {"nc0", "nc1"}
         assert report.simulated_seconds >= max(report.per_node_seconds.values())
         assert report.bottleneck_node in ("nc0", "nc1")
@@ -119,8 +119,8 @@ class TestIngestAndLookup:
     def test_lookup_missing_key(self):
         cluster = SimulatedCluster(small_config())
         cluster.create_dataset("orders", "o_orderkey")
-        cluster.ingest("orders", rows(10))
-        assert cluster.lookup("orders", 10_000) is None
+        cluster.feed("orders").ingest(rows(10))
+        assert cluster.point_lookup("orders", 10_000) is None
 
     def test_partitions_by_node_grouping(self):
         cluster = SimulatedCluster(small_config(num_nodes=2, partitions_per_node=2))
@@ -132,7 +132,7 @@ class TestIngestAndLookup:
     def test_describe(self):
         cluster = SimulatedCluster(small_config())
         cluster.create_dataset("orders", "o_orderkey")
-        cluster.ingest("orders", rows(50))
+        cluster.feed("orders").ingest(rows(50))
         description = cluster.describe()
         assert description["nodes"] == 2
         assert description["datasets"]["orders"]["records"] == 50
@@ -142,8 +142,8 @@ class TestIngestAndLookup:
         big = SimulatedCluster(small_config(), workload_scale=100.0)
         for cluster in (small, big):
             cluster.create_dataset("orders", "o_orderkey")
-        small_report = small.ingest("orders", rows(200))
-        big_report = big.ingest("orders", rows(200))
+        small_report = small.feed("orders").ingest(rows(200))
+        big_report = big.feed("orders").ingest(rows(200))
         # Node-level work scales linearly with the workload multiplier; only
         # the fixed RPC latency term does not.
         assert max(big_report.per_node_seconds.values()) > 50 * max(
@@ -177,7 +177,7 @@ class TestProvisionDecommission:
     def test_decommission_rejects_nodes_with_data(self):
         cluster = SimulatedCluster(small_config(num_nodes=2, partitions_per_node=2))
         cluster.create_dataset("orders", "o_orderkey")
-        cluster.ingest("orders", rows(200))
+        cluster.feed("orders").ingest(rows(200))
         with pytest.raises(ClusterError):
             cluster.decommission_nodes(1)
 

@@ -92,3 +92,149 @@ class TestAggregates:
         second = WorkBreakdown(disk_write_sec=3.0)
         total = CostModel.sum_breakdowns([first, second])
         assert total.total_sec == pytest.approx(6.0)
+
+
+class TestWorkBreakdownAccounting:
+    def test_total_is_the_sum_of_every_category(self):
+        breakdown = WorkBreakdown(
+            disk_read_sec=1.0,
+            disk_write_sec=2.0,
+            network_sec=3.0,
+            cpu_sec=4.0,
+            rpc_sec=5.0,
+        )
+        assert breakdown.total_sec == pytest.approx(15.0)
+
+    def test_empty_breakdown_is_zero(self):
+        assert WorkBreakdown().total_sec == 0.0
+
+    def test_add_accumulates_category_by_category(self):
+        accumulator = WorkBreakdown(disk_read_sec=1.0, network_sec=0.5)
+        accumulator.add(WorkBreakdown(disk_read_sec=2.0, cpu_sec=3.0, rpc_sec=0.25))
+        assert accumulator.disk_read_sec == pytest.approx(3.0)
+        assert accumulator.network_sec == pytest.approx(0.5)
+        assert accumulator.cpu_sec == pytest.approx(3.0)
+        assert accumulator.rpc_sec == pytest.approx(0.25)
+        assert accumulator.disk_write_sec == 0.0
+        assert accumulator.total_sec == pytest.approx(6.75)
+
+    def test_add_does_not_mutate_the_argument(self):
+        other = WorkBreakdown(disk_write_sec=1.0)
+        WorkBreakdown(disk_write_sec=2.0).add(other)
+        assert other.disk_write_sec == pytest.approx(1.0)
+
+    def test_storage_work_categorises_reads_writes_and_cpu(self):
+        """Flushes/merge outputs are writes, merge inputs/query reads are
+        reads, reconciliation is CPU — each category lands where documented."""
+        config = CostModelConfig(
+            disk_read_bytes_per_sec=100.0,
+            disk_write_bytes_per_sec=100.0,
+            cpu_compare_record_sec=1e-3,
+            component_open_sec=0.0,
+        )
+        stats = StorageStats(
+            bytes_flushed=300,
+            bytes_merged_written=700,
+            bytes_merged_read=400,
+            bytes_read=100,
+            records_merged=50,
+        )
+        breakdown = CostModel(config).storage_work(stats)
+        assert breakdown.disk_write_sec == pytest.approx((300 + 700) / 100.0)
+        assert breakdown.disk_read_sec == pytest.approx((400 + 100) / 100.0)
+        assert breakdown.cpu_sec == pytest.approx(50 * 1e-3)
+        assert breakdown.rpc_sec == 0.0
+
+    def test_movement_work_categories(self):
+        config = CostModelConfig(
+            disk_read_bytes_per_sec=10.0,
+            disk_write_bytes_per_sec=20.0,
+            network_bytes_per_sec=40.0,
+            cpu_compare_record_sec=1e-2,
+        )
+        breakdown = CostModel(config).movement_work(
+            bytes_scanned=100, bytes_shipped=80, bytes_loaded=60, records=5
+        )
+        assert breakdown.disk_read_sec == pytest.approx(10.0)
+        assert breakdown.network_sec == pytest.approx(2.0)
+        assert breakdown.disk_write_sec == pytest.approx(3.0)
+        assert breakdown.cpu_sec == pytest.approx(0.05)
+
+
+class TestSlowestNodeSemantics:
+    def test_slowest_is_the_maximum(self):
+        per_node = {"nc0": 0.5, "nc1": 7.25, "nc2": 7.0, "nc3": 1.0}
+        assert CostModel.slowest(per_node) == 7.25
+
+    def test_single_node(self):
+        assert CostModel.slowest({"nc0": 3.0}) == 3.0
+
+    def test_empty_cluster_takes_no_time(self):
+        assert CostModel.slowest({}) == 0.0
+
+    def test_slowest_ignores_key_type(self):
+        """Keys are opaque (node ids or partition ids both appear)."""
+        assert CostModel.slowest({0: 1.0, 1: 2.0, "nc9": 1.5}) == 2.0
+
+    def test_adding_an_idle_node_does_not_speed_up_the_step(self):
+        """The completion time only drops when the *bottleneck* shrinks."""
+        base = {"nc0": 4.0, "nc1": 2.0}
+        widened = dict(base, nc2=0.0)
+        assert CostModel.slowest(widened) == CostModel.slowest(base)
+
+
+class TestWorkloadScaleProportionality:
+    """``workload_scale`` multiplies the *work*, so every work-derived
+    duration scales linearly while per-message latencies stay fixed."""
+
+    @pytest.mark.parametrize("scale", [0.5, 1.0, 10.0, 5000.0])
+    def test_work_primitives_scale_linearly(self, scale):
+        base = CostModel(CostModelConfig())
+        scaled = CostModel(CostModelConfig(), workload_scale=scale)
+        assert scaled.disk_read_time(1000) == pytest.approx(
+            base.disk_read_time(1000) * scale
+        )
+        assert scaled.disk_write_time(1000) == pytest.approx(
+            base.disk_write_time(1000) * scale
+        )
+        assert scaled.network_time(1000) == pytest.approx(
+            base.network_time(1000) * scale
+        )
+        assert scaled.parse_time(1000) == pytest.approx(base.parse_time(1000) * scale)
+        assert scaled.compare_time(1000) == pytest.approx(
+            base.compare_time(1000) * scale
+        )
+        assert scaled.operator_time(1000) == pytest.approx(
+            base.operator_time(1000) * scale
+        )
+
+    @pytest.mark.parametrize("scale", [0.5, 1.0, 10.0, 5000.0])
+    def test_control_overheads_do_not_scale(self, scale):
+        base = CostModel(CostModelConfig())
+        scaled = CostModel(CostModelConfig(), workload_scale=scale)
+        assert scaled.rpc_time(4) == base.rpc_time(4)
+        assert scaled.component_open_time(9) == base.component_open_time(9)
+
+    def test_scaling_work_equals_scaling_quantity(self):
+        """Multiplying the scale or the quantity is the same thing — the
+        property that lets 1/5000th of the data report paper-scale times."""
+        model = CostModel(CostModelConfig(), workload_scale=250.0)
+        reference = CostModel(CostModelConfig())
+        assert model.disk_read_time(400) == pytest.approx(
+            reference.disk_read_time(400 * 250)
+        )
+
+    def test_movement_work_scales_linearly(self):
+        base = CostModel(CostModelConfig()).movement_work(1000, 1000, 1000, 100)
+        scaled = CostModel(CostModelConfig(), workload_scale=8.0).movement_work(
+            1000, 1000, 1000, 100
+        )
+        assert scaled.total_sec == pytest.approx(base.total_sec * 8.0)
+
+    def test_relative_comparisons_are_scale_invariant(self):
+        """Ratios between two workloads never depend on the multiplier."""
+        small = CostModel(CostModelConfig(), workload_scale=1.0)
+        large = CostModel(CostModelConfig(), workload_scale=5000.0)
+        ratio_small = small.disk_read_time(300) / small.disk_read_time(100)
+        ratio_large = large.disk_read_time(300) / large.disk_read_time(100)
+        assert ratio_small == pytest.approx(ratio_large)

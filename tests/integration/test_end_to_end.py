@@ -88,7 +88,7 @@ class TestRepeatedRebalancing:
         assert cluster.record_count("lineitem") == before + len(concurrent)
         for row in concurrent[::13]:
             key = (row["l_orderkey"], row["l_linenumber"])
-            assert cluster.lookup("lineitem", key) is not None
+            assert cluster.point_lookup("lineitem", key) is not None
 
     def test_crash_then_recover_then_rebalance_again(self):
         db, _workload, _load = build_loaded_database(

@@ -39,7 +39,7 @@ def build_cluster(num_nodes=4, rows=1200, strategy=None):
         "o_orderkey",
         [SecondaryIndexSpec("idx_orderdate", ("o_orderdate",), included_fields=("o_custkey",))],
     )
-    cluster.ingest("orders", orders_rows(rows))
+    cluster.feed("orders").ingest(orders_rows(rows))
     return cluster
 
 
@@ -56,7 +56,7 @@ class TestCommittedRebalance:
         assert cluster.record_count("orders") == 900
         # Every key is still readable through the new directory.
         for key in range(0, 900, 37):
-            assert cluster.lookup("orders", key)["o_custkey"] == key % 1000
+            assert cluster.point_lookup("orders", key)["o_custkey"] == key % 1000
         # No bucket remains on the removed node's partitions.
         runtime = cluster.dataset("orders")
         removed_pids = set(cluster.nodes[2].partition_ids)
@@ -141,7 +141,7 @@ class TestConcurrentWrites:
         assert report.concurrent_writes_applied == 100
         assert cluster.record_count("orders") == 500
         for row in concurrent[::7]:
-            assert cluster.lookup("orders", row["o_orderkey"]) is not None
+            assert cluster.point_lookup("orders", row["o_orderkey"]) is not None
 
     def test_replicated_records_counted_for_moving_buckets_only(self):
         cluster = build_cluster(num_nodes=2, rows=400)

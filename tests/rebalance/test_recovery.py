@@ -34,7 +34,7 @@ def build_cluster(rows=400, num_nodes=2):
         "o_orderkey",
         [SecondaryIndexSpec("idx_orderdate", ("o_orderdate",))],
     )
-    cluster.ingest("orders", orders_rows(rows))
+    cluster.feed("orders").ingest(orders_rows(rows))
     return cluster
 
 
@@ -50,7 +50,7 @@ def dataset_is_consistent(cluster, expected_keys):
     count = cluster.record_count("orders")
     assert count == len(expected_keys)
     for key in list(expected_keys)[:: max(1, len(expected_keys) // 40)]:
-        assert cluster.lookup("orders", key) is not None
+        assert cluster.point_lookup("orders", key) is not None
     return True
 
 

@@ -39,14 +39,14 @@ def build_cluster(strategy, rows=600, num_nodes=2, ppn=2):
         [SecondaryIndexSpec("idx_orderdate", ("o_orderdate",))],
     )
     if rows:
-        cluster.ingest("orders", orders_rows(rows))
+        cluster.feed("orders").ingest(orders_rows(rows))
     return cluster
 
 
 def assert_all_readable(cluster, count):
     assert cluster.record_count("orders") == count
     for key in range(0, count, max(1, count // 50)):
-        assert cluster.lookup("orders", key) is not None
+        assert cluster.point_lookup("orders", key) is not None
 
 
 class TestFactory:
@@ -129,7 +129,7 @@ class TestScaleIn:
         )
         for cluster in (bucketed, hashed):
             cluster.create_dataset("orders", "o_orderkey")
-            cluster.ingest("orders", orders_rows(800))
+            cluster.feed("orders").ingest(orders_rows(800))
         bucketed_report = bucketed.remove_nodes(1)
         hashed_report = hashed.remove_nodes(1)
         assert bucketed_report.total_records_moved < hashed_report.total_records_moved
@@ -192,5 +192,5 @@ class TestConcurrentWritesThroughStrategy:
     def test_ingestion_still_works_after_rebalance(self):
         cluster = build_cluster(DynaHashStrategy(), rows=300, num_nodes=3)
         cluster.remove_nodes(1)
-        cluster.ingest("orders", orders_rows(200, start=9000))
+        cluster.feed("orders").ingest(orders_rows(200, start=9000))
         assert cluster.record_count("orders") == 500
