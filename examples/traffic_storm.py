@@ -14,6 +14,8 @@ Run with::
     python examples/traffic_storm.py
 """
 
+import time
+
 from repro.api import (
     BucketingConfig,
     ClusterConfig,
@@ -27,6 +29,7 @@ from repro.api import (
     format_table,
     storm_schedule,
 )
+from repro.bench.artifacts import write_bench_artifact
 
 NUM_NODES = 3
 INITIAL_RECORDS = 800
@@ -62,7 +65,9 @@ def main() -> None:
             ),
         )
         driver = WorkloadDriver(db, spec)  # seeded from ClusterConfig.seed
+        wall_started = time.perf_counter()
         report = driver.run()
+        wall_seconds = time.perf_counter() - wall_started
 
         print(report.summary())
         spike = report.phase("spike")
@@ -97,6 +102,34 @@ def main() -> None:
                 rows,
             )
         )
+
+        # Feed the perf trajectory: when REPRO_BENCH_ARTIFACT_DIR is set (the
+        # CI perf-gate job does), persist this storm's throughput — both the
+        # driver's real wall-clock ops/sec and the simulated-time rate — next
+        # to the phase-tagged percentiles.
+        artifact_path = write_bench_artifact(
+            "traffic_storm",
+            {
+                "name": "traffic_storm",
+                "total_ops": report.total_ops,
+                "wall_seconds": wall_seconds,
+                "wall_ops_per_second": report.total_ops / wall_seconds
+                if wall_seconds > 0
+                else 0.0,
+                "simulated_seconds": report.simulated_seconds,
+                "write_p99_ms": {
+                    phase: seconds * 1e3
+                    for phase, seconds in report.write_p99_seconds.items()
+                },
+                "read_p99_ms": {
+                    phase: seconds * 1e3
+                    for phase, seconds in report.read_p99_seconds.items()
+                },
+                "op_phase_percentiles": db.metrics.summaries(),
+            },
+        )
+        if artifact_path is not None:
+            print(f"\nperf artifact written: {artifact_path}")
 
         steady_p99 = db.metrics.write_latency(PHASE_STEADY).percentile(0.99)
         rehash_p99 = db.metrics.write_latency(PHASE_REBALANCE).percentile(0.99)

@@ -1,0 +1,55 @@
+"""Ad-hoc profiling harness for the PR-4 hot-path work (not shipped to CI)."""
+import cProfile
+import pstats
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.api import ClusterConfig, Database, WorkloadDriver, WorkloadSpec  # noqa: E402
+
+
+def build_db():
+    return Database(ClusterConfig(num_nodes=3, partitions_per_node=2, strategy="dynahash"))
+
+
+def run_driver(ops=4000, mix="B"):
+    db = build_db()
+    spec = WorkloadSpec(dataset="t", initial_records=1000, mix=mix, default_ops=ops)
+    driver = WorkloadDriver(db, spec)
+    started = time.process_time()
+    report = driver.run()
+    elapsed = time.process_time() - started
+    db.close()
+    return report.total_ops / elapsed, elapsed
+
+
+def run_ingest(rows=20000):
+    db = build_db()
+    db.create_dataset("bulk", primary_key="k")
+    data = [{"k": i, "payload": f"{i:010d}" + "x" * 54} for i in range(rows)]
+    feed = db.cluster.feed("bulk", batch_size=2000)
+    started = time.process_time()
+    feed.ingest(data)
+    elapsed = time.process_time() - started
+    db.close()
+    return rows / elapsed, elapsed
+
+
+def median_of(fn, repeats=5):
+    samples = sorted(fn()[0] for _ in range(repeats))
+    return samples[len(samples) // 2]
+
+
+if __name__ == "__main__":
+    what = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if what in ("driver", "all"):
+        print(f"driver: {median_of(run_driver):,.0f} ops/sec (median of 5, cpu time)")
+    if what in ("ingest", "all"):
+        print(f"ingest: {median_of(run_ingest):,.0f} rows/sec (median of 5, cpu time)")
+    if what == "profile-driver":
+        cProfile.run("run_driver()", "/tmp/driver.prof")
+        pstats.Stats("/tmp/driver.prof").sort_stats("cumulative").print_stats(35)
+    if what == "profile-ingest":
+        cProfile.run("run_ingest()", "/tmp/ingest.prof")
+        pstats.Stats("/tmp/ingest.prof").sort_stats("cumulative").print_stats(30)

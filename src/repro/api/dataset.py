@@ -18,7 +18,7 @@ per *call* — a batched ``insert`` records the batch call's latency, a point
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, TYPE_CHECKING
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..cluster.dataset import DatasetSpec
 from ..cluster.reports import IngestReport
@@ -81,13 +81,40 @@ class Dataset:
     def _emit_op(
         self, op: str, latency_seconds: float, records: int = 1, **extra: Any
     ) -> None:
-        """Publish one instrumented-verb sample on the session's event bus."""
-        self.database.events.emit(
-            f"op.{op}",
+        """Publish one instrumented-verb sample on the session's event bus.
+
+        Skipped outright — payload construction included — when nothing
+        subscribes to the op's event name (e.g. a session whose metrics
+        registry was detached); ``has_subscribers`` is a cached dict probe.
+        """
+        events = self.database.events
+        name = f"op.{op}"
+        if not events.has_subscribers(name):
+            return
+        events.emit(
+            name,
             dataset=self.name,
             latency_seconds=latency_seconds,
             records=records,
             **extra,
+        )
+
+    def _emit_op_batch(
+        self, op: str, latencies: "List[float]", records_per_op: int = 1
+    ) -> None:
+        """Publish a batch of same-verb samples as one ``op.batch`` event."""
+        if not latencies:
+            return
+        events = self.database.events
+        if not events.has_subscribers("op.batch"):
+            return
+        events.emit(
+            "op.batch",
+            op=op,
+            dataset=self.name,
+            latencies=latencies,
+            records_per_op=records_per_op,
+            count=len(latencies),
         )
 
     # ------------------------------------------------------------ write path
@@ -117,6 +144,29 @@ class Dataset:
         report = self.database.cluster.feed(self.name, batch_size=batch_size).ingest(rows)
         self._emit_op(op, report.simulated_seconds, records=report.records)
         return report
+
+    def upsert_each(self, rows: "Sequence[Mapping[str, Any]]") -> "List[IngestReport]":
+        """Upsert rows one at a time, metered as a single batched event.
+
+        Each row is ingested through its own single-row feed call — the same
+        storage work, maintenance boundaries, and per-row simulated latency a
+        loop of ``upsert([row], batch_size=1)`` pays — but the feed (and its
+        routing snapshot) is built once, and the per-row latencies travel as
+        one ``op.batch`` event instead of N ``op.update`` events.  This is
+        the update path of the batched workload driver.
+        """
+        self._runtime()  # enforces the session/dataset checks
+        if not rows:
+            return []
+        feed = self.database.cluster.feed(self.name, batch_size=1)
+        reports: List[IngestReport] = []
+        latencies: List[float] = []
+        for row in rows:
+            report = feed.ingest((row,))
+            reports.append(report)
+            latencies.append(report.simulated_seconds)
+        self._emit_op_batch("update", latencies)
+        return reports
 
     def delete(self, keys: "Iterable[Any] | Any") -> DeleteReport:
         """Delete records by primary key; accepts one key or an iterable.
@@ -169,21 +219,56 @@ class Dataset:
         runtime = self._runtime()
         partition_id = runtime.partition_of_key(key)
         partition = runtime.partitions[partition_id]
-        stats_before = partition.stats_snapshot()
+        opened_before = partition.components_opened_total()
         record = partition.lookup(key)
-        delta = partition.stats_snapshot().diff(stats_before)
+        opened = partition.components_opened_total() - opened_before
         cost = self.database.cluster.cost
         latency = (
             cost.rpc_time(2)
-            + cost.component_open_time(delta.components_opened)
+            + cost.component_open_time(opened)
             # One page per component probed past the Bloom filters; charged
             # unscaled because a point read touches one page regardless of
             # what data scale the run represents.
-            + (delta.components_opened * self.database.config.lsm.page_bytes)
+            + (opened * self.database.config.lsm.page_bytes)
             / cost.config.disk_read_bytes_per_sec
         )
         self._emit_op("read", latency, found=record is not None)
         return record
+
+    def get_many(self, keys: "Sequence[Any]") -> "List[Optional[Dict[str, Any]]]":
+        """Point-lookup a batch of primary keys, in order.
+
+        The storage work, per-key cost accounting, and resulting telemetry
+        are identical to looping :meth:`get` — each key's latency is computed
+        from its own probe's component-open delta — but session/runtime
+        resolution happens once and the samples travel as a single
+        ``op.batch`` event, which the metrics registry folds in with
+        :meth:`~repro.metrics.MetricsRegistry.observe_op_batch`.  This is the
+        read path of the batched workload driver.
+        """
+        runtime = self._runtime()
+        partitions = runtime.partitions
+        partition_of_key = runtime.partition_of_key
+        cost = self.database.cluster.cost
+        rpc = cost.rpc_time(2)
+        component_open_time = cost.component_open_time
+        page_bytes = self.database.config.lsm.page_bytes
+        disk_rate = cost.config.disk_read_bytes_per_sec
+        records: List[Optional[Dict[str, Any]]] = []
+        latencies: List[float] = []
+        for key in keys:
+            partition = partitions[partition_of_key(key)]
+            opened_before = partition.components_opened_total()
+            record = partition.lookup(key)
+            opened = partition.components_opened_total() - opened_before
+            # Same float-operation order as get(): the batched and looped
+            # paths must produce bit-identical latency samples.
+            latencies.append(
+                rpc + component_open_time(opened) + (opened * page_bytes) / disk_rate
+            )
+            records.append(record)
+        self._emit_op_batch("read", latencies)
+        return records
 
     def scan(
         self, low: Any = None, high: Any = None, ordered: bool = False

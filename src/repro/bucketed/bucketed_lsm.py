@@ -130,7 +130,17 @@ class BucketedLSMTree:
     # ------------------------------------------------------------ data path
 
     def insert(self, key: Any, value: Any) -> Entry:
-        return self.bucket_for_key(key).insert(key, value)
+        return self.insert_routed(key, value, hash_key(key))
+
+    def insert_routed(self, key: Any, value: Any, hashed: int) -> Entry:
+        """Insert with the key's hash already computed (the feed routes on the
+        same hash).  Directory routing proves bucket ownership, so the
+        bucket-level insert (which would re-hash the key twice more via
+        ``owns_key``) is bypassed in favour of its access check + tree write.
+        """
+        bucket = self._buckets[self.directory.bucket_for_hash(hashed)]
+        bucket._check_access()
+        return bucket.tree.insert(key, value)
 
     upsert = insert
 
@@ -143,6 +153,21 @@ class BucketedLSMTree:
     def get(self, key: Any) -> Optional[Any]:
         """Point lookup: only the owning bucket is searched (Section IV)."""
         return self.bucket_for_key(key).get(key)
+
+    def lookup(self, key: Any) -> Optional[Any]:
+        """Point lookup that treats "bucket not local" as a miss.
+
+        Collapses the partition hot path's ``owns_key`` + ``get`` pair (three
+        key hashes) into a single hash and route: a stale-directory probe for
+        a moved bucket simply returns ``None``, exactly as the partition-level
+        lookup contract requires.
+        """
+        bucket_id = self.directory.try_bucket_for_hash(hash_key(key))
+        if bucket_id is None:
+            return None
+        bucket = self._buckets[bucket_id]
+        bucket._check_access()
+        return bucket.tree.get(key)
 
     def get_entry(self, key: Any) -> Optional[Entry]:
         return self.bucket_for_key(key).get_entry(key)
@@ -315,6 +340,12 @@ class BucketedLSMTree:
         for bucket in self._buckets.values():
             total.add(bucket.tree.stats)
         return total
+
+    def components_opened_total(self) -> int:
+        """Sum of ``components_opened`` across buckets — the one stat the
+        point-lookup cost charge needs, without materialising a full
+        :class:`StorageStats` aggregate per probe."""
+        return sum(bucket.tree.stats.components_opened for bucket in self._buckets.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

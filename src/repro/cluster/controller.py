@@ -26,6 +26,7 @@ from ..common.errors import (
     UnknownDatasetError,
     UnknownNodeError,
 )
+from ..common.hashutil import hash_key
 from ..hashing.bucket_id import ROOT_BUCKET, BucketId
 from ..hashing.extendible import GlobalDirectory
 from ..lsm.wal import WriteAheadLog
@@ -59,7 +60,17 @@ class DatasetRuntime:
         return RoutingSnapshot("modulo", num_partitions=len(self.partitions))
 
     def partition_of_key(self, key: Any) -> int:
-        return self.routing_snapshot().partition_of(key)
+        """Route one key through the *live* directory.
+
+        Point lookups route through the current state anyway, so unlike feeds
+        and queries there is nothing to snapshot — going straight to the live
+        directory skips the per-call directory copy a
+        :meth:`routing_snapshot` would make (this is the hottest routing call
+        in the simulator).
+        """
+        if self.routing_mode == "directory":
+            return self.global_directory.partition_of_key(key)
+        return hash_key(key) % len(self.partitions)
 
     @property
     def total_size_bytes(self) -> int:

@@ -110,10 +110,20 @@ class StoragePartition:
 
     # ------------------------------------------------------------ write path
 
-    def insert(self, record: Mapping[str, Any], log: bool = True) -> Any:
-        """Insert (or upsert) a record into every index of the partition."""
+    def insert(
+        self,
+        record: Mapping[str, Any],
+        log: bool = True,
+        primary_key: Optional[Any] = None,
+    ) -> Any:
+        """Insert (or upsert) a record into every index of the partition.
+
+        ``primary_key`` lets callers that already extracted the key (the data
+        feed routes on it) skip a second extraction.
+        """
         self._check_not_blocked()
-        primary_key = self.dataset.primary_key_of(record)
+        if primary_key is None:
+            primary_key = self.dataset.primary_key_of(record)
         record_dict = dict(record)
         self.primary.insert(primary_key, record_dict)
         self.primary_key_index.insert(primary_key, None)
@@ -128,6 +138,46 @@ class StoragePartition:
                 {"key": primary_key, "value": record_dict},
             )
         return primary_key
+
+    def insert_many(
+        self,
+        routed_records: Iterable[Tuple[Any, int, Mapping[str, Any]]],
+        log: bool = True,
+    ) -> int:
+        """Insert a batch of ``(primary_key, key_hash, record)`` triples.
+
+        Equivalent to calling :meth:`insert` per record (same index writes,
+        same WAL records, same resulting state) with the per-call overhead —
+        blocked checks, method resolution, secondary-spec iteration setup,
+        key hashing — paid once per batch.  The data feed groups each routed
+        batch by partition and lands it through here, reusing the hash it
+        already computed for routing.
+        """
+        self._check_not_blocked()
+        primary_insert = self.primary.insert_routed
+        pk_insert = self.primary_key_index.insert
+        secondary_specs = self.dataset.secondary_indexes
+        wal_append = self.wal.append if log else None
+        dataset_name = self.dataset.name
+        count = 0
+        for primary_key, hashed, record in routed_records:
+            record_dict = dict(record)
+            primary_insert(primary_key, record_dict, hashed)
+            pk_insert(primary_key, None)
+            for spec in secondary_specs:
+                self.secondary_indexes[spec.name].insert(
+                    _secondary_entry_key(spec, record_dict, primary_key),
+                    spec.covered_value(record_dict),
+                )
+            if wal_append is not None:
+                wal_append(
+                    LogRecordType.INSERT,
+                    dataset_name,
+                    self.partition_id,
+                    {"key": primary_key, "value": record_dict},
+                )
+            count += 1
+        return count
 
     def delete(self, primary_key: Any, record: Optional[Mapping[str, Any]] = None, log: bool = True) -> None:
         """Delete a record by primary key.
@@ -162,9 +212,7 @@ class StoragePartition:
         a rebalance may probe the old location of a key that already moved.
         """
         self._check_not_blocked()
-        if not self.primary.owns_key(primary_key):
-            return None
-        return self.primary.get(primary_key)
+        return self.primary.lookup(primary_key)
 
     def scan_primary(
         self, low: Any = None, high: Any = None, ordered: bool = False
@@ -238,6 +286,17 @@ class StoragePartition:
         total.add(self.primary_key_index.stats)
         for tree in self.secondary_indexes.values():
             total.add(tree.stats)
+        return total
+
+    def components_opened_total(self) -> int:
+        """``components_opened`` summed across every index — the only stat a
+        point lookup's cost charge reads, cheap enough to sample before and
+        after each probe (a full :meth:`stats_snapshot` pair per ``get`` was
+        the hottest line of the read path)."""
+        total = self.primary.components_opened_total()
+        total += self.primary_key_index.stats.components_opened
+        for tree in self.secondary_indexes.values():
+            total += tree.stats.components_opened
         return total
 
     def record_count(self) -> int:

@@ -39,6 +39,22 @@ class SimulatedClock:
         self._now += seconds
         return self._now
 
+    def advance_many(self, durations) -> float:
+        """Advance by each duration in order (one validated add per value).
+
+        Bit-identical to calling :meth:`advance` per duration — float
+        addition is applied in the same order — without the per-call
+        attribute and validation overhead.  Used by the batched op-sample
+        sink of the metrics registry.
+        """
+        now = self._now
+        for seconds in durations:
+            if seconds < 0:
+                raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+            now += seconds
+        self._now = now
+        return now
+
     def advance_to(self, timestamp: float) -> float:
         """Move the clock forward to ``timestamp`` if it is in the future.
 

@@ -10,13 +10,22 @@ Events are plain named payloads.  Subscribers register a dotted-name pattern
 ``"*"`` matches everything) and receive :class:`Event` objects in emission
 order; the monotonically increasing ``seq`` lets tests and metrics sinks
 assert ordering across subscribers.
+
+Routing is *compiled*: patterns are classified at :meth:`EventBus.on` time
+into an exact-name table and a (small) list of wildcard matchers whose
+``fnmatch`` translation is regex-compiled once.  ``emit`` resolves an event
+name through a per-name route cache that is invalidated on subscribe and
+unsubscribe, so the per-emission cost is one dict hit instead of an
+``fnmatchcase`` scan over every subscription — the event bus sits under every
+operation sample of the traffic engine, so this path is hot.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from fnmatch import fnmatchcase
-from typing import Any, Callable, List, Mapping, Tuple
+from fnmatch import translate as _fnmatch_translate
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -36,15 +45,37 @@ class Event:
 
 EventCallback = Callable[[Event], None]
 
+#: Characters that make a pattern a wildcard under fnmatch semantics.
+_WILDCARD_CHARS = frozenset("*?[")
+
+
+def _is_exact(pattern: str) -> bool:
+    """True when ``pattern`` matches exactly one literal event name."""
+    return not (_WILDCARD_CHARS & set(pattern))
+
 
 class Subscription:
     """Handle returned by :meth:`EventBus.on`; ``cancel()`` unsubscribes."""
 
-    def __init__(self, bus: "EventBus", pattern: str, callback: EventCallback):
+    __slots__ = ("bus", "pattern", "callback", "active", "order", "_matcher")
+
+    def __init__(self, bus: "EventBus", pattern: str, callback: EventCallback, order: int = 0):
         self.bus = bus
         self.pattern = pattern
         self.callback = callback
         self.active = True
+        #: Global subscription order; emission order across the exact and
+        #: wildcard tables is reconstructed by sorting on it.
+        self.order = order
+        #: Compiled regex ``match`` for wildcard patterns, None for exact ones.
+        self._matcher: Optional[Callable[[str], Any]] = (
+            None if _is_exact(pattern) else re.compile(_fnmatch_translate(pattern)).match
+        )
+
+    def matches(self, name: str) -> bool:
+        if self._matcher is None:
+            return name == self.pattern
+        return self._matcher(name) is not None
 
     def cancel(self) -> None:
         if self.active:
@@ -65,8 +96,18 @@ class EventBus:
     """
 
     def __init__(self) -> None:
-        self._subscriptions: List[Subscription] = []
+        #: Exact-name subscriptions: name -> {order: Subscription}.  The inner
+        #: dicts are keyed by the subscription's order id so ``off`` is an
+        #: O(1) pop instead of a ``list.remove`` scan.
+        self._exact: Dict[str, Dict[int, Subscription]] = {}
+        #: Wildcard subscriptions, keyed by order id (same O(1) removal).
+        self._wildcards: Dict[int, Subscription] = {}
+        #: Per-event-name compiled routes, invalidated on (un)subscribe.  A
+        #: route is the snapshot ``emit`` iterates, so steady-state emission
+        #: is one dict hit — no matching at all.
+        self._routes: Dict[str, Tuple[Subscription, ...]] = {}
         self._seq = 0
+        self._next_order = 0
 
     # ------------------------------------------------------------- subscribe
 
@@ -74,8 +115,16 @@ class EventBus:
         """Subscribe ``callback`` to every event matching ``pattern``."""
         if not pattern:
             raise ValueError("event pattern must not be empty")
-        subscription = Subscription(self, pattern, callback)
-        self._subscriptions.append(subscription)
+        subscription = Subscription(self, pattern, callback, order=self._next_order)
+        self._next_order += 1
+        if subscription._matcher is None:
+            self._exact.setdefault(pattern, {})[subscription.order] = subscription
+            # Only routes for this exact name are stale.
+            self._routes.pop(pattern, None)
+        else:
+            self._wildcards[subscription.order] = subscription
+            # A wildcard can change the route of any name.
+            self._routes.clear()
         return subscription
 
     def once(self, pattern: str, callback: EventCallback) -> Subscription:
@@ -90,39 +139,80 @@ class EventBus:
 
     def off(self, subscription: Subscription) -> None:
         """Remove a subscription (no-op if it is already gone)."""
-        try:
-            self._subscriptions.remove(subscription)
-        except ValueError:
-            pass
+        if subscription._matcher is None:
+            bucket = self._exact.get(subscription.pattern)
+            if bucket is None or bucket.pop(subscription.order, None) is None:
+                return
+            if not bucket:
+                del self._exact[subscription.pattern]
+            self._routes.pop(subscription.pattern, None)
+        else:
+            if self._wildcards.pop(subscription.order, None) is None:
+                return
+            self._routes.clear()
+
+    # ---------------------------------------------------------------- routing
+
+    def _compile_route(self, name: str) -> Tuple[Subscription, ...]:
+        """Merge the exact bucket and matching wildcards in subscription order."""
+        matched: List[Subscription] = list(self._exact.get(name, {}).values())
+        for subscription in self._wildcards.values():
+            if subscription.matches(name):
+                matched.append(subscription)
+        matched.sort(key=lambda subscription: subscription.order)
+        route = tuple(matched)
+        self._routes[name] = route
+        return route
+
+    def has_subscribers(self, name: str) -> bool:
+        """Fast-path probe: would an event called ``name`` reach anyone?
+
+        Emitters on the hot path use this to skip building the payload dict
+        entirely when nobody is listening (note that skipped emissions do not
+        consume a ``seq``).
+        """
+        route = self._routes.get(name)
+        if route is None:
+            route = self._compile_route(name)
+        return bool(route)
 
     # ----------------------------------------------------------------- emit
 
     def emit(self, name: str, **payload: Any) -> Event:
         """Emit an event to every matching subscriber; returns the event.
 
-        The subscriber list is snapshotted per emission, so callbacks may
+        The compiled route is snapshotted per emission, so callbacks may
         freely subscribe or unsubscribe (themselves or others) mid-emission:
         a subscription added during the emission does not see the current
         event, and one cancelled during the emission no longer fires for it
         (the ``active`` flag is re-checked immediately before each callback).
         Nested emits take their own snapshots and are unaffected.
         """
+        route = self._routes.get(name)
+        if route is None:
+            route = self._compile_route(name)
         event = Event(name=name, seq=self._seq, payload=payload)
         self._seq += 1
-        snapshot: Tuple[Subscription, ...] = tuple(self._subscriptions)
-        for subscription in snapshot:
-            if subscription.active and fnmatchcase(name, subscription.pattern):
+        for subscription in route:
+            if subscription.active:
                 subscription.callback(event)
         return event
 
     # ------------------------------------------------------------ inspection
 
+    def _subscriptions_in_order(self) -> List[Subscription]:
+        merged: List[Subscription] = list(self._wildcards.values())
+        for bucket in self._exact.values():
+            merged.extend(bucket.values())
+        merged.sort(key=lambda subscription: subscription.order)
+        return merged
+
     @property
     def subscriber_count(self) -> int:
-        return len(self._subscriptions)
+        return len(self._wildcards) + sum(len(bucket) for bucket in self._exact.values())
 
     def patterns(self) -> List[str]:
-        return [subscription.pattern for subscription in self._subscriptions]
+        return [subscription.pattern for subscription in self._subscriptions_in_order()]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EventBus(subscribers={self.subscriber_count}, emitted={self._seq})"

@@ -121,6 +121,7 @@ class Autopilot:
         self.rebalance_reports: "List[ClusterRebalanceReport]" = []
         self._subscription: "Optional[Subscription]" = None
         self._ops_seen = 0
+        self._last_check_at = 0
         self._last_action_at: Optional[float] = None
         self._streak_signature: Optional[Tuple[str, Optional[int]]] = None
         self._streak_count = 0
@@ -176,8 +177,16 @@ class Autopilot:
     # ------------------------------------------------------------ the op hook
 
     def _on_op(self, event: "Event") -> None:
-        self._ops_seen += 1
-        if self._ops_seen % self.check_every_ops == 0:
+        # A batched telemetry event carries many op samples; count them all so
+        # the evaluation cadence tracks traffic volume, not event count.  For
+        # the per-op stream (count 1) the trigger points are exactly the old
+        # ``ops_seen % check_every_ops == 0`` ones.
+        if event.name == "op.batch":
+            self._ops_seen += len(event.get("latencies", ())) or int(event.get("count", 1))
+        else:
+            self._ops_seen += 1
+        if self._ops_seen - self._last_check_at >= self.check_every_ops:
+            self._last_check_at = self._ops_seen
             self.step()
 
     # ------------------------------------------------------------- evaluation

@@ -32,6 +32,13 @@ class GlobalDirectory:
 
     def __init__(self, assignments: Optional[Mapping[BucketId, int]] = None):
         self._assignments: Dict[BucketId, int] = dict(assignments or {})
+        #: Lazily built hash-routing table: slot ``low_bits(h, D)`` ->
+        #: ``(bucket, partition)``.  Invalidated by :meth:`reassign`; rebuilt
+        #: on the next lookup.  Makes :meth:`lookup_hash` O(1) instead of a
+        #: linear scan over every bucket (it sits under every point lookup
+        #: and every routed ingest row).
+        self._slot_route: Optional[List[Tuple[BucketId, int]]] = None
+        self._slot_depth = 0
         if self._assignments:
             self._validate()
 
@@ -97,10 +104,39 @@ class GlobalDirectory:
 
     def lookup_hash(self, hash_value: int) -> Tuple[BucketId, int]:
         """Route a hash value: return (bucket, partition)."""
+        route = self._slot_route
+        if route is None:
+            route = self._build_slot_route()
+        if route:
+            return route[hash_value & ((1 << self._slot_depth) - 1)]
+        # Fallback for directories too deep to table (never hit in practice).
         for bucket, partition in self._assignments.items():
             if bucket.contains_hash(hash_value):
                 return bucket, partition
         raise DirectoryError(f"hash {hash_value:#x} matches no bucket; directory is corrupt")
+
+    #: Directories deeper than this are routed by linear scan rather than a
+    #: 2^D slot table (2^20 slots is the cap on table memory).
+    _MAX_TABLE_DEPTH = 20
+
+    def _build_slot_route(self) -> List[Tuple[BucketId, int]]:
+        """Expand the assignments into the 2^D routing table (lazily)."""
+        depth = self.global_depth
+        if not self._assignments or depth > self._MAX_TABLE_DEPTH:
+            self._slot_route = []
+            self._slot_depth = 0
+            return self._slot_route
+        table: List[Optional[Tuple[BucketId, int]]] = [None] * (1 << depth)
+        for bucket, partition in self._assignments.items():
+            pair = (bucket, partition)
+            step = 1 << bucket.depth
+            for slot in range(bucket.prefix, 1 << depth, step):
+                table[slot] = pair
+        if any(pair is None for pair in table):  # pragma: no cover - defensive
+            raise DirectoryError("global directory buckets do not tile the hash space")
+        self._slot_route = table  # type: ignore[assignment]
+        self._slot_depth = depth
+        return self._slot_route
 
     def lookup_key(self, key: Any) -> Tuple[BucketId, int]:
         """Route a record key to its (bucket, partition)."""
@@ -132,8 +168,19 @@ class GlobalDirectory:
     # -------------------------------------------------------------- mutation
 
     def copy(self) -> "GlobalDirectory":
-        """An immutable-by-convention snapshot for queries and feeds."""
-        return GlobalDirectory(self._assignments)
+        """An immutable-by-convention snapshot for queries and feeds.
+
+        Skips re-validation (the source directory was validated when built)
+        and shares the already-compiled slot-routing table: the table is
+        replaced wholesale, never mutated, so a later ``reassign`` on either
+        object cannot corrupt the other's routing.  Feeds take one copy per
+        ingest call, so this sits on the write hot path.
+        """
+        clone = GlobalDirectory.__new__(GlobalDirectory)
+        clone._assignments = dict(self._assignments)
+        clone._slot_route = self._slot_route
+        clone._slot_depth = self._slot_depth
+        return clone
 
     def with_assignments(self, assignments: Mapping[BucketId, int]) -> "GlobalDirectory":
         """Return a new directory with a different bucket → partition map."""
@@ -144,6 +191,7 @@ class GlobalDirectory:
         if bucket not in self._assignments:
             raise DirectoryError(f"bucket {bucket} is not in the global directory")
         self._assignments[bucket] = partition
+        self._slot_route = None
 
     @classmethod
     def from_local_directories(
@@ -186,6 +234,12 @@ class LocalDirectory:
     def __init__(self, partition_id: int, buckets: Optional[Iterable[BucketId]] = None):
         self.partition_id = partition_id
         self._buckets: Dict[BucketId, None] = {}
+        #: Lazily built hash-routing table at the local max depth: slot ->
+        #: bucket.  A local directory covers only this partition's slice of
+        #: the hash space, so the table is sparse (a dict, not a list) and
+        #: misses mean "not owned here".  Invalidated by every mutation.
+        self._slot_route: Optional[Dict[int, BucketId]] = None
+        self._slot_depth = 0
         for bucket in buckets or ():
             self.add_bucket(bucket)
 
@@ -215,11 +269,13 @@ class LocalDirectory:
                     f"on partition {self.partition_id}"
                 )
         self._buckets[bucket] = None
+        self._slot_route = None
 
     def remove_bucket(self, bucket: BucketId) -> None:
         """Drop a bucket (after it moved away); unknown buckets are a no-op
         so the rebalance cleanup stays idempotent."""
         self._buckets.pop(bucket, None)
+        self._slot_route = None
 
     def split_bucket(self, bucket: BucketId) -> Tuple[BucketId, BucketId]:
         """Replace ``bucket`` with its two children and return them."""
@@ -229,22 +285,45 @@ class LocalDirectory:
         del self._buckets[bucket]
         self._buckets[low] = None
         self._buckets[high] = None
+        self._slot_route = None
         return low, high
 
     def bucket_for_hash(self, hash_value: int) -> BucketId:
+        bucket = self.try_bucket_for_hash(hash_value)
+        if bucket is None:
+            raise DirectoryError(
+                f"hash {hash_value:#x} belongs to no bucket of partition {self.partition_id}"
+            )
+        return bucket
+
+    def try_bucket_for_hash(self, hash_value: int) -> Optional[BucketId]:
+        """Like :meth:`bucket_for_hash` but returns ``None`` for unowned
+        hashes — the point-lookup path treats "not my bucket" as a miss."""
+        route = self._slot_route
+        if route is None:
+            route = self._build_slot_route()
+        return route.get(hash_value & ((1 << self._slot_depth) - 1))
+
+    def _build_slot_route(self) -> Dict[int, BucketId]:
+        """Expand this partition's buckets into a sparse slot table (lazily)."""
+        depth = self.local_depth
+        route: Dict[int, BucketId] = {}
         for bucket in self._buckets:
-            if bucket.contains_hash(hash_value):
-                return bucket
-        raise DirectoryError(
-            f"hash {hash_value:#x} belongs to no bucket of partition {self.partition_id}"
-        )
+            step = 1 << bucket.depth
+            for slot in range(bucket.prefix, 1 << depth, step):
+                route[slot] = bucket
+        self._slot_route = route
+        self._slot_depth = depth
+        return route
 
     def bucket_for_key(self, key: Any) -> BucketId:
         return self.bucket_for_hash(hash_key(key))
 
     def owns_key(self, key: Any) -> bool:
-        hashed = hash_key(key)
-        return any(bucket.contains_hash(hashed) for bucket in self._buckets)
+        route = self._slot_route
+        if route is None:
+            route = self._build_slot_route()
+        return (hash_key(key) & ((1 << self._slot_depth) - 1)) in route
 
     def copy(self) -> "LocalDirectory":
         return LocalDirectory(self.partition_id, self.buckets)

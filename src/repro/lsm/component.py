@@ -108,17 +108,18 @@ class MemoryComponent(ReferenceCounted):
     def is_empty(self) -> bool:
         return not self._entries
 
-    def put(self, entry: Entry) -> None:
-        """Insert or overwrite an entry (inserts, updates and tombstones)."""
+    def put(self, entry: Entry, size_bytes: Optional[int] = None) -> None:
+        """Insert or overwrite an entry (inserts, updates and tombstones).
+
+        ``size_bytes`` lets the write path pass the entry size it already
+        computed for stats accounting.  The memtable replaces in place but
+        the byte counter stays monotone (a real memtable arena does not
+        shrink on overwrite).
+        """
         if not self._active:
             raise ComponentStateError("cannot write to a deactivated memory component")
-        previous = self._entries.get(entry.key)
         self._entries[entry.key] = entry
-        self._size_bytes += entry.size_bytes
-        if previous is not None:
-            # The memtable replaces in place, but we keep the byte counter
-            # monotone (a real memtable arena does not shrink on overwrite).
-            pass
+        self._size_bytes += entry.size_bytes if size_bytes is None else size_bytes
 
     def get(self, key: Any) -> Optional[Entry]:
         """Return the newest entry for ``key`` or ``None`` if absent."""

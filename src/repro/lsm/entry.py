@@ -9,7 +9,6 @@ drops it, Section II-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 # Rough per-field byte estimates used when a record does not carry an explicit
@@ -24,7 +23,24 @@ def estimate_value_size(value: Any) -> int:
     Supports the value shapes used throughout the library: ``None`` (key-only
     indexes), numbers, strings, bytes, and flat dict/tuple/list rows such as
     the TPC-H tuples produced by :mod:`repro.tpch.datagen`.
+
+    The exact-type checks up front are a fast path for the overwhelmingly
+    common cases (this function walks every ingested row at least twice);
+    subclasses fall through to the original ``isinstance`` chain with the
+    same precedence, so e.g. ``bool`` still counts as 1 byte, not 8.
     """
+    kind = type(value)
+    if kind is int:
+        return 8
+    if kind is str:
+        return len(value)
+    if kind is float:
+        return 8
+    if kind is dict:
+        total = 0
+        for field_name, field_value in value.items():
+            total += len(str(field_name)) + estimate_value_size(field_value)
+        return total
     if value is None:
         return 0
     if isinstance(value, bool):
@@ -51,6 +67,13 @@ def estimate_value_size(value: Any) -> int:
 
 def estimate_key_size(key: Any) -> int:
     """Estimate the serialized size in bytes of a key."""
+    kind = type(key)
+    if kind is int:
+        return 8
+    if kind is str:
+        return len(key)
+    if kind is tuple:
+        return sum(estimate_key_size(part) for part in key)
     if isinstance(key, tuple):
         return sum(estimate_key_size(part) for part in key)
     if isinstance(key, str):
@@ -60,32 +83,64 @@ def estimate_key_size(key: Any) -> int:
     return 8
 
 
-@dataclass(frozen=True)
 class Entry:
     """One versioned key/value pair stored in an LSM component.
 
     ``seqnum`` is assigned by the owning LSM-tree and strictly increases with
     write order within one partition; reconciliation across components always
     prefers the entry with the larger sequence number.
+
+    A hand-rolled ``__slots__`` value class rather than a frozen dataclass:
+    entry construction sits on the per-record write path, and the generated
+    frozen ``__init__`` routes every field through ``object.__setattr__``.
+    Entries are immutable by convention — nothing in the storage engine
+    rewrites one after construction.
     """
 
-    key: Any
-    value: Any
-    seqnum: int
-    tombstone: bool = False
+    __slots__ = ("key", "value", "seqnum", "tombstone", "_size_bytes")
+
+    def __init__(self, key: Any, value: Any, seqnum: int, tombstone: bool = False):
+        self.key = key
+        self.value = value
+        self.seqnum = seqnum
+        self.tombstone = tombstone
+        self._size_bytes: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:
-        """Estimated on-disk size of this entry."""
-        return (
-            _BASE_RECORD_OVERHEAD
-            + estimate_key_size(self.key)
-            + (0 if self.tombstone else estimate_value_size(self.value))
-        )
+        """Estimated on-disk size of this entry.
+
+        Memoized: an entry's size is read on every memory-component put,
+        flush, merge, and scan it participates in, and the estimate walks the
+        whole value.
+        """
+        size = self._size_bytes
+        if size is None:
+            size = self._size_bytes = (
+                _BASE_RECORD_OVERHEAD
+                + estimate_key_size(self.key)
+                + (0 if self.tombstone else estimate_value_size(self.value))
+            )
+        return size
 
     def shadows(self, other: "Entry") -> bool:
         """True if this entry supersedes ``other`` (same key, newer write)."""
         return self.key == other.key and self.seqnum >= other.seqnum
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.value == other.value
+            and self.seqnum == other.seqnum
+            and self.tombstone == other.tombstone
+        )
+
+    def __hash__(self) -> int:
+        # Same semantics the frozen dataclass generated: a tuple hash over
+        # the fields (and therefore a TypeError for dict-valued entries).
+        return hash((self.key, self.value, self.seqnum, self.tombstone))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "DEL" if self.tombstone else "PUT"

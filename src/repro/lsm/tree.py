@@ -100,10 +100,13 @@ class LSMTree:
         return self._write(entry.key, entry.value, tombstone=entry.tombstone)
 
     def _write(self, key: Any, value: Any, tombstone: bool) -> Entry:
-        entry = Entry(key=key, value=value, seqnum=self._next_seqnum(), tombstone=tombstone)
-        self.memory.put(entry)
-        self.stats.records_written += 1
-        self.stats.bytes_written_memory += entry.size_bytes
+        self._seqnum += 1
+        entry = Entry(key, value, self._seqnum, tombstone)
+        size = entry.size_bytes
+        self.memory.put(entry, size)
+        stats = self.stats
+        stats.records_written += 1
+        stats.bytes_written_memory += size
         return entry
 
     @property

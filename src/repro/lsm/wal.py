@@ -19,7 +19,6 @@ recovery analysis depends only on which records were forced before a crash.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -44,24 +43,55 @@ DATA_RECORD_TYPES = frozenset(
 )
 
 
-@dataclass(frozen=True)
 class LogRecord:
     """One log record.
 
     ``payload`` carries the record key/value for data records, or protocol
-    details (rebalance id, target nodes) for metadata records.
+    details (rebalance id, target nodes) for metadata records.  A
+    ``__slots__`` value class (immutable by convention) because one record is
+    appended per applied write — the frozen-dataclass constructor was
+    measurable on the ingest path.
     """
 
-    lsn: int
-    record_type: LogRecordType
-    dataset: str
-    partition_id: Optional[int]
-    payload: Dict[str, Any] = field(default_factory=dict)
-    forced: bool = False
+    __slots__ = ("lsn", "record_type", "dataset", "partition_id", "payload", "forced")
+
+    def __init__(
+        self,
+        lsn: int,
+        record_type: LogRecordType,
+        dataset: str,
+        partition_id: Optional[int],
+        payload: Optional[Dict[str, Any]] = None,
+        forced: bool = False,
+    ):
+        self.lsn = lsn
+        self.record_type = record_type
+        self.dataset = dataset
+        self.partition_id = partition_id
+        self.payload = payload if payload is not None else {}
+        self.forced = forced
 
     @property
     def is_data_record(self) -> bool:
         return self.record_type in DATA_RECORD_TYPES
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogRecord):
+            return NotImplemented
+        return (
+            self.lsn == other.lsn
+            and self.record_type == other.record_type
+            and self.dataset == other.dataset
+            and self.partition_id == other.partition_id
+            and self.payload == other.payload
+            and self.forced == other.forced
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LogRecord(lsn={self.lsn}, {self.record_type.value}, "
+            f"{self.dataset!r}/p{self.partition_id})"
+        )
 
 
 class WriteAheadLog:
@@ -78,13 +108,25 @@ class WriteAheadLog:
         self._forced_upto = 0  # index one past the last durable record
         self._bytes_appended = 0
         self._bytes_forced = 0
+        #: Index one past the last record folded into ``_bytes_appended``.
+        #: Sizing walks the whole payload (str() of the record value), so the
+        #: append hot path defers it; readers settle the tail on demand and
+        #: observe exactly the same totals.
+        self._sized_upto = 0
 
     def __len__(self) -> int:
         return len(self._records)
 
+    def _settle_sizes(self) -> None:
+        """Fold not-yet-sized records into the appended-bytes total."""
+        while self._sized_upto < len(self._records):
+            self._bytes_appended += self._estimate_size(self._records[self._sized_upto])
+            self._sized_upto += 1
+
     @property
     def bytes_appended(self) -> int:
         """Total bytes ever appended (for cost accounting)."""
+        self._settle_sizes()
         return self._bytes_appended
 
     @property
@@ -105,11 +147,12 @@ class WriteAheadLog:
             record_type=record_type,
             dataset=dataset,
             partition_id=partition_id,
-            payload=dict(payload or {}),
+            # Callers pass freshly built payload dicts; storing them without
+            # another shallow copy keeps the append path allocation-light.
+            payload=payload if payload is not None else {},
             forced=force,
         )
         self._records.append(record)
-        self._bytes_appended += self._estimate_size(record)
         if force:
             self.force()
         return record
@@ -122,9 +165,15 @@ class WriteAheadLog:
             self._forced_upto += 1
 
     def crash(self) -> int:
-        """Discard unforced tail records, as a crash would; return count lost."""
+        """Discard unforced tail records, as a crash would; return count lost.
+
+        The lost records still count into ``bytes_appended`` (they *were*
+        appended), so their sizes are settled before the tail is dropped.
+        """
+        self._settle_sizes()
         lost = len(self._records) - self._forced_upto
         del self._records[self._forced_upto:]
+        self._sized_upto = len(self._records)
         return lost
 
     def records(self, durable_only: bool = False) -> List[LogRecord]:

@@ -15,8 +15,8 @@ under-reporting) otherwise.
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from math import log
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Default grid: 1 microsecond to ~18 minutes in 31 half-decade-ish steps.
 DEFAULT_MIN_LATENCY = 1e-6
@@ -61,8 +61,37 @@ class LatencyHistogram:
         self.total = 0.0
         self.min_value: Optional[float] = None
         self.max_value: Optional[float] = None
+        # Precomputed constants for the O(1) log-index (see _bucket_index).
+        self._log_min = log(min_latency)
+        self._inv_log_growth = 1.0 / log(growth)
+        self._top_edge = self.upper_edges[-1]
 
     # ------------------------------------------------------------- recording
+
+    def _bucket_index(self, value: float) -> int:
+        """Index of the bucket that counts ``value`` — O(1), bisect-exact.
+
+        A log estimate lands within a bucket of the right answer; the
+        neighbour checks then settle float round-off against the actual
+        edges, so the result always equals ``bisect_left(upper_edges,
+        value)`` (the determinism tests compare snapshots bit-for-bit with
+        histograms filled the old way).
+        """
+        edges = self.upper_edges
+        if value <= self.min_latency:
+            return 0
+        if value > self._top_edge:
+            return len(edges)
+        index = int((log(value) - self._log_min) * self._inv_log_growth)
+        if index < 0:
+            index = 0
+        elif index >= len(edges):
+            index = len(edges) - 1
+        while index > 0 and edges[index - 1] >= value:
+            index -= 1
+        while edges[index] < value:
+            index += 1
+        return index
 
     def record(self, value: float, count: int = 1) -> None:
         """Record ``count`` observations of ``value`` seconds."""
@@ -70,14 +99,43 @@ class LatencyHistogram:
             raise ValueError("latencies cannot be negative")
         if count < 1:
             raise ValueError("count must be at least 1")
-        index = bisect_left(self.upper_edges, value)
-        self.counts[index] += count
+        self.counts[self._bucket_index(value)] += count
         self.count += count
         self.total += value * count
         if self.min_value is None or value < self.min_value:
             self.min_value = value
         if self.max_value is None or value > self.max_value:
             self.max_value = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Record a batch of single observations, in order.
+
+        Equivalent to calling :meth:`record` per value — same counts, same
+        float-accumulation order for ``total``, same min/max — with the
+        per-call validation and attribute traffic hoisted out of the loop.
+        The whole batch is validated up front, so a bad value rejects the
+        batch without mutating any state (``record`` likewise validates
+        before touching its counters).
+        """
+        batch = values if isinstance(values, list) else list(values)
+        if batch and min(batch) < 0:
+            raise ValueError("latencies cannot be negative")
+        counts = self.counts
+        bucket_index = self._bucket_index
+        total = self.total
+        lo = self.min_value
+        hi = self.max_value
+        for value in batch:
+            counts[bucket_index(value)] += 1
+            total += value
+            if lo is None or value < lo:
+                lo = value
+            if hi is None or value > hi:
+                hi = value
+        self.count += len(batch)
+        self.total = total
+        self.min_value = lo
+        self.max_value = hi
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram with the same bucket grid into this one."""

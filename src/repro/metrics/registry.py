@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..common.clock import SimulatedClock
 from ..common.events import Event, EventBus, Subscription
@@ -137,6 +137,7 @@ class MetricsRegistry:
         self._bus = bus
         self._subscriptions = [
             bus.on("op.*", self._on_op),
+            bus.on("op.batch", self._on_op_batch),
             bus.on("rebalance.start", self._on_rebalance_start),
             bus.on("rebalance.complete", self._on_rebalance_complete),
             bus.on("rebalance.error", self._on_rebalance_error),
@@ -202,15 +203,55 @@ class MetricsRegistry:
             self.counter(f"ops.dataset.{dataset}").increment()
         self.clock.advance(latency_seconds)
 
+    def observe_op_batch(
+        self,
+        op: str,
+        latencies: Sequence[float],
+        records_per_op: int = 1,
+        dataset: Optional[str] = None,
+    ) -> None:
+        """Record a batch of same-op samples sharing the current phase.
+
+        Produces *exactly* the state a loop of :meth:`observe_op` calls
+        would — the histogram records the samples in order, the counters
+        receive the same totals, and the clock advances through the same
+        float-addition sequence — while paying the per-sample overhead
+        (counter lookups, event dispatch) once per batch.  This is what the
+        ``op.batch`` events of the batched workload driver feed.
+        """
+        if not latencies:
+            return
+        n = len(latencies)
+        phase = self.phase
+        self.histogram(op, phase).record_many(latencies)
+        self.counter("ops.total").increment(n)
+        self.counter(f"ops.{op}").increment(n)
+        self.counter(f"ops.{op}.{phase}").increment(n)
+        if records_per_op:
+            self.counter(f"records.{op}").increment(records_per_op * n)
+        if dataset is not None:
+            self.counter(f"ops.dataset.{dataset}").increment(n)
+        self.clock.advance_many(latencies)
+
     # ---------------------------------------------------------- event handlers
 
     def _on_op(self, event: Event) -> None:
+        if event.name == "op.batch":
+            return  # handled by _on_op_batch (also matched by "op.*")
         # "op.read" -> "read"
         op = event.name.split(".", 1)[1]
         self.observe_op(
             op,
             float(event.get("latency_seconds", 0.0)),
             records=int(event.get("records", 1)),
+            dataset=event.get("dataset"),
+        )
+
+    def _on_op_batch(self, event: Event) -> None:
+        self.observe_op_batch(
+            event["op"],
+            event["latencies"],
+            records_per_op=int(event.get("records_per_op", 1)),
             dataset=event.get("dataset"),
         )
 

@@ -95,6 +95,18 @@ class WorkloadSpec:
     scan_span: int = 16
     #: Create the dataset if it does not exist yet.
     create_dataset: bool = True
+    #: Whether traffic phases use the batched op pipeline (chunked draws,
+    #: cached bound verbs, one ``op.batch`` telemetry event per same-verb
+    #: run).  ``None`` means auto: batched unless the session has an
+    #: autopilot engine attached (whose evaluation points are op-stream
+    #: positions the batched pipeline would coarsen).  Phases with a
+    #: ``max_seconds`` budget always run the per-op loop — its cutoff is
+    #: checked before every op — regardless of this flag.  The batched and
+    #: per-op pipelines produce identical metric snapshots — pinned by test —
+    #: so this is a throughput knob, not a semantic one.
+    batch_ops: Optional[bool] = None
+    #: Ops drawn per chunk by the batched pipeline.
+    op_chunk: int = 256
 
     def __post_init__(self) -> None:
         if self.initial_records < 0:
@@ -109,6 +121,8 @@ class WorkloadSpec:
             raise ValueError("scan_span must be at least 1")
         if self.default_ops < 0:
             raise ValueError("default_ops must be non-negative")
+        if self.op_chunk < 1:
+            raise ValueError("op_chunk must be at least 1")
 
 
 @dataclass
@@ -214,12 +228,19 @@ class WorkloadDriver:
         self._pending_rows: List[Dict[str, Any]] = []
         self._batch_target = self._draw_batch_target()
         self._prepared = False
+        self._dataset_handle: "Optional[Dataset]" = None
 
     # -------------------------------------------------------------- plumbing
 
     @property
     def dataset(self) -> "Dataset":
-        return self.db.dataset(self.spec.dataset)
+        # Handles are stateless (every verb re-resolves the live runtime), so
+        # one cached handle serves the whole run — resolved per access, this
+        # property was a measurable slice of the per-op loop.
+        handle = self._dataset_handle
+        if handle is None:
+            handle = self._dataset_handle = self.db.dataset(self.spec.dataset)
+        return handle
 
     def _make_key_generator(self, keys: Union[str, KeyGenerator]) -> KeyGenerator:
         """Build a generator from a distribution name or pass an instance through."""
@@ -351,10 +372,33 @@ class WorkloadDriver:
 
     # ------------------------------------------------------- steady traffic
 
+    def _use_batched_pipeline(self, phase: Phase) -> bool:
+        """Whether this traffic phase runs through the batched op pipeline."""
+        if phase.max_seconds is not None:
+            # The time budget is checked before every op; chunked execution
+            # would quantise (or with an explicit batch_ops=True, silently
+            # ignore) the cutoff point, so such phases always run per-op.
+            return False
+        if self.spec.batch_ops is not None:
+            return self.spec.batch_ops
+        # An attached autopilot evaluates at op-stream positions; batching
+        # would move its decision points, so those runs keep the per-op loop.
+        return getattr(self.db, "autopilot_engine", None) is None
+
     def _run_traffic_phase(self, phase: Phase) -> PhaseResult:
         mix = make_mix(phase.mix) if phase.mix is not None else self._mix
         keys = self._phase_keys(phase)
         result = PhaseResult(name=phase.name)
+        if self._use_batched_pipeline(phase):
+            remaining = phase.ops
+            chunk_size = self.spec.op_chunk
+            while remaining > 0:
+                chunk = min(chunk_size, remaining)
+                plan = self._draw_chunk(chunk, mix, keys, result)
+                self._execute_chunk(plan, result)
+                remaining -= chunk
+            self._flush_inserts()
+            return result
         started = self.metrics.clock.now
         for _ in range(phase.ops):
             if (
@@ -365,6 +409,108 @@ class WorkloadDriver:
             self._execute_op(mix.choose(self.rng), keys, result)
         self._flush_inserts()
         return result
+
+    # ------------------------------------------------- batched traffic chunks
+
+    def _draw_chunk(
+        self, count: int, mix: OperationMix, keys: KeyGenerator, result: PhaseResult
+    ) -> List[Tuple[str, Any]]:
+        """Draw ``count`` ops worth of randomness into an action plan.
+
+        Consumes the driver RNG in *exactly* the order the per-op loop does —
+        op draw, then key draw, then (at insert-buffer flush points) the next
+        jittered batch-target draw — so the batched pipeline sees the same
+        key/op stream, bit for bit.  Execution performs no RNG draws, which
+        is what makes separating "draw" from "do" safe.
+
+        The plan is a list of actions: ``("read", key)``, ``("scan", low)``,
+        ``("update", row)``, ``("delete", key)``, ``("buffer", row)`` for a
+        buffered insert, and ``("flush", next_batch_target)`` where the old
+        loop would have flushed the insert buffer and redrawn the target.
+        """
+        rng = self.rng
+        choose = mix.choose
+        next_index = keys.next_index
+        plan: List[Tuple[str, Any]] = []
+        pending = len(self._pending_rows)
+        batch_target = self._batch_target
+        for _ in range(count):
+            op = choose(rng)
+            result.ops += 1
+            if op == "read":
+                plan.append(("read", next_index(rng, max(1, self.next_key - pending))))
+                result.reads += 1
+            elif op == "insert":
+                plan.append(("buffer", self._row(self.next_key)))
+                self.next_key += 1
+                pending += 1
+                result.inserts += 1
+                if pending >= batch_target:
+                    # The old loop flushed here and redrew the jittered batch
+                    # target right after the insert landed; the draw happens
+                    # now (same RNG position), the insert at execution time.
+                    batch_target = self._draw_batch_target()
+                    plan.append(("flush", batch_target))
+                    pending = 0
+            elif op == "update":
+                key = next_index(rng, max(1, self.next_key - pending))
+                plan.append(("update", self._row(key)))
+                result.updates += 1
+            elif op == "delete":
+                plan.append(("delete", next_index(rng, max(1, self.next_key - pending))))
+                result.deletes += 1
+            elif op == "scan":
+                plan.append(("scan", next_index(rng, max(1, self.next_key - pending))))
+                result.scans += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown operation {op!r}")
+        return plan
+
+    def _execute_chunk(self, plan: List[Tuple[str, Any]], result: PhaseResult) -> None:
+        """Execute a drawn plan, dispatching maximal same-verb runs as batches.
+
+        Consecutive reads go through :meth:`Dataset.get_many` and consecutive
+        updates through :meth:`Dataset.upsert_each` — one ``op.batch``
+        telemetry event per run, identical per-op latencies.  Ops stay in
+        drawn order, so storage state (and therefore every latency sample)
+        evolves exactly as under the per-op loop.
+        """
+        dataset = self.dataset
+        index = 0
+        total = len(plan)
+        while index < total:
+            verb, arg = plan[index]
+            if verb == "read":
+                end = index + 1
+                while end < total and plan[end][0] == "read":
+                    end += 1
+                read_keys = [plan[i][1] for i in range(index, end)]
+                for record in dataset.get_many(read_keys):
+                    if record is not None:
+                        result.reads_found += 1
+                index = end
+            elif verb == "update":
+                end = index + 1
+                while end < total and plan[end][0] == "update":
+                    end += 1
+                dataset.upsert_each([plan[i][1] for i in range(index, end)])
+                index = end
+            elif verb == "buffer":
+                self._pending_rows.append(arg)
+                index += 1
+            elif verb == "flush":
+                rows, self._pending_rows = self._pending_rows, []
+                if rows:
+                    dataset.insert(rows, batch_size=len(rows))
+                self._batch_target = arg
+                index += 1
+            elif verb == "delete":
+                dataset.delete(arg)
+                index += 1
+            else:  # scan
+                rows = list(dataset.scan(low=arg, high=arg + self.spec.scan_span))
+                result.scan_rows += len(rows)
+                index += 1
 
     def _execute_op(self, op: str, keys: KeyGenerator, result: PhaseResult) -> None:
         dataset = self.dataset

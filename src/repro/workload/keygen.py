@@ -22,8 +22,16 @@ YCSB", SoCC'10):
 from __future__ import annotations
 
 import random
+from typing import Dict, Tuple
 
 from ..common.hashutil import hash_key
+
+#: Cache of zipfian zeta normalisation constants keyed by ``(n, theta)``.
+#: Computing zeta is O(n) over the keyspace and every driver (and every
+#: phase-level distribution override) used to recompute it at construction;
+#: the constant is a pure function of its key, so one process-wide map
+#: serves every generator.
+_ZETA_CACHE: Dict[Tuple[int, float], float] = {}
 
 
 class KeyGenerator:
@@ -81,7 +89,11 @@ class ZipfianKeys(KeyGenerator):
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
-        return sum(1.0 / (i**theta) for i in range(1, n + 1))
+        key = (n, theta)
+        cached = _ZETA_CACHE.get(key)
+        if cached is None:
+            cached = _ZETA_CACHE[key] = sum(1.0 / (i**theta) for i in range(1, n + 1))
+        return cached
 
     def _draw(self, rng: random.Random) -> int:
         u = rng.random()

@@ -1,0 +1,158 @@
+"""Tests for the compiled event router's fast paths (PR 4).
+
+The original suite in ``test_events.py`` pins the observable pub/sub
+semantics; these tests pin the routing-table behaviours the compiled router
+added: exact vs wildcard classification, the per-name route cache and its
+invalidation, the ``has_subscribers`` fast path, and O(1) ``off`` via
+index-mapped subscriptions.
+"""
+
+import pytest
+
+from repro.common.events import EventBus
+
+
+class TestRouting:
+    def test_emit_with_zero_subscribers_still_returns_event(self):
+        bus = EventBus()
+        event = bus.emit("lonely.event", x=1)
+        assert event.name == "lonely.event"
+        assert event["x"] == 1
+
+    def test_exact_subscriber_receives_only_its_name(self):
+        bus = EventBus()
+        seen = []
+        bus.on("op.read", seen.append)
+        bus.emit("op.read")
+        bus.emit("op.write")
+        bus.emit("op.read.extra")
+        assert [event.name for event in seen] == ["op.read"]
+
+    def test_wildcard_subscriber_matches_fnmatch_semantics(self):
+        bus = EventBus()
+        seen = []
+        bus.on("op.*", seen.append)
+        bus.on("rebalance.?tart", seen.append)
+        bus.emit("op.read")
+        bus.emit("rebalance.start")
+        bus.emit("rebalance.restart")
+        assert [event.name for event in seen] == ["op.read", "rebalance.start"]
+
+    def test_exact_and_wildcard_fire_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.on("op.*", lambda e: order.append("wild-first"))
+        bus.on("op.read", lambda e: order.append("exact"))
+        bus.on("*", lambda e: order.append("wild-last"))
+        bus.emit("op.read")
+        assert order == ["wild-first", "exact", "wild-last"]
+
+    def test_route_cache_invalidated_by_new_exact_subscriber(self):
+        bus = EventBus()
+        first = []
+        bus.emit("op.read")  # primes the (empty) route for the name
+        bus.on("op.read", first.append)
+        bus.emit("op.read")
+        assert len(first) == 1
+
+    def test_route_cache_invalidated_by_new_wildcard_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.on("op.read", seen.append)
+        bus.emit("op.read")  # primes the route without the wildcard
+        late = []
+        bus.on("op.*", late.append)
+        bus.emit("op.read")
+        assert len(seen) == 2
+        assert len(late) == 1
+
+    def test_route_cache_invalidated_by_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        subscription = bus.on("op.*", seen.append)
+        bus.emit("op.read")
+        subscription.cancel()
+        bus.emit("op.read")
+        assert len(seen) == 1
+
+
+class TestHasSubscribers:
+    def test_false_on_empty_bus(self):
+        assert not EventBus().has_subscribers("op.read")
+
+    def test_true_for_exact_match(self):
+        bus = EventBus()
+        bus.on("op.read", lambda e: None)
+        assert bus.has_subscribers("op.read")
+        assert not bus.has_subscribers("op.write")
+
+    def test_true_for_wildcard_match(self):
+        bus = EventBus()
+        bus.on("op.*", lambda e: None)
+        assert bus.has_subscribers("op.read")
+        assert bus.has_subscribers("op.anything")
+        assert not bus.has_subscribers("rebalance.start")
+
+    def test_flips_false_after_last_unsubscribe(self):
+        bus = EventBus()
+        subscription = bus.on("op.*", lambda e: None)
+        assert bus.has_subscribers("op.read")
+        subscription.cancel()
+        assert not bus.has_subscribers("op.read")
+
+    def test_probe_does_not_consume_seq(self):
+        bus = EventBus()
+        bus.has_subscribers("op.read")
+        event = bus.emit("op.read")
+        assert event.seq == 0
+
+
+class TestOff:
+    def test_off_is_idempotent(self):
+        bus = EventBus()
+        subscription = bus.on("op.read", lambda e: None)
+        bus.off(subscription)
+        bus.off(subscription)  # no-op, no error
+        assert bus.subscriber_count == 0
+
+    def test_cancel_middle_of_many_exact_subscribers(self):
+        bus = EventBus()
+        seen = []
+        subs = [
+            bus.on("op.read", (lambda i: lambda e: seen.append(i))(i))
+            for i in range(5)
+        ]
+        subs[2].cancel()
+        bus.emit("op.read")
+        assert seen == [0, 1, 3, 4]
+        assert bus.subscriber_count == 4
+
+    def test_patterns_keeps_subscription_order_across_tables(self):
+        bus = EventBus()
+        bus.on("op.*", lambda e: None)
+        bus.on("op.read", lambda e: None)
+        bus.on("rebalance.start", lambda e: None)
+        bus.on("*", lambda e: None)
+        assert bus.patterns() == ["op.*", "op.read", "rebalance.start", "*"]
+
+    def test_once_auto_cancels_under_compiled_router(self):
+        bus = EventBus()
+        seen = []
+        bus.once("op.*", seen.append)
+        bus.emit("op.read")
+        bus.emit("op.read")
+        assert len(seen) == 1
+        assert bus.subscriber_count == 0
+
+    def test_once_exact_auto_cancels(self):
+        bus = EventBus()
+        seen = []
+        bus.once("rebalance.start", seen.append)
+        bus.emit("rebalance.start")
+        bus.emit("rebalance.start")
+        assert len(seen) == 1
+        assert not bus.has_subscribers("rebalance.start")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().on("", lambda e: None)

@@ -67,11 +67,19 @@ class TestEntry:
         assert newest(older, None) is older
         assert newest(None, None) is None
 
-    def test_entries_are_immutable(self):
+    def test_entries_are_slotted_value_objects(self):
+        # Entries are immutable *by convention* (the hot write path builds
+        # tens of thousands per batch, so the frozen-dataclass setattr tax
+        # was retired in PR 4); __slots__ still rejects arbitrary fields and
+        # equality keeps value semantics over all four fields.
         entry = Entry(key=1, value="a", seqnum=1)
         try:
-            entry.value = "b"
-            mutated = True
+            entry.unexpected_attribute = 1
+            grew_new_field = True
         except AttributeError:
-            mutated = False
-        assert not mutated
+            grew_new_field = False
+        assert not grew_new_field
+        assert entry == Entry(key=1, value="a", seqnum=1)
+        assert entry != Entry(key=1, value="b", seqnum=1)
+        assert entry != Entry(key=1, value="a", seqnum=2)
+        assert entry != Entry(key=1, value="a", seqnum=1, tombstone=True)

@@ -1,0 +1,134 @@
+"""Equivalence tests for the metrics hot paths (PR 4).
+
+The batched sinks (``record_many``, ``observe_op_batch``, the ``op.batch``
+event) must be indistinguishable from their per-sample counterparts — same
+bucket counts, same float totals, same counters, same clock — because the
+determinism contract compares snapshots bit for bit across pipelines.
+"""
+
+import random
+from bisect import bisect_left
+
+from repro.common.events import EventBus
+from repro.metrics import MetricsRegistry
+from repro.metrics.histogram import LatencyHistogram
+
+
+def _random_latencies(count, seed=7):
+    rng = random.Random(seed)
+    # Spread across the whole grid including sub-minimum and overflow values.
+    return [rng.random() ** 6 * 2500.0 + 1e-9 for _ in range(count)]
+
+
+class TestBucketIndex:
+    def test_log_index_matches_bisect_for_random_values(self):
+        histogram = LatencyHistogram()
+        for value in _random_latencies(5000):
+            assert histogram._bucket_index(value) == bisect_left(
+                histogram.upper_edges, value
+            ), value
+
+    def test_log_index_matches_bisect_on_exact_edges(self):
+        histogram = LatencyHistogram()
+        for index, edge in enumerate(histogram.upper_edges):
+            assert histogram._bucket_index(edge) == index
+            # Nudges just above an edge must move to the next bucket.
+            above = edge * (1 + 1e-12)
+            if above > edge:
+                assert histogram._bucket_index(above) == bisect_left(
+                    histogram.upper_edges, above
+                )
+
+    def test_log_index_on_unusual_grids(self):
+        for growth, buckets in ((1.5, 64), (4.0, 10), (1.01, 200)):
+            histogram = LatencyHistogram(min_latency=3e-7, growth=growth, buckets=buckets)
+            for value in _random_latencies(1500, seed=int(growth * 100)):
+                assert histogram._bucket_index(value) == bisect_left(
+                    histogram.upper_edges, value
+                )
+
+
+class TestRecordMany:
+    def test_record_many_equals_looped_record(self):
+        values = _random_latencies(3000)
+        looped = LatencyHistogram()
+        for value in values:
+            looped.record(value)
+        batched = LatencyHistogram()
+        batched.record_many(values)
+        assert batched.snapshot() == looped.snapshot()
+        assert batched.total == looped.total  # same float accumulation order
+
+    def test_record_many_empty_is_noop(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([])
+        assert histogram.count == 0
+        assert histogram.min_value is None
+
+    def test_record_many_rejects_negative_without_partial_mutation(self):
+        histogram = LatencyHistogram()
+        histogram.record(5e-4)
+        before = histogram.snapshot()
+        try:
+            histogram.record_many([1e-3, 2e-3, -1.0])
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("negative latency must raise")
+        # The whole batch is rejected: no bucket count leaked in.
+        assert histogram.snapshot() == before
+
+
+class TestObserveOpBatch:
+    def test_batch_equals_looped_observe(self):
+        values = _random_latencies(500)
+        looped = MetricsRegistry()
+        for value in values:
+            looped.observe_op("read", value, records=1, dataset="t")
+        batched = MetricsRegistry()
+        batched.observe_op_batch("read", values, records_per_op=1, dataset="t")
+        assert batched.snapshot() == looped.snapshot()
+
+    def test_op_batch_event_equals_per_op_events(self):
+        values = _random_latencies(400, seed=11)
+
+        bus_single = EventBus()
+        single = MetricsRegistry().attach(bus_single)
+        for value in values:
+            bus_single.emit(
+                "op.update", dataset="t", latency_seconds=value, records=1
+            )
+
+        bus_batch = EventBus()
+        batch = MetricsRegistry().attach(bus_batch)
+        bus_batch.emit(
+            "op.batch",
+            op="update",
+            dataset="t",
+            latencies=values,
+            records_per_op=1,
+            count=len(values),
+        )
+        assert batch.snapshot() == single.snapshot()
+
+    def test_op_batch_not_double_counted_by_wildcard_handler(self):
+        bus = EventBus()
+        registry = MetricsRegistry().attach(bus)
+        bus.emit(
+            "op.batch",
+            op="read",
+            dataset="t",
+            latencies=[1e-4, 2e-4],
+            records_per_op=1,
+            count=2,
+        )
+        assert registry.counter_value("ops.total") == 2
+        assert registry.counter_value("ops.read") == 2
+        # No phantom "batch" op may appear.
+        assert registry.counter_value("ops.batch") == 0
+
+    def test_empty_batch_is_noop(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.observe_op_batch("read", [])
+        assert registry.snapshot() == before
