@@ -1,147 +1,21 @@
 """Autopilot storm: a hotspot spike that rebalances the cluster *by itself*.
 
-The paper argues dynamic hashing makes rebalancing cheap enough to do often;
-this example closes the loop.  A YCSB-B zipfian workload runs four phases —
-warmup, steady, an insert-heavy hotspot spike, and a cool-down — with **no**
-``rebalance=`` key anywhere in the schedule and no explicit ``db.rebalance``
-call.  Instead, ``db.autopilot(policy="cost_aware")`` watches the session's
-metrics as the traffic flows:
-
-1. **detect** — the spike's insert volume pushes the hottest node through the
-   policy's capacity high-water mark;
-2. **plan** — the policy simulates candidate plans (re-target, add a node)
-   through the what-if planner and the cluster cost model, and picks the
-   cheapest one whose projected post-move balance clears its bar;
-3. **rebalance** — the engine executes the plan through the normal DynaHash
-   machinery, mid-run, while traffic keeps flowing;
-4. **recover** — the cool-down phase runs on the grown cluster, and the
-   phase-tagged metrics show both sides of the story.
-
-Everything is deterministic under ``ClusterConfig.seed``: run it twice and
-the autopilot makes the identical decisions at the identical simulated times.
-
-Run with::
+The scenario lives in ``examples/scenarios/autopilot_storm.toml`` — a YCSB-B
+zipfian storm with **no** scheduled rebalance, where the cost-aware autopilot
+closes the detect → plan → rebalance → recover loop mid-run.  This script is
+a thin wrapper over the scenario CLI; the two invocations below are
+equivalent (same seed ⇒ bit-identical metrics snapshot)::
 
     python examples/autopilot_storm.py
+    python -m repro run examples/scenarios/autopilot_storm.toml
 """
 
-from repro.api import (
-    BucketingConfig,
-    ClusterConfig,
-    Database,
-    KIB,
-    LSMConfig,
-    OperationMix,
-    PHASE_REBALANCE,
-    PHASE_STEADY,
-    Phase,
-    Schedule,
-    WorkloadDriver,
-    WorkloadSpec,
-    format_table,
-)
+import sys
+from pathlib import Path
 
-NUM_NODES = 3
-INITIAL_RECORDS = 600
-#: Per-node capacity budget: the preload sits near 50% mean utilization and
-#: the spike pushes the hottest node through the 85% high-water mark.
-NODE_CAPACITY_BYTES = 52 * KIB
+from repro.cli import main
 
-
-def open_database() -> Database:
-    config = ClusterConfig(
-        num_nodes=NUM_NODES,
-        partitions_per_node=2,
-        lsm=LSMConfig(memory_component_bytes=32 * KIB),
-        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
-        strategy="dynahash",
-    )
-    return Database(config)
-
-
-def main() -> None:
-    with open_database() as db:
-        pilot = db.autopilot(
-            policy="cost_aware",
-            policy_options={
-                "node_capacity_bytes": NODE_CAPACITY_BYTES,
-                # Sit above the preload's natural bucket skew so the *spike*,
-                # not the initial layout, is what trips the policy.
-                "balance_bar": 1.8,
-            },
-            check_every_ops=40,
-            cooldown_seconds=0.05,
-        )
-
-        spike_mix = OperationMix(name="spike", read=0.3, insert=0.6, update=0.1)
-        spec = WorkloadSpec(
-            dataset="traffic",
-            initial_records=INITIAL_RECORDS,
-            mix="B",  # YCSB-B: 95% read / 5% update
-            keys="zipfian",
-            schedule=Schedule(
-                (
-                    Phase(name="warmup", ops=80, keys="uniform"),
-                    Phase(name="steady", ops=240),
-                    Phase(name="spike", ops=320, keys="hotspot", mix=spike_mix),
-                    Phase(name="recover", ops=160),
-                )
-            ),
-        )
-        driver = WorkloadDriver(db, spec)  # seeded from ClusterConfig.seed
-        report = driver.run()
-
-        print(report.summary())
-        print("\nAutopilot decision log:")
-        print(pilot.summary())
-
-        snapshot = db.metrics.snapshot()
-        autopilot_counters = [
-            [name, int(value)]
-            for name, value in snapshot.counters.items()
-            if name.startswith("autopilot.")
-        ]
-        print("\nautopilot.* events as seen by the metrics registry:")
-        print(format_table(["event", "count"], autopilot_counters))
-
-        print("\nPer-op latency by cluster phase (simulated ms):")
-        print(db.metrics.report())
-
-        rows = []
-        for phase in (PHASE_STEADY, PHASE_REBALANCE):
-            writes = db.metrics.write_latency(phase)
-            reads = db.metrics.latency("read", phase)
-            rows.append(
-                [
-                    phase,
-                    int(writes.count),
-                    round(writes.percentile(0.99) * 1e3, 3),
-                    int(reads.count),
-                    round(reads.percentile(0.99) * 1e3, 3),
-                ]
-            )
-        print("\nTail latency by cluster phase:")
-        print(
-            format_table(
-                ["phase", "writes", "write p99 (ms)", "reads", "read p99 (ms)"], rows
-            )
-        )
-
-        # The contract this example demonstrates (and CI asserts):
-        # detect -> plan -> rebalance happened with zero explicit rebalance
-        # calls, and the loop closed while traffic kept flowing.
-        assert report.autopilot_rebalances >= 1, "the autopilot never acted"
-        assert all(phase.rebalance_report is None for phase in report.phases)
-        assert db.num_nodes > NUM_NODES
-        assert snapshot.counters["autopilot.decision"] >= 1
-        assert snapshot.counters["autopilot.rebalance.complete"] >= 1
-        executed = [d for d in report.autopilot_decisions if d.outcome == "executed"]
-        print(
-            f"\nThe autopilot grew the cluster {NUM_NODES} -> {db.num_nodes} nodes "
-            f"mid-run ({executed[0].reason}), with zero explicit rebalance calls; "
-            "traffic never stopped and the recover phase ran on the new layout."
-        )
-
+SPEC = Path(__file__).resolve().parent / "scenarios" / "autopilot_storm.toml"
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", str(SPEC)]))

@@ -1,102 +1,31 @@
-"""Elastic scaling scenario: compare rebalancing approaches when resizing.
+"""Elastic scaling: compare rebalancing approaches when resizing a cluster.
 
-The paper's motivation: clusters are scaled in and out with the workload, so
-the data-rebalancing cost matters.  This example loads the same TPC-H subset
-into three databases — one per registered rebalancing strategy — removes a
-node, adds it back, and prints how much data each approach had to move and
-how long the (simulated) rebalances took.
+The scenario lives in ``examples/scenarios/elastic_scaling.toml`` — a TPC-H
+subset scaled in by one node and back out.  This script is a thin wrapper
+over the scenario CLI that runs the same spec once per registered strategy
+(the CLI's ``--strategy`` override), reproducing the paper's comparison:
+DynaHash and StaticHash move only the displaced buckets, while the Hashing
+baseline re-partitions nearly every record.  Each run is equivalent to::
 
-Run with::
-
-    python examples/elastic_scaling.py
+    python -m repro run examples/scenarios/elastic_scaling.toml --strategy <name>
 """
 
-from repro.api import (
-    BucketingConfig,
-    ClusterConfig,
-    Database,
-    KIB,
-    LSMConfig,
-    format_table,
-    load_tpch,
-)
+import sys
+from pathlib import Path
 
-#: Reduced-scale setup: the paper loads SF=100 per node; we load
-#: SCALE_PER_NODE and let the cost model's workload scale bridge the rest.
-NUM_NODES = 4
-SCALE_PER_NODE = 0.0001
-WORKLOAD_SCALE = 100.0 / SCALE_PER_NODE
+from repro.cli import main
 
-#: Strategy name (registry key) -> factory options, as the paper configures
-#: them: StaticHash uses a fixed 64-bucket layout at this reduced scale,
-#: DynaHash splits at the configured maximum bucket size.
-STRATEGIES = {
-    "hashing": {},
-    "static": {"total_buckets": 64},
-    "dynahash": {},
-}
+SPEC = Path(__file__).resolve().parent / "scenarios" / "elastic_scaling.toml"
 
-
-def open_database(strategy_name: str) -> Database:
-    config = ClusterConfig(
-        num_nodes=NUM_NODES,
-        partitions_per_node=2,
-        lsm=LSMConfig(memory_component_bytes=32 * KIB),
-        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
-        strategy=strategy_name,
-    )
-    return Database(
-        config,
-        workload_scale=WORKLOAD_SCALE,
-        strategy_options=STRATEGIES[strategy_name],
-    )
-
-
-def main() -> None:
-    rows = []
-    for strategy_name in STRATEGIES:
-        with open_database(strategy_name) as db:
-            load_tpch(
-                db,
-                scale_factor=SCALE_PER_NODE * NUM_NODES,
-                tables=("orders", "lineitem"),
-            )
-            records = db["lineitem"].count() + db["orders"].count()
-
-            remove_report = db.rebalance(remove=1)
-            add_report = db.rebalance(add=1)
-
-            rows.append(
-                [
-                    remove_report.strategy,
-                    records,
-                    remove_report.total_records_moved,
-                    round(remove_report.simulated_minutes, 1),
-                    add_report.total_records_moved,
-                    round(add_report.simulated_minutes, 1),
-                ]
-            )
-            # Data is intact after scaling in and back out.
-            assert db["lineitem"].count() + db["orders"].count() == records
-
-    print(
-        format_table(
-            [
-                "approach",
-                "records stored",
-                "records moved (remove)",
-                "remove minutes",
-                "records moved (add)",
-                "add minutes",
-            ],
-            rows,
-        )
-    )
-    print(
-        "\nDynaHash/StaticHash move only the displaced buckets; the Hashing baseline "
-        "re-partitions nearly every record."
-    )
-
+#: The paper's three approaches, by registry name.  A --strategy override
+#: drops the spec's strategy_options, so each strategy runs on its defaults.
+STRATEGIES = ("hashing", "static", "dynahash")
 
 if __name__ == "__main__":
-    main()
+    for strategy in STRATEGIES:
+        print(f"==== strategy: {strategy}")
+        code = main(["run", str(SPEC), "--strategy", strategy])
+        if code:
+            sys.exit(code)
+        print()
+    sys.exit(0)

@@ -1,76 +1,22 @@
-"""Fault-tolerant rebalancing: crash the coordinator mid-rebalance and recover.
+"""Fault-tolerant rebalancing: crash the coordinator mid-rebalance, recover.
 
-Demonstrates the Section V-D failure handling through the client API: a
-rebalance is interrupted at two different protocol points (before and after
-the COMMIT record is forced) via ``db.rebalance(..., fault_sites=[...])``,
-recovery is run with ``db.recover()`` as the restarted CC would, and the
-dataset ends up either exactly as it was (abort) or fully rebalanced (commit)
-— never in between.
-
-Run with::
+The scenario lives in ``examples/scenarios/fault_tolerant_rebalance.toml`` —
+two injected coordinator crashes (before and after the COMMIT record is
+forced) each followed by recovery, demonstrating the paper's Section V-D
+failure cases: the dataset ends up exactly as it was (abort) or fully
+rebalanced (commit), never in between.  This script is a thin wrapper over
+the scenario CLI; the two invocations below are equivalent::
 
     python examples/fault_tolerant_rebalance.py
+    python -m repro run examples/scenarios/fault_tolerant_rebalance.toml
 """
 
-from repro.api import (
-    BucketingConfig,
-    ClusterConfig,
-    Database,
-    FaultInjected,
-    KIB,
-    LSMConfig,
-    load_tpch,
-)
+import sys
+from pathlib import Path
 
+from repro.cli import main
 
-def open_loaded_database() -> Database:
-    config = ClusterConfig(
-        num_nodes=4,
-        partitions_per_node=2,
-        lsm=LSMConfig(memory_component_bytes=32 * KIB),
-        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
-        strategy="dynahash",
-    )
-    db = Database(config, workload_scale=100.0 / 0.0002)
-    load_tpch(db, scale_factor=0.0008, tables=("orders", "lineitem"))
-    return db
-
-
-def interrupted_rebalance(fault_site: str) -> None:
-    db = open_loaded_database()
-    lineitem = db.dataset("lineitem")
-    records_before = lineitem.count()
-
-    try:
-        db.rebalance(target_nodes=3, fault_sites=[fault_site])
-        raise AssertionError("the injected fault should have fired")
-    except FaultInjected as fault:
-        print(f"rebalance interrupted by injected fault at {fault.site!r}")
-
-    outcomes = db.recover()
-    for outcome in outcomes:
-        print(
-            f"  recovery: rebalance #{outcome.rebalance_id} on "
-            f"{outcome.dataset!r} -> {outcome.action}"
-        )
-
-    assert lineitem.count() == records_before
-    sample_row = next(iter(lineitem.scan()))
-    sample_key = lineitem.spec.primary_key_of(sample_row)
-    assert lineitem.get(sample_key) is not None
-    print(
-        f"  dataset consistent: {records_before} records, "
-        f"sample key {sample_key} readable\n"
-    )
-    db.close()
-
-
-def main() -> None:
-    print("Case 3: coordinator fails before forcing COMMIT (rebalance aborts)\n")
-    interrupted_rebalance("cc_fail_before_commit")
-    print("Case 5: coordinator fails after forcing COMMIT (rebalance completes on recovery)\n")
-    interrupted_rebalance("cc_fail_after_commit")
-
+SPEC = Path(__file__).resolve().parent / "scenarios" / "fault_tolerant_rebalance.toml"
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", str(SPEC)]))

@@ -1,99 +1,25 @@
-"""Quickstart for the ``repro.api`` client surface.
+"""Quickstart: datasets, traffic, and an online scale-in, in one scenario.
 
-Opens a :class:`~repro.api.Database` session on a 4-node DynaHash cluster,
-creates a dataset with a covering secondary index, and walks the dataset
-handle's verbs — ``insert`` / ``upsert`` / ``delete`` / ``get`` / ``scan`` /
-fluent ``query()`` — before scaling the cluster in with an online rebalance
-while lifecycle events stream to a subscriber.
-
-Run with::
+The scenario lives in ``examples/scenarios/quickstart.toml`` — the paper's
+4-node layout, an AsterixDB-style dataset with a covering secondary index, a
+short YCSB-B workload, and a one-node online rebalance.  This script is a
+thin wrapper over the scenario CLI; the two invocations below are
+equivalent::
 
     python examples/quickstart.py
+    python -m repro run examples/scenarios/quickstart.toml
+
+For the same tour through the Python client API itself (fluent queries,
+handle verbs, lifecycle events), see the README quickstart and
+``docs/COOKBOOK.md``.
 """
 
-from repro.api import (
-    BucketingConfig,
-    ClusterConfig,
-    Database,
-    KIB,
-    LSMConfig,
-    SecondaryIndexSpec,
-    resolve_strategy,
-)
+import sys
+from pathlib import Path
 
+from repro.cli import main
 
-def main() -> None:
-    # A 4-node cluster with 4 storage partitions per node (the paper's layout),
-    # using DynaHash: extendible-hash buckets that split at a maximum size.
-    # Strategies are named through the registry; options go to the factory.
-    config = ClusterConfig(
-        num_nodes=4,
-        partitions_per_node=4,
-        lsm=LSMConfig(memory_component_bytes=32 * KIB),
-        bucketing=BucketingConfig(max_bucket_bytes=64 * KIB),
-    )
-    strategy = resolve_strategy("dynahash", max_bucket_bytes=64 * KIB)
-
-    with Database(config, strategy=strategy) as db:
-        # Watch the rebalance lifecycle as it happens.
-        db.on("rebalance.*", lambda event: print(f"  [event] {event.name}"))
-
-        # A dataset with a secondary index, like an AsterixDB dataset.
-        orders = db.create_dataset(
-            "orders",
-            primary_key="o_orderkey",
-            secondary_indexes=[
-                SecondaryIndexSpec(
-                    "idx_orderdate", ("o_orderdate",), included_fields=("o_custkey",)
-                )
-            ],
-        )
-
-        # Ingest through a data feed; the report carries the simulated time.
-        rows = [
-            {
-                "o_orderkey": key,
-                "o_custkey": key % 500,
-                "o_orderdate": f"199{5 + key % 3}-{(key % 12) + 1:02d}-01",
-                "o_totalprice": float(key % 9000),
-            }
-            for key in range(20_000)
-        ]
-        ingest = orders.insert(rows)
-        print("ingest:", ingest.summary())
-        print("cluster:", db.describe())
-
-        # Point lookups route through the extendible-hash global directory.
-        print("get 1234:", orders.get(1234))
-
-        # Upserts replace by primary key; deletes tombstone.
-        orders.upsert([{**orders.get(1234), "o_totalprice": 123.45}])
-        assert orders.get(1234)["o_totalprice"] == 123.45
-        deleted = orders.delete([19_998, 19_999])
-        print("delete:", deleted.summary())
-
-        # A fluent query: top customers by spend (real rows + simulated time).
-        top = (
-            orders.query()
-            .filter(lambda row: row["o_totalprice"] > 0.0)
-            .group_by("o_custkey")
-            .aggregate(total=("sum", "o_totalprice"), orders=("count", None))
-            .order_by("total", descending=True)
-            .limit(3)
-            .execute()
-        )
-        print("top customers:", list(top))
-        print("query:", top.report.summary())
-
-        # Scale the cluster in by one node: an online rebalance moves only the
-        # affected buckets and every record stays readable.
-        report = db.rebalance(remove=1)
-        print("rebalance:", report.summary())
-        for dataset_report in report.dataset_reports:
-            print("  ", dataset_report.summary())
-        assert orders.get(1234)["o_custkey"] == 1234 % 500
-        print("records after rebalance:", orders.count())
-
+SPEC = Path(__file__).resolve().parent / "scenarios" / "quickstart.toml"
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", str(SPEC)]))

@@ -1,76 +1,21 @@
 """TPC-H analytics on a DynaHash cluster, before and after an online rebalance.
 
-Loads a small TPC-H instance through the client API, runs real relational
-plans for q1, q6 and q3 with ``db.execute``, rebalances the cluster down by
-one node, and re-runs the same queries to show that the answers are identical
-while the bucketed storage reports its (simulated) execution times.  A fluent
-query over the Orders handle shows the same engine through the builder.
-
-Run with::
+The scenario lives in ``examples/scenarios/tpch_analytics.toml`` — Q1/Q6/Q3
+as real relational plans, run before and after a one-node scale-in, with the
+``queries_identical_across_rebalance`` check asserting the answers match.
+This script is a thin wrapper over the scenario CLI; the two invocations
+below are equivalent::
 
     python examples/tpch_analytics.py
+    python -m repro run examples/scenarios/tpch_analytics.toml
 """
 
-from repro.api import (
-    BucketingConfig,
-    ClusterConfig,
-    Database,
-    KIB,
-    LSMConfig,
-    load_tpch,
-    q1_plan,
-    q3_plan,
-    q6_plan,
-)
+import sys
+from pathlib import Path
 
-def run_queries(db: Database):
-    results = {}
-    for name, plan in (("q1", q1_plan()), ("q6", q6_plan()), ("q3", q3_plan())):
-        result, report = db.execute(name, plan)
-        results[name] = result
-        print(f"  {report.summary()}")
-    return results
+from repro.cli import main
 
-
-def main() -> None:
-    config = ClusterConfig(
-        num_nodes=4,
-        partitions_per_node=2,
-        lsm=LSMConfig(memory_component_bytes=32 * KIB),
-        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
-        strategy="dynahash",
-    )
-    with Database(config, workload_scale=100.0 / 0.0002) as db:
-        load = load_tpch(db, scale_factor=0.0008)  # all tables (DEFAULT_TABLES)
-        print(f"loaded TPC-H SF={load.scale_factor} ({load.total_rows} rows) onto 4 nodes")
-
-        print("\nqueries on the original 4-node cluster:")
-        before = run_queries(db)
-        print("\nq1 groups:")
-        for row in before["q1"]:
-            print("  ", row)
-        print("q6 revenue:", round(before["q6"]["revenue"], 2))
-
-        # The fluent builder runs through the same executor and cost model.
-        orders_by_priority = (
-            db["orders"].query("orders_by_priority")
-            .group_by("o_orderpriority")
-            .aggregate(orders=("count", None))
-            .order_by("o_orderpriority")
-            .execute()
-        )
-        print("\norders by priority:", list(orders_by_priority))
-
-        report = db.rebalance(remove=1)
-        print(f"\nrebalanced to 3 nodes: {report.summary()}")
-
-        print("\nsame queries on the downsized cluster:")
-        after = run_queries(db)
-
-        assert round(before["q6"]["revenue"], 6) == round(after["q6"]["revenue"], 6)
-        assert len(before["q1"]) == len(after["q1"])
-        print("\nanswers are identical before and after the rebalance")
-
+SPEC = Path(__file__).resolve().parent / "scenarios" / "tpch_analytics.toml"
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", str(SPEC)]))

@@ -1,146 +1,21 @@
 """Traffic storm: a zipfian hotspot spike during a node-add rebalance.
 
-The paper's headline claim is that DynaHash rehashes buckets with minimal
-disruption to foreground traffic.  This example drives a YCSB-A-style mixed
-read/update workload through the client API in four phases — warmup, steady,
-a hotspot spike that lands *while* the cluster is rebalancing onto a new
-node, and a cool-down ramp — and then reads the answer off ``db.metrics``:
-every operation sample is tagged with the cluster phase in flight, so "p99
-write latency during the rehash" (the paper's Figure 7c story) is a
-first-class metric rather than a bespoke experiment.
-
-Run with::
+The scenario lives in ``examples/scenarios/traffic_storm.toml`` — a YCSB-A
+mixed workload whose spike phase lands *while* the cluster rebalances onto a
+new node, with phase-tagged tail latencies telling the paper's Figure 7c
+story.  This script is a thin wrapper over the scenario CLI; the two
+invocations below are equivalent::
 
     python examples/traffic_storm.py
+    python -m repro run examples/scenarios/traffic_storm.toml
 """
 
-import time
+import sys
+from pathlib import Path
 
-from repro.api import (
-    BucketingConfig,
-    ClusterConfig,
-    Database,
-    KIB,
-    LSMConfig,
-    PHASE_REBALANCE,
-    PHASE_STEADY,
-    WorkloadDriver,
-    WorkloadSpec,
-    format_table,
-    storm_schedule,
-)
-from repro.bench.artifacts import write_bench_artifact
+from repro.cli import main
 
-NUM_NODES = 3
-INITIAL_RECORDS = 800
-
-
-def open_database() -> Database:
-    config = ClusterConfig(
-        num_nodes=NUM_NODES,
-        partitions_per_node=2,
-        lsm=LSMConfig(memory_component_bytes=32 * KIB),
-        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
-        strategy="dynahash",
-    )
-    # Traffic runs at workload_scale=1: each op's simulated latency is a
-    # client-visible service time, not a paper-scale projection.
-    return Database(config)
-
-
-def main() -> None:
-    with open_database() as db:
-        spec = WorkloadSpec(
-            dataset="traffic",
-            initial_records=INITIAL_RECORDS,
-            mix="A",  # YCSB-A: 50% read / 50% update
-            keys="zipfian",
-            schedule=storm_schedule(
-                warmup=100,
-                steady=400,
-                spike=300,
-                ramp=100,
-                rebalance={"add": 1},  # the spike lands during this resize
-                spike_keys="hotspot",
-            ),
-        )
-        driver = WorkloadDriver(db, spec)  # seeded from ClusterConfig.seed
-        wall_started = time.perf_counter()
-        report = driver.run()
-        wall_seconds = time.perf_counter() - wall_started
-
-        print(report.summary())
-        spike = report.phase("spike")
-        rebalance = spike.rebalance_report
-        print(
-            f"\nspike phase overlapped rebalance {rebalance.old_nodes} -> "
-            f"{rebalance.new_nodes} nodes: {rebalance.total_records_moved} records "
-            f"moved, {sum(r.replicated_log_records for r in rebalance.dataset_reports)} "
-            "concurrent writes replicated to moving buckets"
-        )
-
-        print("\nPer-op latency by cluster phase (simulated ms):")
-        print(db.metrics.report())
-
-        rows = []
-        for phase in (PHASE_STEADY, PHASE_REBALANCE):
-            writes = db.metrics.write_latency(phase)
-            reads = db.metrics.latency("read", phase)
-            rows.append(
-                [
-                    phase,
-                    int(writes.count),
-                    round(writes.percentile(0.99) * 1e3, 3),
-                    int(reads.count),
-                    round(reads.percentile(0.99) * 1e3, 3),
-                ]
-            )
-        print("\nFigure 7c story — tail latency by cluster phase:")
-        print(
-            format_table(
-                ["phase", "writes", "write p99 (ms)", "reads", "read p99 (ms)"],
-                rows,
-            )
-        )
-
-        # Feed the perf trajectory: when REPRO_BENCH_ARTIFACT_DIR is set (the
-        # CI perf-gate job does), persist this storm's throughput — both the
-        # driver's real wall-clock ops/sec and the simulated-time rate — next
-        # to the phase-tagged percentiles.
-        artifact_path = write_bench_artifact(
-            "traffic_storm",
-            {
-                "name": "traffic_storm",
-                "total_ops": report.total_ops,
-                "wall_seconds": wall_seconds,
-                "wall_ops_per_second": report.total_ops / wall_seconds
-                if wall_seconds > 0
-                else 0.0,
-                "simulated_seconds": report.simulated_seconds,
-                "write_p99_ms": {
-                    phase: seconds * 1e3
-                    for phase, seconds in report.write_p99_seconds.items()
-                },
-                "read_p99_ms": {
-                    phase: seconds * 1e3
-                    for phase, seconds in report.read_p99_seconds.items()
-                },
-                "op_phase_percentiles": db.metrics.summaries(),
-            },
-        )
-        if artifact_path is not None:
-            print(f"\nperf artifact written: {artifact_path}")
-
-        steady_p99 = db.metrics.write_latency(PHASE_STEADY).percentile(0.99)
-        rehash_p99 = db.metrics.write_latency(PHASE_REBALANCE).percentile(0.99)
-        assert rehash_p99 >= steady_p99, "writes mid-rehash pay the replication hop"
-        assert db.num_nodes == NUM_NODES + 1
-        print(
-            f"\nWrites during the rehash pay the log-replication round trip "
-            f"(p99 {rehash_p99 * 1e3:.3f} ms vs {steady_p99 * 1e3:.3f} ms steady), "
-            "but traffic never stopped and every record stayed readable."
-        )
-
+SPEC = Path(__file__).resolve().parent / "scenarios" / "traffic_storm.toml"
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["run", str(SPEC)]))

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Offline link checker for the repo's markdown documentation.
+
+Walks README.md, CHANGES.md, ROADMAP.md, and everything under docs/, and
+verifies every markdown link:
+
+* **relative paths** must exist on disk (resolved from the linking file);
+* **``path#anchor``** additionally needs a heading in the target file whose
+  GitHub slug matches the anchor;
+* **``#anchor``** must match a heading in the same file;
+* **http(s) URLs** are *not* fetched (CI is offline-friendly) — they are only
+  checked for obvious malformedness (whitespace).
+
+Exit status 1 lists every broken link with its file and line number.
+
+Usage::
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: The documentation set the checker walks.
+DOC_FILES = ("README.md", "CHANGES.md", "ROADMAP.md", "PAPER.md", "PAPERS.md")
+DOC_DIRS = ("docs",)
+
+#: ``[text](target)`` — good enough for the docs we write (no nested
+#: brackets in link text, no angle-bracket targets).
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+IMAGE_PATTERN = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = heading.strip().lower()
+    # Inline code/emphasis markers vanish; then drop everything that is not
+    # a word character, space, or hyphen; spaces become hyphens.
+    text = text.replace("`", "").replace("*", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_files() -> List[Path]:
+    files = [ROOT / name for name in DOC_FILES if (ROOT / name).exists()]
+    for directory in DOC_DIRS:
+        files.extend(sorted((ROOT / directory).rglob("*.md")))
+    return files
+
+
+def headings_of(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    if path not in cache:
+        slugs: Set[str] = set()
+        seen: Dict[str, int] = {}
+        for line in path.read_text().splitlines():
+            match = HEADING_PATTERN.match(line)
+            if match:
+                slug = github_slug(match.group(1))
+                # GitHub de-duplicates repeated headings with -1, -2, ...
+                if slug in seen:
+                    seen[slug] += 1
+                    slugs.add(f"{slug}-{seen[slug]}")
+                else:
+                    seen[slug] = 0
+                    slugs.add(slug)
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[Tuple[int, str, str]]:
+    problems: List[Tuple[int, str, str]] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for pattern in (LINK_PATTERN, IMAGE_PATTERN):
+            for target in pattern.findall(line):
+                problem = check_target(path, target, cache)
+                if problem:
+                    problems.append((line_number, target, problem))
+    return problems
+
+
+def check_target(source: Path, target: str, cache: Dict[Path, Set[str]]) -> str:
+    if target.startswith(("http://", "https://", "mailto:")):
+        return ""  # offline: syntax-only
+    if target.startswith("#"):
+        anchor = target[1:]
+        if anchor not in headings_of(source, cache):
+            return f"no heading with anchor #{anchor} in {source.name}"
+        return ""
+    path_part, _, anchor = target.partition("#")
+    resolved = (source.parent / path_part).resolve()
+    if not resolved.exists():
+        return f"file does not exist: {path_part}"
+    if anchor:
+        if resolved.suffix.lower() != ".md":
+            return ""
+        if anchor not in headings_of(resolved, cache):
+            return f"no heading with anchor #{anchor} in {path_part}"
+    return ""
+
+
+def main() -> int:
+    cache: Dict[Path, Set[str]] = {}
+    files = collect_files()
+    total_problems = 0
+    for path in files:
+        for line_number, target, problem in check_file(path, cache):
+            print(f"{path.relative_to(ROOT)}:{line_number}: [{target}] {problem}")
+            total_problems += 1
+    if total_problems:
+        print(f"\n{total_problems} broken link(s) across {len(files)} file(s)")
+        return 1
+    print(f"all links OK across {len(files)} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

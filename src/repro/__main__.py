@@ -1,0 +1,8 @@
+"""``python -m repro`` — the scenario runner CLI (see :mod:`repro.cli`)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

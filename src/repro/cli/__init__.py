@@ -1,0 +1,14 @@
+"""Command-line interface: ``python -m repro`` (see :mod:`repro.cli.main`).
+
+The CLI is a thin shell over :mod:`repro.scenario` and :mod:`repro.bench` —
+``main(argv)`` is importable so examples and tests can drive subcommands
+in-process::
+
+    from repro.cli import main
+
+    exit_code = main(["run", "examples/scenarios/traffic_storm.toml"])
+"""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

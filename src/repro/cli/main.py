@@ -1,0 +1,406 @@
+"""The ``python -m repro`` command line: scenarios in, reports out.
+
+Four subcommands cover the operate-it-like-a-database loop the docs teach
+(declare a cluster + workload + policy, run it, read the report):
+
+``run SPEC``
+    Execute a declarative scenario spec (TOML or JSON — see
+    :mod:`repro.scenario`), print the run report, and exit non-zero if any
+    ``[checks]`` assertion failed.  ``--record`` writes a recording for
+    ``replay``/``inspect``; ``--seed``/``--strategy`` override the spec.
+
+``bench``
+    The benchmark harness: ``--suite micro`` runs the hot-path
+    microbenchmarks (with the same ``--check``/``--write-baseline`` perf-gate
+    flags as ``python -m repro.bench.micro``), ``--suite traffic`` /
+    ``autopilot`` run the named experiment drivers, writing ``BENCH_*.json``
+    artifacts when an artifact directory is configured.  ``--dry-run`` lists
+    what would run.
+
+``inspect RECORDING``
+    Print a recorded run's cluster directory/partition state, check
+    outcomes, counters, and latency percentiles — offline, from the JSON.
+
+``replay RECORDING``
+    Re-run the recorded scenario from its embedded spec + seed and diff the
+    resulting :class:`~repro.api.MetricsSnapshot` against the recorded one.
+    Zero differences is the determinism contract; any difference lists line
+    by line and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..scenario import (
+    ScenarioSpecError,
+    diff_snapshots,
+    load_recording,
+    load_scenario,
+    run_scenario,
+    snapshot_from_recording,
+    spec_from_recording,
+    write_recording,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Scenario runner for the DynaHash reproduction: execute "
+        "declarative experiment specs, benchmark the hot paths, and check "
+        "determinism via recorded snapshots.",
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    run = subparsers.add_parser(
+        "run",
+        help="execute a scenario spec and print the run report",
+        description="Execute a declarative scenario spec (TOML or JSON). "
+        "Exits 1 if any [checks] assertion fails.",
+    )
+    run.add_argument("spec", help="path to the scenario spec (.toml or .json)")
+    run.add_argument("--seed", type=int, help="override the spec's cluster seed")
+    run.add_argument(
+        "--strategy",
+        help="override the spec's rebalancing strategy (drops the spec's "
+        "strategy_options — they are strategy-specific)",
+    )
+    run.add_argument(
+        "--record",
+        metavar="PATH",
+        help="write a recording (spec + seed + metrics snapshot) for replay/inspect",
+    )
+    run.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="print only the final verdict line and check failures",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the micro suite or a named experiment, writing BENCH_*.json",
+        description="Benchmark harness. --suite micro is the CI perf gate's "
+        "suite; traffic/autopilot run the named experiment drivers.",
+    )
+    bench.add_argument(
+        "--suite",
+        default="micro",
+        choices=("micro", "traffic", "autopilot", "all"),
+        help="which benchmarks to run (default: micro)",
+    )
+    bench.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list what would run without running it",
+    )
+    bench.add_argument(
+        "--scale",
+        default="smoke",
+        choices=("smoke", "full"),
+        help="experiment scale for the named suites (default: smoke)",
+    )
+    bench.add_argument("--repeats", type=int, default=None, help="micro suite repeats")
+    bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="micro suite: compare against a baseline; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="micro suite: allowed normalized regression (default 0.25)",
+    )
+    bench.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="micro suite: write the run's payload as a new baseline",
+    )
+    bench.add_argument(
+        "--artifact-dir",
+        help="directory for BENCH_*.json artifacts (overrides REPRO_BENCH_ARTIFACT_DIR)",
+    )
+
+    inspect = subparsers.add_parser(
+        "inspect",
+        help="print cluster/metrics state from a recorded run",
+        description="Summarise a recording written by `run --record`: cluster "
+        "layout, datasets, check outcomes, counters, latency percentiles.",
+    )
+    inspect.add_argument("recording", help="path to a recording JSON")
+    inspect.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print every counter (not just the headline ones)",
+    )
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="re-run a recorded scenario and diff the metrics snapshots",
+        description="Re-run the scenario embedded in a recording (same spec, "
+        "same seed) and report any snapshot difference. Zero diff = the "
+        "determinism contract holds; differences exit 1.",
+    )
+    replay.add_argument("recording", help="path to a recording JSON")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
+    except ScenarioSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_scenario(args.spec)
+    result = run_scenario(spec, seed=args.seed, strategy=args.strategy)
+    if args.quiet:
+        for check in result.checks:
+            if not check.passed:
+                print(check.line())
+        verdict = "OK" if result.passed else "FAILED"
+        print(
+            f"scenario {result.spec.name!r} {verdict}: {result.total_ops} ops, "
+            f"nodes {result.nodes_before} -> {result.nodes_after}"
+        )
+    else:
+        print(result.render())
+    if args.record:
+        path = write_recording(result, args.record)
+        print(f"\nrecording written: {path}")
+    return 0 if result.passed else 1
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+def _bench_plan(suite: str, scale: str) -> List[str]:
+    from ..bench.micro import BENCHMARKS
+
+    plan = []
+    if suite in ("micro", "all"):
+        plan.extend(f"micro:{name}" for name in BENCHMARKS)
+    if suite in ("traffic", "all"):
+        plan.append(f"experiment:traffic ({scale} scale)")
+    if suite in ("autopilot", "all"):
+        plan.append(f"experiment:autopilot ({scale} scale)")
+    return plan
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    micro_only = {
+        "--repeats": args.repeats is not None,
+        "--check": bool(args.check),
+        "--tolerance": args.tolerance is not None,
+        "--write-baseline": bool(args.write_baseline),
+    }
+    if args.suite in ("traffic", "autopilot"):
+        misused = [flag for flag, given in micro_only.items() if given]
+        if misused:
+            print(
+                f"error: {', '.join(misused)} only apply to the micro suite "
+                f"(--suite {args.suite} would silently ignore them)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.dry_run:
+        for entry in _bench_plan(args.suite, args.scale):
+            print(entry)
+        print(f"(dry run: {len(_bench_plan(args.suite, args.scale))} benchmarks selected)")
+        return 0
+
+    status = 0
+    if args.suite in ("micro", "all"):
+        from ..bench import micro
+
+        micro_argv: List[str] = []
+        if args.repeats is not None:
+            micro_argv += ["--repeats", str(args.repeats)]
+        if args.check:
+            micro_argv += ["--check", args.check]
+        if args.tolerance is not None:
+            micro_argv += ["--tolerance", str(args.tolerance)]
+        if args.write_baseline:
+            micro_argv += ["--write-baseline", args.write_baseline]
+        if args.artifact_dir:
+            micro_argv += ["--artifact-dir", args.artifact_dir]
+        status = micro.main(micro_argv)
+    if args.suite in ("traffic", "autopilot", "all"):
+        import time
+
+        from ..bench import FULL, SMOKE, write_bench_artifact
+        from ..bench import run_autopilot_experiment, run_traffic_experiment
+        from ..bench.artifacts import traffic_artifact_payload
+
+        scale = SMOKE if args.scale == "smoke" else FULL
+        experiments = []
+        if args.suite in ("traffic", "all"):
+            # Artifact names keep continuity with the pre-CLI trajectory
+            # (examples/traffic_storm.py wrote BENCH_traffic_storm.json).
+            experiments.append(("traffic_storm", run_traffic_experiment))
+        if args.suite in ("autopilot", "all"):
+            experiments.append(("autopilot_storm", run_autopilot_experiment))
+        for name, experiment in experiments:
+            wall_started = time.perf_counter()
+            result = experiment(scale=scale)
+            wall_seconds = time.perf_counter() - wall_started
+            print(result.table())
+            summary = getattr(result, "autopilot_summary", "")
+            if summary:
+                print(summary)
+            payload = traffic_artifact_payload(name, result)
+            # The trajectory's regression signal: real wall-clock throughput
+            # (simulated ops/sec is seed-deterministic and never moves).
+            payload["wall_seconds"] = wall_seconds
+            payload["wall_ops_per_second"] = (
+                result.total_ops / wall_seconds if wall_seconds > 0 else 0.0
+            )
+            path = write_bench_artifact(name, payload, args.artifact_dir)
+            if path is not None:
+                print(f"artifact written: {path}")
+    return status
+
+
+# ---------------------------------------------------------------------------
+# inspect
+# ---------------------------------------------------------------------------
+
+#: Headline counters `inspect` always prints when present.
+_HEADLINE_COUNTERS = (
+    "ops.total",
+    "ingest.records",
+    "rebalance.started",
+    "rebalance.completed",
+    "autopilot.decision",
+    "autopilot.rebalance.complete",
+)
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from ..common.reporting import format_table
+    from ..metrics.histogram import LatencyHistogram
+
+    document = load_recording(args.recording)
+    snapshot = snapshot_from_recording(document)
+    scenario = document.get("scenario", {}).get("scenario", {})
+    nodes = document.get("nodes", {})
+    print(
+        f"recording of scenario {scenario.get('name')!r}: seed={document.get('seed')}, "
+        f"nodes {nodes.get('before')} -> {nodes.get('after')}, "
+        f"{document.get('total_ops')} ops in "
+        f"{document.get('simulated_seconds', 0.0):.3f} simulated seconds"
+    )
+
+    describe: Dict[str, Any] = document.get("describe", {})
+    datasets: Dict[str, Any] = describe.get("datasets", {})
+    if datasets:
+        print(
+            f"\ncluster: {describe.get('nodes')} nodes, "
+            f"{describe.get('partitions')} partitions, strategy={describe.get('strategy')}"
+        )
+        rows = [
+            [
+                name,
+                info.get("records"),
+                info.get("buckets"),
+                info.get("bytes"),
+                info.get("routing"),
+            ]
+            for name, info in sorted(datasets.items())
+        ]
+        print(format_table(["dataset", "records", "buckets", "bytes", "routing"], rows))
+
+    checks = document.get("checks", [])
+    if checks:
+        print("\nchecks:")
+        for check in checks:
+            status = "PASS" if check.get("passed") else "FAIL"
+            print(f"  {check.get('name')}: {status} ({check.get('detail')})")
+
+    counter_rows = [
+        [name, int(value)]
+        for name, value in snapshot.counters.items()
+        if args.counters or name in _HEADLINE_COUNTERS
+    ]
+    if counter_rows:
+        print("\ncounters:" if args.counters else "\nheadline counters:")
+        print(format_table(["counter", "value"], counter_rows))
+
+    histogram_rows = []
+    for key, snap in sorted(snapshot.histograms.items()):
+        histogram = LatencyHistogram.from_snapshot(snap)
+        if not histogram.count:
+            continue
+        summary = histogram.summary()
+        histogram_rows.append(
+            [
+                key,
+                int(summary["count"]),
+                round(summary["p50"] * 1e3, 3),
+                round(summary["p99"] * 1e3, 3),
+                round(summary["max"] * 1e3, 3),
+            ]
+        )
+    if histogram_rows:
+        print("\nlatency histograms (ms):")
+        print(
+            format_table(["op[phase]", "count", "p50 (ms)", "p99 (ms)", "max (ms)"], histogram_rows)
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    document = load_recording(args.recording)
+    spec = spec_from_recording(document)
+    recorded = snapshot_from_recording(document)
+    seed = document.get("seed")
+    print(f"replaying scenario {spec.name!r} with seed={seed} ...")
+    result = run_scenario(spec, seed=seed)
+    differences = diff_snapshots(recorded, result.snapshot)
+    if differences:
+        print(f"replay DIVERGED: {len(differences)} difference(s) vs {args.recording}")
+        for line in differences:
+            print(f"  {line}")
+        return 1
+    print(
+        f"replay OK: snapshot identical to {Path(args.recording).name} "
+        f"({len(recorded.counters)} counters, {len(recorded.histograms)} histograms, "
+        f"{recorded.simulated_seconds:.3f} simulated seconds)"
+    )
+    return 0

@@ -194,6 +194,32 @@ class LatencyHistogram:
             self.max_value,
         )
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        snap: Tuple,
+        min_latency: float = DEFAULT_MIN_LATENCY,
+        growth: float = DEFAULT_GROWTH,
+    ) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` tuple.
+
+        The snapshot does not carry its grid parameters, so callers pass the
+        grid the histogram was built with (every registry histogram uses the
+        defaults).  Lets persisted :class:`~repro.metrics.MetricsSnapshot`
+        documents answer percentile queries offline — e.g. the scenario CLI's
+        ``inspect`` subcommand summarising a recording.
+        """
+        counts, count, total, min_value, max_value = snap
+        if len(counts) < 2:
+            raise ValueError("snapshot has no bucket counts")
+        histogram = cls(min_latency, growth, len(counts) - 1)
+        histogram.counts = list(counts)
+        histogram.count = count
+        histogram.total = total
+        histogram.min_value = min_value
+        histogram.max_value = max_value
+        return histogram
+
     def since(self, earlier: Optional[Tuple]) -> "LatencyHistogram":
         """The samples recorded after ``earlier`` (a past :meth:`snapshot` of
         *this* histogram), as a new histogram on the same grid.

@@ -1,0 +1,78 @@
+"""Declarative scenarios: spec files that compile onto the client API.
+
+This package is the substrate of the ``python -m repro`` CLI (see
+:mod:`repro.cli`): a scenario file (TOML or JSON) validates into a frozen
+:class:`ScenarioSpec` — cluster config, datasets, phased workload, autopilot
+policy, explicit steps (fault-injected rebalances, recovery, TPC-H queries),
+and checks — and :func:`run_scenario` executes it through the exact same
+:class:`~repro.api.Database` / :class:`~repro.api.WorkloadDriver` /
+:class:`~repro.api.Autopilot` surface hand-written experiments use::
+
+    from repro.scenario import load_scenario, run_scenario
+
+    spec = load_scenario("examples/scenarios/traffic_storm.toml")
+    result = run_scenario(spec)
+    print(result.render())
+    assert result.passed  # every [checks] assertion held
+
+Determinism is the core contract: a spec plus a seed fully determines the
+run, so :func:`recording_payload` / :func:`diff_snapshots` can persist a
+run's :class:`~repro.api.MetricsSnapshot` and later assert a replay
+reproduces it bit for bit (``python -m repro replay``).
+"""
+
+from .loader import load_scenario, parse_scenario
+from .recording import (
+    diff_snapshots,
+    load_recording,
+    recording_payload,
+    snapshot_from_recording,
+    spec_from_recording,
+    write_recording,
+)
+from .runner import CheckResult, ScenarioResult, StepOutcome, run_scenario
+from .spec import (
+    AutopilotSection,
+    ChecksSection,
+    ClusterSection,
+    DatasetSection,
+    QueryStep,
+    RebalanceStep,
+    RecoverStep,
+    ScenarioSpec,
+    ScenarioSpecError,
+    SecondaryIndexSection,
+    TPCHSection,
+    WorkloadPhaseSpec,
+    WorkloadSection,
+    parse_bytes,
+)
+
+__all__ = [
+    "AutopilotSection",
+    "CheckResult",
+    "ChecksSection",
+    "ClusterSection",
+    "DatasetSection",
+    "QueryStep",
+    "RebalanceStep",
+    "RecoverStep",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "SecondaryIndexSection",
+    "StepOutcome",
+    "TPCHSection",
+    "WorkloadPhaseSpec",
+    "WorkloadSection",
+    "diff_snapshots",
+    "load_recording",
+    "load_scenario",
+    "parse_bytes",
+    "parse_scenario",
+    "recording_payload",
+    "run_scenario",
+    "snapshot_from_recording",
+    "spec_from_recording",
+    "write_recording",
+]

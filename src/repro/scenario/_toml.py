@@ -1,0 +1,270 @@
+"""TOML parsing for scenario specs, with a stdlib-free fallback.
+
+Python 3.11+ ships :mod:`tomllib`; the repo also supports 3.10, and the
+simulator is dependency-free by design, so this module provides
+:func:`parse_toml` — ``tomllib.loads`` when available, otherwise a small
+recursive-descent parser covering the TOML subset scenario specs use:
+
+* ``[table]`` and ``[[array-of-table]]`` headers with dotted names,
+* ``key = value`` pairs with bare or quoted keys,
+* strings (basic, with the common backslash escapes), integers (including
+  ``_`` separators), floats, booleans,
+* arrays (possibly spanning lines) and inline tables,
+* ``#`` comments and blank lines.
+
+The fallback is intentionally *not* a general TOML implementation — no
+date/time types, no multi-line or literal strings, no dotted keys on the
+left-hand side of assignments.  Committed scenario specs stay inside this
+subset, and a test cross-checks the fallback against ``tomllib`` on every
+committed spec so the two cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+try:  # pragma: no cover - exercised indirectly on every 3.11+ run
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover - the 3.10 path
+    _tomllib = None
+
+
+class TOMLParseError(ValueError):
+    """A scenario spec's TOML could not be parsed."""
+
+
+def parse_toml(text: str) -> Dict[str, Any]:
+    """Parse TOML ``text`` into plain dicts/lists/scalars."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise TOMLParseError(str(exc)) from exc
+    return parse_toml_fallback(text)
+
+
+# ---------------------------------------------------------------------------
+# fallback parser (Python < 3.11)
+# ---------------------------------------------------------------------------
+
+
+def parse_toml_fallback(text: str) -> Dict[str, Any]:
+    """The dependency-free subset parser (see the module docstring)."""
+    root: Dict[str, Any] = {}
+    current = root
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = _strip_comment(lines[index]).strip()
+        index += 1
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TOMLParseError(f"line {index}: malformed [[table]] header {line!r}")
+            keys = _split_dotted(line[2:-2].strip(), index)
+            parent = _descend(root, keys[:-1], index)
+            array = parent.setdefault(keys[-1], [])
+            if not isinstance(array, list):
+                raise TOMLParseError(
+                    f"line {index}: {'.'.join(keys)} is not an array of tables"
+                )
+            current = {}
+            array.append(current)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TOMLParseError(f"line {index}: malformed [table] header {line!r}")
+            keys = _split_dotted(line[1:-1].strip(), index)
+            parent = _descend(root, keys[:-1], index)
+            table = parent.setdefault(keys[-1], {})
+            if not isinstance(table, dict):
+                raise TOMLParseError(f"line {index}: {'.'.join(keys)} is not a table")
+            current = table
+        else:
+            if "=" not in line:
+                raise TOMLParseError(f"line {index}: expected key = value, got {line!r}")
+            key_text, _, value_text = line.partition("=")
+            key = _parse_key(key_text.strip(), index)
+            value_text = value_text.strip()
+            # Arrays may span lines: keep consuming until brackets balance.
+            while not _balanced(value_text):
+                if index >= len(lines):
+                    raise TOMLParseError(f"line {index}: unterminated value for {key!r}")
+                value_text += " " + _strip_comment(lines[index]).strip()
+                index += 1
+            value, rest = _parse_value(value_text, index)
+            if rest.strip():
+                raise TOMLParseError(
+                    f"line {index}: trailing content {rest.strip()!r} after value"
+                )
+            if key in current:
+                raise TOMLParseError(f"line {index}: duplicate key {key!r}")
+            current[key] = value
+    return root
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment, respecting ``#`` inside quoted strings."""
+    in_string = False
+    for position, char in enumerate(line):
+        if char == '"' and (position == 0 or line[position - 1] != "\\"):
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:position]
+    return line
+
+
+def _balanced(text: str) -> bool:
+    """Whether every ``[``/``{`` outside a string has closed."""
+    depth = 0
+    in_string = False
+    previous = ""
+    for char in text:
+        if char == '"' and previous != "\\":
+            in_string = not in_string
+        elif not in_string:
+            if char in "[{":
+                depth += 1
+            elif char in "]}":
+                depth -= 1
+        previous = char
+    return depth <= 0 and not in_string
+
+
+def _split_dotted(text: str, line: int) -> List[str]:
+    if not text:
+        raise TOMLParseError(f"line {line}: empty table name")
+    return [_parse_key(part.strip(), line) for part in text.split(".")]
+
+
+def _parse_key(text: str, line: int) -> str:
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if not text or any(c for c in text if not (c.isalnum() or c in "-_")):
+        raise TOMLParseError(f"line {line}: invalid key {text!r}")
+    return text
+
+
+def _descend(root: Dict[str, Any], keys: List[str], line: int) -> Dict[str, Any]:
+    node: Any = root
+    for key in keys:
+        node = node.setdefault(key, {})
+        if isinstance(node, list):  # [[a]] then [a.b]: descend into the last entry
+            node = node[-1]
+        if not isinstance(node, dict):
+            raise TOMLParseError(f"line {line}: {key!r} is not a table")
+    return node
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+def _parse_value(text: str, line: int) -> Tuple[Any, str]:
+    """Parse one value from the front of ``text``; return (value, rest)."""
+    text = text.lstrip()
+    if not text:
+        raise TOMLParseError(f"line {line}: missing value")
+    head = text[0]
+    if head == '"':
+        return _parse_string(text, line)
+    if head == "[":
+        return _parse_array(text, line)
+    if head == "{":
+        return _parse_inline_table(text, line)
+    # Bare scalar: runs to the next delimiter at this nesting level.
+    end = len(text)
+    for position, char in enumerate(text):
+        if char in ",]}":
+            end = position
+            break
+    token, rest = text[:end].strip(), text[end:]
+    return _parse_scalar(token, line), rest
+
+
+def _parse_string(text: str, line: int) -> Tuple[str, str]:
+    assert text[0] == '"'
+    out: List[str] = []
+    position = 1
+    while position < len(text):
+        char = text[position]
+        if char == "\\":
+            if position + 1 >= len(text):
+                raise TOMLParseError(f"line {line}: dangling escape in string")
+            escape = text[position + 1]
+            if escape not in _ESCAPES:
+                raise TOMLParseError(f"line {line}: unsupported escape \\{escape}")
+            out.append(_ESCAPES[escape])
+            position += 2
+        elif char == '"':
+            return "".join(out), text[position + 1 :]
+        else:
+            out.append(char)
+            position += 1
+    raise TOMLParseError(f"line {line}: unterminated string")
+
+
+def _parse_array(text: str, line: int) -> Tuple[List[Any], str]:
+    assert text[0] == "["
+    rest = text[1:].lstrip()
+    items: List[Any] = []
+    while True:
+        if not rest:
+            raise TOMLParseError(f"line {line}: unterminated array")
+        if rest[0] == "]":
+            return items, rest[1:]
+        value, rest = _parse_value(rest, line)
+        items.append(value)
+        rest = rest.lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif not rest.startswith("]"):
+            raise TOMLParseError(f"line {line}: expected , or ] in array, got {rest!r}")
+
+
+def _parse_inline_table(text: str, line: int) -> Tuple[Dict[str, Any], str]:
+    assert text[0] == "{"
+    rest = text[1:].lstrip()
+    table: Dict[str, Any] = {}
+    while True:
+        if not rest:
+            raise TOMLParseError(f"line {line}: unterminated inline table")
+        if rest[0] == "}":
+            return table, rest[1:]
+        if "=" not in rest:
+            raise TOMLParseError(f"line {line}: expected key = value in inline table")
+        key_text, _, rest = rest.partition("=")
+        key = _parse_key(key_text.strip(), line)
+        value, rest = _parse_value(rest, line)
+        if key in table:
+            raise TOMLParseError(f"line {line}: duplicate key {key!r} in inline table")
+        table[key] = value
+        rest = rest.lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif not rest.startswith("}"):
+            raise TOMLParseError(
+                f"line {line}: expected , or }} in inline table, got {rest!r}"
+            )
+
+
+def _parse_scalar(token: str, line: int) -> Any:
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    cleaned = token.replace("_", "") if _is_numeric_with_separators(token) else token
+    try:
+        return int(cleaned, 0) if not _looks_float(cleaned) else float(cleaned)
+    except ValueError:
+        raise TOMLParseError(f"line {line}: cannot parse value {token!r}") from None
+
+
+def _is_numeric_with_separators(token: str) -> bool:
+    return bool(token) and token[0] in "+-0123456789" and "_" in token
+
+
+def _looks_float(token: str) -> bool:
+    return any(marker in token for marker in (".", "e", "E")) and not token.startswith("0x")
+
+
+__all__ = ["TOMLParseError", "parse_toml", "parse_toml_fallback"]

@@ -1,0 +1,136 @@
+"""Scenario recordings: the on-disk artifact ``replay`` and ``inspect`` read.
+
+A recording is one JSON document capturing everything needed to re-run a
+scenario and check determinism:
+
+* the **resolved spec** (canonical mapping form — seed and strategy overrides
+  already applied), so ``replay`` does not need the original ``.toml`` file;
+* the **seed** the run used;
+* the frozen :class:`~repro.api.MetricsSnapshot` (via its lossless JSON form);
+* the cluster's structural ``describe()`` snapshot and the check outcomes,
+  for ``inspect``.
+
+:func:`diff_snapshots` produces the human-readable difference list the
+``replay`` subcommand prints — an empty list is the determinism contract
+("same spec + same seed ⇒ bit-identical snapshot") holding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..metrics import MetricsSnapshot
+from .runner import ScenarioResult
+from .spec import ScenarioSpec, ScenarioSpecError
+
+__all__ = [
+    "diff_snapshots",
+    "load_recording",
+    "recording_payload",
+    "spec_from_recording",
+    "snapshot_from_recording",
+    "write_recording",
+]
+
+RECORDING_VERSION = 1
+
+
+def recording_payload(result: ScenarioResult) -> Dict[str, Any]:
+    """The JSON-serialisable recording for one finished run."""
+    return {
+        "version": RECORDING_VERSION,
+        "scenario": result.spec.to_mapping(),
+        "seed": result.seed,
+        "nodes": {"before": result.nodes_before, "after": result.nodes_after},
+        "total_ops": result.total_ops,
+        "simulated_seconds": result.simulated_seconds,
+        "checks": [
+            {"name": check.name, "passed": check.passed, "detail": check.detail}
+            for check in result.checks
+        ],
+        "describe": result.describe,
+        "snapshot": json.loads(result.snapshot.to_json()),
+    }
+
+
+def write_recording(result: ScenarioResult, path: Union[str, Path]) -> str:
+    """Write the run's recording to ``path`` (parents created); returns it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(recording_payload(result), sort_keys=True, indent=2) + "\n")
+    return str(target)
+
+
+def load_recording(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and structurally validate a recording document."""
+    target = Path(path)
+    if not target.exists():
+        raise ScenarioSpecError(f"recording not found: {target}")
+    try:
+        document = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioSpecError(f"{target}: not a recording (invalid JSON: {exc})") from exc
+    if not isinstance(document, dict) or "scenario" not in document or "snapshot" not in document:
+        raise ScenarioSpecError(
+            f"{target}: not a scenario recording (missing 'scenario'/'snapshot'); "
+            "recordings are written by `python -m repro run --record`"
+        )
+    version = document.get("version")
+    if version != RECORDING_VERSION:
+        raise ScenarioSpecError(
+            f"{target}: unsupported recording version {version!r} "
+            f"(this build reads version {RECORDING_VERSION})"
+        )
+    return document
+
+
+def spec_from_recording(document: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild the resolved spec embedded in a recording."""
+    return ScenarioSpec.from_mapping(document["scenario"])
+
+
+def snapshot_from_recording(document: Dict[str, Any]) -> MetricsSnapshot:
+    """Rebuild the recorded metrics snapshot."""
+    return MetricsSnapshot.from_json(json.dumps(document["snapshot"]))
+
+
+def diff_snapshots(recorded: MetricsSnapshot, replayed: MetricsSnapshot) -> List[str]:
+    """Human-readable differences between two snapshots (empty = identical)."""
+    differences: List[str] = []
+    if recorded.phase != replayed.phase:
+        differences.append(f"phase: recorded {recorded.phase!r}, replayed {replayed.phase!r}")
+    if recorded.simulated_seconds != replayed.simulated_seconds:
+        differences.append(
+            f"simulated_seconds: recorded {recorded.simulated_seconds!r}, "
+            f"replayed {replayed.simulated_seconds!r}"
+        )
+    differences.extend(
+        _diff_mapping("counters", recorded.counters, replayed.counters)
+    )
+    differences.extend(_diff_mapping("gauges", recorded.gauges, replayed.gauges))
+    differences.extend(
+        _diff_mapping("histograms", recorded.histograms, replayed.histograms)
+    )
+    return differences
+
+
+def _diff_mapping(label: str, recorded: Dict[str, Any], replayed: Dict[str, Any]) -> List[str]:
+    differences = []
+    for key in sorted(set(recorded) | set(replayed)):
+        if key not in replayed:
+            differences.append(f"{label}[{key}]: present only in the recording")
+        elif key not in recorded:
+            differences.append(f"{label}[{key}]: present only in the replay")
+        elif recorded[key] != replayed[key]:
+            differences.append(
+                f"{label}[{key}]: recorded {_compact(recorded[key])}, "
+                f"replayed {_compact(replayed[key])}"
+            )
+    return differences
+
+
+def _compact(value: Any, limit: int = 80) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -1,0 +1,433 @@
+"""Executing a :class:`~repro.scenario.spec.ScenarioSpec` against the client API.
+
+:func:`run_scenario` is the one compile step between the declarative world
+and the session APIs: it opens a :class:`~repro.api.Database` from the spec's
+cluster section, attaches the autopilot (if declared), creates datasets /
+loads TPC-H, drives the phased workload through a
+:class:`~repro.api.WorkloadDriver`, executes the explicit steps (rebalances —
+possibly fault-injected — recovery, named TPC-H query plans), evaluates the
+spec's checks, and returns a :class:`ScenarioResult` carrying the frozen
+:class:`~repro.api.MetricsSnapshot` the determinism contract is stated over.
+
+Determinism: everything stochastic is seeded from ``ClusterConfig.seed``
+(the workload driver, the TPC-H generator, the autopilot's evaluation points)
+— running the same spec with the same seed twice yields *equal* snapshots,
+which is what ``python -m repro replay`` asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .spec import QueryStep, RebalanceStep, RecoverStep, ScenarioSpec
+
+__all__ = ["CheckResult", "ScenarioResult", "StepOutcome", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one ``[[steps]]`` entry did, in one printable line."""
+
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One ``[checks]`` assertion, evaluated."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"check {self.name}: {status} ({self.detail})"
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced (see :meth:`render`)."""
+
+    spec: ScenarioSpec
+    seed: int
+    nodes_before: int = 0
+    nodes_after: int = 0
+    total_ops: int = 0
+    simulated_seconds: float = 0.0
+    workload_summary: str = ""
+    write_p99_seconds: Dict[str, float] = field(default_factory=dict)
+    read_p99_seconds: Dict[str, float] = field(default_factory=dict)
+    autopilot_summary: str = ""
+    autopilot_rebalances: int = 0
+    step_outcomes: List[StepOutcome] = field(default_factory=list)
+    checks: List[CheckResult] = field(default_factory=list)
+    metrics_report: str = ""
+    snapshot: Any = None  # MetricsSnapshot
+    describe: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        """The CLI's human-readable run report."""
+        from ..common.reporting import format_table
+        from ..metrics import PHASE_REBALANCE, PHASE_STEADY
+
+        lines = [
+            f"scenario {self.spec.name!r}: {self.spec.cluster.strategy} strategy, "
+            f"seed={self.seed}, nodes {self.nodes_before} -> {self.nodes_after}"
+        ]
+        if self.spec.description:
+            lines.append(f"  {self.spec.description}")
+        if self.workload_summary:
+            lines.append("")
+            lines.append(self.workload_summary)
+        if self.autopilot_summary:
+            lines.append("")
+            lines.append("autopilot decision log:")
+            lines.append(self.autopilot_summary)
+            autopilot_counters = [
+                [name, int(value)]
+                for name, value in (self.snapshot.counters if self.snapshot else {}).items()
+                if name.startswith("autopilot.")
+            ]
+            if autopilot_counters:
+                lines.append("")
+                lines.append("autopilot.* events as seen by the metrics registry:")
+                lines.append(format_table(["event", "count"], autopilot_counters))
+        if self.step_outcomes:
+            lines.append("")
+            lines.append("steps:")
+            for outcome in self.step_outcomes:
+                lines.append(f"  [{outcome.kind}] {outcome.detail}")
+        if self.metrics_report:
+            lines.append("")
+            lines.append("per-op latency by cluster phase (simulated ms):")
+            lines.append(self.metrics_report)
+        phase_rows = []
+        for phase in (PHASE_STEADY, PHASE_REBALANCE):
+            write_p99 = self.write_p99_seconds.get(phase)
+            read_p99 = self.read_p99_seconds.get(phase)
+            if write_p99 is None and read_p99 is None:
+                continue
+            phase_rows.append(
+                [
+                    phase,
+                    round(write_p99 * 1e3, 3) if write_p99 is not None else "-",
+                    round(read_p99 * 1e3, 3) if read_p99 is not None else "-",
+                ]
+            )
+        if phase_rows:
+            lines.append("")
+            lines.append("tail latency by cluster phase:")
+            lines.append(
+                format_table(["phase", "write p99 (ms)", "read p99 (ms)"], phase_rows)
+            )
+        if self.checks:
+            lines.append("")
+            for check in self.checks:
+                lines.append(check.line())
+        lines.append("")
+        verdict = "OK" if self.passed else "FAILED"
+        lines.append(
+            f"scenario {self.spec.name!r} {verdict}: {self.total_ops} ops, "
+            f"{self.simulated_seconds:.3f} simulated seconds, "
+            f"{sum(1 for c in self.checks if c.passed)}/{len(self.checks)} checks passed"
+        )
+        return "\n".join(lines)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    strategy: Optional[str] = None,
+) -> ScenarioResult:
+    """Execute ``spec`` and return its :class:`ScenarioResult`.
+
+    ``seed`` / ``strategy`` override the spec (the CLI's ``--seed`` /
+    ``--strategy``).  Checks are *evaluated*, not raised — the caller decides
+    what a failing check means (the CLI exits non-zero).
+    """
+    from ..api import Database, FaultInjected, WorkloadDriver, load_tpch
+    from ..api import SecondaryIndexSpec as APISecondaryIndexSpec
+    from ..tpch.queries import q1_plan, q3_plan, q6_plan
+    from ..tpch.workload import DEFAULT_TABLES
+
+    spec = spec.with_overrides(seed=seed, strategy=strategy)
+    config = spec.cluster.build_config()
+    result = ScenarioResult(spec=spec, seed=config.seed)
+
+    db = Database(
+        config,
+        workload_scale=spec.cluster.workload_scale,
+        strategy_options=dict(spec.cluster.strategy_options) or None,
+    )
+    try:
+        result.nodes_before = db.num_nodes
+
+        pilot = None
+        if spec.autopilot is not None:
+            section = spec.autopilot
+            pilot = db.autopilot(
+                policy=section.policy,
+                policy_options=dict(section.options) or None,
+                check_every_ops=section.check_every_ops,
+                cooldown_seconds=section.cooldown_seconds,
+                hysteresis=section.hysteresis,
+                dry_run=section.dry_run,
+                max_rebalances=section.max_rebalances,
+            )
+
+        for dataset in spec.datasets:
+            primary_key: "str | Tuple[str, ...]" = (
+                dataset.primary_key if len(dataset.primary_key) > 1 else dataset.primary_key[0]
+            )
+            db.create_dataset(
+                dataset.name,
+                primary_key=primary_key,
+                secondary_indexes=[
+                    APISecondaryIndexSpec(
+                        index.name, tuple(index.fields), tuple(index.included_fields)
+                    )
+                    for index in dataset.secondary_indexes
+                ],
+            )
+
+        if spec.tpch is not None:
+            load_tpch(
+                db,
+                scale_factor=spec.tpch.scale_factor,
+                tables=spec.tpch.tables or DEFAULT_TABLES,
+                batch_size=spec.tpch.batch_size,
+            )
+
+        if spec.workload is not None:
+            driver = WorkloadDriver(db, spec.workload.build_spec())
+            report = driver.run()
+            result.workload_summary = report.summary()
+            result.total_ops = report.total_ops
+            result.simulated_seconds = report.simulated_seconds
+            result.write_p99_seconds = dict(report.write_p99_seconds)
+            result.read_p99_seconds = dict(report.read_p99_seconds)
+            result.autopilot_rebalances = report.autopilot_rebalances
+
+        counts_before_steps = {name: db[name].count() for name in db.dataset_names()}
+
+        plans = {"q1": q1_plan, "q3": q3_plan, "q6": q6_plan}
+        query_results: Dict[str, List[Any]] = {}
+        rebalance_seen = False
+        queries_before_rebalance: Dict[str, Any] = {}
+        queries_after_rebalance: Dict[str, Any] = {}
+        for step in spec.steps:
+            if isinstance(step, RebalanceStep):
+                kwargs: Dict[str, Any] = {}
+                if step.add is not None:
+                    kwargs["add"] = step.add
+                if step.remove is not None:
+                    kwargs["remove"] = step.remove
+                if step.target_nodes is not None:
+                    kwargs["target_nodes"] = step.target_nodes
+                if step.fault_sites:
+                    kwargs["fault_sites"] = list(step.fault_sites)
+                try:
+                    report = db.rebalance(**kwargs)
+                except FaultInjected as fault:
+                    if not step.expect_fault:
+                        raise
+                    result.step_outcomes.append(
+                        StepOutcome(
+                            "rebalance",
+                            f"interrupted by injected fault at {fault.site!r} (as expected)",
+                        )
+                    )
+                else:
+                    if step.expect_fault:
+                        result.step_outcomes.append(
+                            StepOutcome(
+                                "rebalance",
+                                "expected an injected fault but the rebalance completed",
+                            )
+                        )
+                        result.checks.append(
+                            CheckResult(
+                                "expect_fault",
+                                False,
+                                f"fault_sites {list(step.fault_sites)} never fired",
+                            )
+                        )
+                    else:
+                        rebalance_seen = True
+                        result.step_outcomes.append(
+                            StepOutcome(
+                                "rebalance",
+                                f"{report.old_nodes} -> {report.new_nodes} nodes, "
+                                f"{report.total_records_moved} records moved in "
+                                f"{report.simulated_seconds:.3f} simulated seconds",
+                            )
+                        )
+            elif isinstance(step, RecoverStep):
+                outcomes = db.recover()
+                detail = (
+                    "; ".join(
+                        f"rebalance #{o.rebalance_id} on {o.dataset!r} -> {o.action}"
+                        for o in outcomes
+                    )
+                    or "nothing to recover"
+                )
+                result.step_outcomes.append(StepOutcome("recover", detail))
+            elif isinstance(step, QueryStep):
+                answer, report = db.execute(step.plan, plans[step.plan]())
+                query_results.setdefault(step.plan, []).append(answer)
+                target = queries_after_rebalance if rebalance_seen else queries_before_rebalance
+                target.setdefault(step.plan, answer)
+                result.step_outcomes.append(StepOutcome("query", report.summary()))
+
+        result.nodes_after = db.num_nodes
+        result.autopilot_summary = pilot.summary() if pilot is not None else ""
+        result.metrics_report = db.metrics.report()
+        if not result.write_p99_seconds:
+            from ..metrics import PHASE_REBALANCE, PHASE_STEADY
+
+            for phase in (PHASE_STEADY, PHASE_REBALANCE):
+                writes = db.metrics.write_latency(phase)
+                if writes.count:
+                    result.write_p99_seconds[phase] = writes.percentile(0.99)
+                reads = db.metrics.latency("read", phase)
+                if reads.count:
+                    result.read_p99_seconds[phase] = reads.percentile(0.99)
+        result.describe = db.describe()
+        result.snapshot = db.metrics.snapshot()
+
+        _evaluate_checks(
+            result,
+            counts_before_steps={name: counts_before_steps.get(name) for name in db.dataset_names()},
+            counts_after_steps={name: db[name].count() for name in db.dataset_names()},
+            queries_before=queries_before_rebalance,
+            queries_after=queries_after_rebalance,
+        )
+    finally:
+        db.close()
+    return result
+
+
+def _answers_equal(left: Any, right: Any) -> bool:
+    """Structural equality with float tolerance.
+
+    Aggregates computed before and after a rebalance sum the same records in
+    a different partition order, so float totals can differ in the last few
+    bits; anything beyond summation round-off is a real divergence.
+    """
+    from math import isclose
+
+    if isinstance(left, float) or isinstance(right, float):
+        return (
+            isinstance(left, (int, float))
+            and isinstance(right, (int, float))
+            and isclose(left, right, rel_tol=1e-9, abs_tol=1e-6)
+        )
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            _answers_equal(value, right[key]) for key, value in left.items()
+        )
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        return len(left) == len(right) and all(
+            _answers_equal(a, b) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+def _evaluate_checks(
+    result: ScenarioResult,
+    counts_before_steps: Dict[str, Optional[int]],
+    counts_after_steps: Dict[str, int],
+    queries_before: Dict[str, Any],
+    queries_after: Dict[str, Any],
+) -> None:
+    from ..metrics import PHASE_REBALANCE, PHASE_STEADY
+
+    checks = result.spec.checks
+    if checks.min_autopilot_rebalances is not None:
+        result.checks.append(
+            CheckResult(
+                "min_autopilot_rebalances",
+                result.autopilot_rebalances >= checks.min_autopilot_rebalances,
+                f"{result.autopilot_rebalances} autopilot rebalance(s), "
+                f"need >= {checks.min_autopilot_rebalances}",
+            )
+        )
+    if checks.expect_nodes is not None:
+        result.checks.append(
+            CheckResult(
+                "expect_nodes",
+                result.nodes_after == checks.expect_nodes,
+                f"final cluster has {result.nodes_after} node(s), expected {checks.expect_nodes}",
+            )
+        )
+    if checks.min_total_ops is not None:
+        result.checks.append(
+            CheckResult(
+                "min_total_ops",
+                result.total_ops >= checks.min_total_ops,
+                f"{result.total_ops} op(s), need >= {checks.min_total_ops}",
+            )
+        )
+    if checks.rebalance_write_p99_gte_steady:
+        steady = result.write_p99_seconds.get(PHASE_STEADY)
+        rebalance = result.write_p99_seconds.get(PHASE_REBALANCE)
+        if steady is None or rebalance is None:
+            result.checks.append(
+                CheckResult(
+                    "rebalance_write_p99_gte_steady",
+                    False,
+                    "missing a write-latency population for "
+                    f"{'steady' if steady is None else 'rebalance'} phase",
+                )
+            )
+        else:
+            result.checks.append(
+                CheckResult(
+                    "rebalance_write_p99_gte_steady",
+                    rebalance >= steady,
+                    f"write p99 {rebalance * 1e3:.3f} ms mid-rebalance vs "
+                    f"{steady * 1e3:.3f} ms steady",
+                )
+            )
+    if checks.datasets_unchanged_after_steps:
+        changed = {
+            name: (before, counts_after_steps.get(name))
+            for name, before in counts_before_steps.items()
+            if before is not None and before != counts_after_steps.get(name)
+        }
+        result.checks.append(
+            CheckResult(
+                "datasets_unchanged_after_steps",
+                not changed,
+                "record counts intact across the steps"
+                if not changed
+                else "changed: "
+                + ", ".join(f"{name} {a} -> {b}" for name, (a, b) in sorted(changed.items())),
+            )
+        )
+    if checks.queries_identical_across_rebalance:
+        compared = sorted(set(queries_before) & set(queries_after))
+        mismatched = [
+            plan
+            for plan in compared
+            if not _answers_equal(queries_before[plan], queries_after[plan])
+        ]
+        result.checks.append(
+            CheckResult(
+                "queries_identical_across_rebalance",
+                bool(compared) and not mismatched,
+                f"plans {compared} answered identically before and after the rebalance"
+                if compared and not mismatched
+                else (
+                    f"answers differ for {mismatched}"
+                    if mismatched
+                    else "no query plan ran on both sides of a rebalance"
+                ),
+            )
+        )

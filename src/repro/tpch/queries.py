@@ -213,6 +213,10 @@ ORDER_SENSITIVE_QUERIES = ("q18",)
 
 
 def query_spec(name: str) -> QuerySpec:
+    """The access-pattern :class:`QuerySpec` for a TPC-H query (``"q1"`` ..
+    ``"q22"``) — the figure-experiment mode, priced by the cost model without
+    producing real rows (use :func:`q1_plan`/:func:`q3_plan`/:func:`q6_plan`
+    for actual answers)."""
     try:
         return TPCH_QUERIES[name]
     except KeyError:

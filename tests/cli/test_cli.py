@@ -1,0 +1,137 @@
+"""The ``python -m repro`` CLI: subcommands, exit codes, output shape."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SPEC_TEXT = """
+[scenario]
+name = "cli-smoke"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+[cluster.lsm]
+memory_component_bytes = "32 KiB"
+
+[workload]
+initial_records = 60
+mix = "A"
+
+[[workload.phases]]
+name = "steady"
+ops = 40
+
+[checks]
+expect_nodes = 3
+min_total_ops = 40
+"""
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "cli_smoke.toml"
+    path.write_text(SPEC_TEXT)
+    return path
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("run", "bench", "inspect", "replay"):
+            assert command in text
+
+    def test_no_command_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "COMMAND" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_passing_spec_exits_zero(self, spec_path, capsys):
+        assert main(["run", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'cli-smoke' OK" in out
+        assert "check expect_nodes: PASS" in out
+
+    def test_run_quiet_prints_verdict_only(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--quiet"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert out[0].startswith("scenario 'cli-smoke' OK")
+
+    def test_failing_check_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "failing.toml"
+        path.write_text(SPEC_TEXT.replace("expect_nodes = 3", "expect_nodes = 5"))
+        assert main(["run", str(path), "-q"]) == 1
+        assert "check expect_nodes: FAIL" in capsys.readouterr().out
+
+    def test_invalid_spec_exits_two_with_one_error_line(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text("[scenario]\nname = \"x\"\n[cluster]\nnode = 3\n[workload]\n")
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "'node'" in err
+
+    def test_missing_spec_exits_two(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.toml")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_seed_override_changes_report(self, spec_path, capsys):
+        assert main(["run", str(spec_path), "--seed", "7"]) == 0
+        assert "seed=7" in capsys.readouterr().out
+
+
+class TestRecordReplayInspect:
+    def test_record_then_replay_zero_diff(self, spec_path, tmp_path, capsys):
+        recording = tmp_path / "run.json"
+        assert main(["run", str(spec_path), "-q", "--record", str(recording)]) == 0
+        assert recording.exists()
+        assert main(["replay", str(recording)]) == 0
+        assert "replay OK: snapshot identical" in capsys.readouterr().out
+
+    def test_replay_detects_divergence(self, spec_path, tmp_path, capsys):
+        recording = tmp_path / "run.json"
+        main(["run", str(spec_path), "-q", "--record", str(recording)])
+        document = json.loads(recording.read_text())
+        document["snapshot"]["counters"]["ops.total"] += 1
+        recording.write_text(json.dumps(document))
+        assert main(["replay", str(recording)]) == 1
+        out = capsys.readouterr().out
+        assert "replay DIVERGED" in out and "counters[ops.total]" in out
+
+    def test_inspect_prints_cluster_and_histograms(self, spec_path, tmp_path, capsys):
+        recording = tmp_path / "run.json"
+        main(["run", str(spec_path), "-q", "--record", str(recording)])
+        assert main(["inspect", str(recording)]) == 0
+        out = capsys.readouterr().out
+        assert "recording of scenario 'cli-smoke'" in out
+        assert "traffic" in out  # the dataset table
+        assert "latency histograms (ms):" in out
+        assert "ops.total" in out
+
+    def test_inspect_rejects_non_recordings(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        assert main(["inspect", str(path)]) == 2
+        assert "not a scenario recording" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_dry_run_lists_micro_suite(self, capsys):
+        assert main(["bench", "--suite", "micro", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "micro:event_emit" in out and "micro:driver_ops" in out
+        assert "dry run" in out
+
+    def test_bench_dry_run_all_includes_experiments(self, capsys):
+        assert main(["bench", "--suite", "all", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment:traffic" in out and "experiment:autopilot" in out
+
+    def test_bench_rejects_micro_flags_on_experiment_suites(self, capsys):
+        assert main(["bench", "--suite", "traffic", "--check", "baseline.json"]) == 2
+        err = capsys.readouterr().err
+        assert "--check" in err and "micro" in err

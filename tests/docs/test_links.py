@@ -1,0 +1,39 @@
+"""Tier-1 half of the CI docs job: the markdown link check must pass."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", ROOT / "scripts" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_documentation_links_resolve(check_links, capsys):
+    assert check_links.main() == 0, capsys.readouterr().out
+
+
+def test_github_slugs_match_expectations(check_links):
+    assert check_links.github_slug("Driving traffic & reading metrics") == (
+        "driving-traffic--reading-metrics"
+    )
+    assert check_links.github_slug("`python -m repro` CLI") == "python--m-repro-cli"
+    assert check_links.github_slug("Run, record, replay") == "run-record-replay"
+
+
+def test_checker_catches_broken_relative_link(check_links, tmp_path, monkeypatch):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text("see [missing](./nope.md) and [ok](#heading)\n# Heading\n")
+    monkeypatch.setattr(check_links, "ROOT", tmp_path)
+    monkeypatch.setattr(check_links, "DOC_FILES", ())
+    assert check_links.main() == 1

@@ -1,0 +1,63 @@
+"""The fallback TOML parser: equivalence with tomllib and error reporting."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario._toml import TOMLParseError, parse_toml_fallback
+
+tomllib = pytest.importorskip("tomllib")
+
+SCENARIO_DIR = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+
+
+@pytest.mark.parametrize(
+    "path", sorted(SCENARIO_DIR.glob("*.toml")), ids=lambda p: p.stem
+)
+def test_fallback_matches_tomllib_on_committed_specs(path):
+    """The 3.10 fallback and tomllib must agree on every committed spec."""
+    text = path.read_text()
+    assert parse_toml_fallback(text) == tomllib.loads(text)
+
+
+def test_fallback_matches_tomllib_on_feature_kitchen_sink():
+    text = """
+    top = 1
+    [a]
+    string = "with # hash and \\" escape"
+    integer = 1_000
+    float = 0.25
+    exponent = 1e6
+    boolean = true
+    array = [1, 2, 3]
+    multiline = [
+        "one",
+        "two",
+    ]
+    inline = { x = 1, y = "two", z = 0.5 }
+    [a.nested]
+    k = "v"
+    [[items]]
+    name = "first"
+    [items.sub]
+    deep = true
+    [[items]]
+    name = "second"
+    """
+    assert parse_toml_fallback(text) == tomllib.loads(text)
+
+
+@pytest.mark.parametrize(
+    "bad, fragment",
+    [
+        ("key", "key = value"),
+        ("[unclosed", "malformed"),
+        ('x = "unterminated', "unterminated"),
+        ("x = [1, 2", "unterminated"),
+        ("x = 1\nx = 2", "duplicate"),
+        ("x = nonsense", "cannot parse"),
+    ],
+)
+def test_fallback_errors_are_actionable(bad, fragment):
+    with pytest.raises(TOMLParseError, match=fragment):
+        parse_toml_fallback(bad)
