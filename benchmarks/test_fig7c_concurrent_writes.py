@@ -27,7 +27,7 @@ def test_fig7c_rebalance_under_concurrent_writes(benchmark, bench_scale):
     rates = sorted(result.minutes_by_rate)
     times = [result.minutes_by_rate[rate] for rate in rates]
     # Monotone (allowing tiny numerical noise): more concurrent writes, longer rebalance.
-    for earlier, later in zip(times, times[1:]):
+    for earlier, later in zip(times, times[1:], strict=False):
         assert later >= earlier * 0.98
     # The highest write rate is clearly slower than the idle rebalance.
     assert times[-1] > times[0]

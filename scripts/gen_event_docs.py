@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerate the event-bus contract section of docs/ARCHITECTURE.md.
+
+The section between the BEGIN/END markers is *derived* from the declared
+contract in ``repro.common.event_contract`` — the same source
+``repro.api.events.EVENT_NAMES`` and the reprolint event rules use — so the
+architecture guide can never drift from what the code actually emits.
+
+Usage::
+
+    python scripts/gen_event_docs.py            # rewrite the section in place
+    python scripts/gen_event_docs.py --check    # exit 1 if the docs are stale
+
+``--check`` is the CI sync gate (run in the docs job beside
+``gen_api_docs.py --check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.common.event_contract import render_contract_markdown  # noqa: E402
+
+DOC_PATH = ROOT / "docs" / "ARCHITECTURE.md"
+
+BEGIN = "<!-- BEGIN GENERATED EVENT CONTRACT (scripts/gen_event_docs.py) — do not edit by hand -->"
+END = "<!-- END GENERATED EVENT CONTRACT -->"
+
+
+def render_document(current: str) -> str:
+    """The document with the marked section replaced by the generated body."""
+    try:
+        head, rest = current.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"{DOC_PATH}: missing the generated-section markers\n  {BEGIN}\n  {END}"
+        ) from None
+    return f"{head}{BEGIN}\n\n{render_contract_markdown()}\n{END}{tail}"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the committed section differs from the contract",
+    )
+    args = parser.parse_args(argv)
+
+    current = DOC_PATH.read_text(encoding="utf-8")
+    expected = render_document(current)
+    if args.check:
+        if current != expected:
+            print(
+                f"{DOC_PATH.relative_to(ROOT)} is stale: the event-contract "
+                "section no longer matches repro.common.event_contract.\n"
+                "Run: python scripts/gen_event_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print("event-contract docs are in sync")
+        return 0
+    if current == expected:
+        print(f"{DOC_PATH.relative_to(ROOT)} already in sync")
+    else:
+        DOC_PATH.write_text(expected, encoding="utf-8")
+        print(f"rewrote the event-contract section of {DOC_PATH.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

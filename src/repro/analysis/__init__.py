@@ -1,0 +1,43 @@
+"""reprolint — the repo's invariant-enforcing static-analysis suite.
+
+The whole value proposition of this reproduction is determinism: seeded RNG
+streams, bit-identical :class:`~repro.api.MetricsSnapshot`\\ s, and the
+record/replay zero-diff gate.  ``reprolint`` machine-checks the invariants
+that make that story true, so they survive refactors (in particular the
+ROADMAP's discrete-event concurrency rewrite) instead of living in prose:
+
+* **determinism rules** (``det-*``) — no unseeded/global RNGs, no wall-clock
+  reads outside the bench harness, no OS entropy, no salted builtin
+  ``hash()`` in seeding or routing paths;
+* **event-contract rules** (``evt-*``) — every ``emit("name", {...})`` and
+  ``on("pattern")`` in the tree checked against the declared contract in
+  :mod:`repro.common.event_contract` (which also generates the
+  ``docs/ARCHITECTURE.md`` event tables);
+* **registry-key rules** (``reg-*``) — ``strategy="..."`` / ``policy="..."``
+  literals and committed scenario specs validated against the live
+  registries.
+
+Run it as ``python -m repro lint`` (plain or ``--format github`` output);
+audited exceptions carry ``# reprolint: allow[rule] -- reason`` pragmas.
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and how to extend it.
+"""
+
+from __future__ import annotations
+
+from .engine import DEFAULT_ROOTS, lint_file, lint_paths, lint_repo
+from .pragmas import FilePragmas, Pragma, collect_pragmas
+from .report import render_report
+from .violations import RULE_CATALOG, Violation
+
+__all__ = [
+    "DEFAULT_ROOTS",
+    "FilePragmas",
+    "Pragma",
+    "RULE_CATALOG",
+    "Violation",
+    "collect_pragmas",
+    "lint_file",
+    "lint_paths",
+    "lint_repo",
+    "render_report",
+]

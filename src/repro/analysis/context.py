@@ -1,0 +1,77 @@
+"""Per-file analysis context shared by every reprolint rule family."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["FileContext", "dotted_name", "resolve_call_target"]
+
+
+@dataclass
+class FileContext:
+    """One parsed file plus the path-derived facts rules branch on."""
+
+    relpath: str  # repo-relative, posix-style
+    source: str
+    tree: ast.Module
+    #: Under ``tests/`` — event-contract rules skip these (unit tests drive
+    #: synthetic buses with made-up names); determinism and registry rules
+    #: still apply.
+    is_test: bool = False
+    #: Bench/profiling context (``src/repro/bench``, ``benchmarks/``,
+    #: ``tests/bench``, ``scripts/``) — wall-clock reads are the point there.
+    wall_clock_allowed: bool = False
+    #: Under ``src/`` — emit payloads must be complete, not just well-keyed.
+    strict_payload: bool = False
+    #: import alias -> fully qualified name, e.g. ``{"t": "time",
+    #: "Random": "random.Random"}``.  Built once per file.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.imports:
+            self.imports = _collect_imports(self.tree)
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything dynamic."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_target(ctx: FileContext, func: ast.AST) -> Optional[str]:
+    """Resolve a call's target to a fully qualified dotted name.
+
+    ``perf_counter()`` with ``from time import perf_counter`` resolves to
+    ``time.perf_counter``; ``t.time()`` with ``import time as t`` to
+    ``time.time``.  Calls on local objects (``self.clock.now()``) resolve to
+    their syntactic dotted path — rule tables only list module-qualified
+    names, so those never match.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = ctx.imports.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head

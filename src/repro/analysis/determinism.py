@@ -1,0 +1,193 @@
+"""Determinism rules: no ambient randomness, no wall clocks, no salted hashes.
+
+The repo's contract is *same spec + same seed => bit-identical
+MetricsSnapshot, in any process*.  These rules flag the constructs that break
+it:
+
+* ``det-unseeded-random`` — ``random.Random()`` with no seed argument.
+* ``det-global-random`` — module-level ``random.*`` calls (one shared global
+  stream any import can perturb).
+* ``det-wall-clock`` — ``time.time``/``perf_counter``/``datetime.now``/...
+  anywhere except the bench harness, which exists to measure real time.
+* ``det-entropy`` — ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``,
+  ``random.SystemRandom``.
+* ``det-builtin-hash`` — builtin ``hash()`` or explicit ``.__hash__()``
+  calls: Python salts str/bytes hashing per process (PYTHONHASHSEED), so
+  seeding RNGs or routing data through ``hash()`` silently diverges across
+  processes — exactly the bug this rule caught in ``repro.tpch.datagen``.
+  Defining ``__hash__`` on a class (and delegating inside it) is fine; the
+  rule exempts those bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .context import FileContext, resolve_call_target
+from .violations import Violation
+
+__all__ = ["check"]
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+#: Module-level functions of :mod:`random` that draw from the global stream.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.found: List[Violation] = []
+        self._in_hash_def = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.found.append(
+            Violation(
+                self.ctx.relpath,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+                rule,
+                message,
+            )
+        )
+
+    # -- __hash__ exemption ------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        is_hash_def = getattr(node, "name", "") == "__hash__"
+        self._in_hash_def += is_hash_def
+        self.generic_visit(node)
+        self._in_hash_def -= is_hash_def
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = resolve_call_target(self.ctx, node.func)
+        if target is not None:
+            self._check_target(node, target)
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__hash__"
+            and not self._in_hash_def
+        ):
+            # `.__hash__()` on a computed expression (e.g. a tuple literal)
+            # never resolves to a dotted name; catch it here — this exact
+            # shape was the datagen per-table seeding bug.
+            self._report(
+                node,
+                "det-builtin-hash",
+                "__hash__() is salted per process for str/bytes "
+                "(PYTHONHASHSEED); use repro.common.hashutil or "
+                "zlib.crc32/hashlib for stable hashing",
+            )
+        self.generic_visit(node)
+
+    def _check_target(self, node: ast.Call, target: str) -> None:
+        if target == "random.Random" and not node.args and not node.keywords:
+            self._report(
+                node,
+                "det-unseeded-random",
+                "random.Random() without a seed draws from OS entropy; "
+                "derive the seed from ClusterConfig.seed",
+            )
+            return
+        if target in _ENTROPY or target.startswith("secrets."):
+            self._report(
+                node,
+                "det-entropy",
+                f"{target} reads OS entropy and can never replay identically",
+            )
+            return
+        if target in _WALL_CLOCK:
+            if not self.ctx.wall_clock_allowed:
+                self._report(
+                    node,
+                    "det-wall-clock",
+                    f"{target} reads the real clock; simulated time comes from "
+                    "the cost model (SimulatedClock)",
+                )
+            return
+        module, _, func = target.rpartition(".")
+        if module == "random" and func in _GLOBAL_RANDOM_FUNCS:
+            self._report(
+                node,
+                "det-global-random",
+                f"random.{func} uses the shared global RNG; draw from a "
+                "seeded random.Random instance instead",
+            )
+            return
+        if self._in_hash_def:
+            return
+        if target == "hash" or target.endswith(".__hash__"):
+            self._report(
+                node,
+                "det-builtin-hash",
+                "builtin hash() is salted per process for str/bytes "
+                "(PYTHONHASHSEED); use repro.common.hashutil or "
+                "zlib.crc32/hashlib for stable hashing",
+            )
+
+
+def check(ctx: FileContext) -> List[Violation]:
+    visitor = _Visitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.found

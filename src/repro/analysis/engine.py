@@ -1,0 +1,154 @@
+"""The reprolint engine: discover files, run every rule family, apply pragmas.
+
+``lint_paths`` is the programmatic entry (the CLI and the test suite call
+it); ``lint_repo`` lints the default roots (``src``, ``tests``, ``examples``,
+``benchmarks``) the acceptance gate covers.  Scenario specs (``*.toml``)
+under the roots get the registry-key rules; Python files get all three rule
+families, scoped by path:
+
+===================== ====================================================
+``src/``               all rules, strict emit payloads
+``tests/``             determinism + registry rules (event rules skipped:
+                       unit tests drive synthetic buses by design)
+``examples/``          all rules
+``benchmarks/``        all rules, wall-clock reads allowed (bench context)
+===================== ====================================================
+
+``src/repro/bench``, ``tests/bench``, and ``scripts/`` are also wall-clock
+contexts; ``tests/analysis/fixtures`` is excluded from discovery (its files
+are intentionally bad — they are the linter's own test corpus and the CI
+known-bad smoke input).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from . import determinism, event_rules, registry_rules
+from .context import FileContext
+from .pragmas import collect_pragmas
+from .violations import Violation
+
+__all__ = ["DEFAULT_ROOTS", "discover", "lint_file", "lint_paths", "lint_repo"]
+
+#: The roots the repo acceptance gate lints.
+DEFAULT_ROOTS = ("src", "tests", "examples", "benchmarks")
+
+#: Path prefixes (repo-relative, posix) where wall-clock reads are the point.
+WALL_CLOCK_PREFIXES = ("src/repro/bench", "benchmarks", "tests/bench", "scripts")
+
+#: Directory names never descended into.
+_SKIP_DIR_NAMES = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+#: Repo-relative prefixes excluded from discovery (intentionally-bad corpus).
+EXCLUDED_PREFIXES = ("tests/analysis/fixtures",)
+
+_RULE_FAMILIES = (determinism.check, event_rules.check, registry_rules.check)
+
+
+def _startswith(relpath: str, prefixes: Iterable[str]) -> bool:
+    return any(relpath == p or relpath.startswith(p + "/") for p in prefixes)
+
+
+def _repo_anchor(path: Path) -> Optional[Path]:
+    for parent in path.parents:
+        if (parent / "pyproject.toml").exists() or (parent / ".git").exists():
+            return parent
+    return None
+
+
+def _relpath(path: Path, repo_root: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(repo_root.resolve()).as_posix()
+    except ValueError:
+        # The file lies outside ``repo_root`` (absolute paths from another
+        # cwd): anchor at its own repo root so path scoping still applies.
+        anchor = _repo_anchor(resolved)
+        if anchor is not None:
+            return resolved.relative_to(anchor).as_posix()
+        return path.as_posix()
+
+
+def lint_file(path: Union[str, Path], repo_root: Optional[Path] = None) -> List[Violation]:
+    """Lint one file (``.py`` or ``.toml``) and return its violations."""
+    path = Path(path)
+    repo_root = Path(repo_root) if repo_root is not None else Path.cwd()
+    relpath = _relpath(path, repo_root)
+    text = path.read_text(encoding="utf-8")
+
+    if path.suffix == ".toml":
+        return registry_rules.check_toml(relpath, text)
+
+    try:
+        tree = ast.parse(text, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            Violation(relpath, exc.lineno or 1, (exc.offset or 0) + 1, "parse-error", exc.msg or "syntax error")
+        ]
+
+    ctx = FileContext(
+        relpath=relpath,
+        source=text,
+        tree=tree,
+        is_test=_startswith(relpath, ("tests",)),
+        wall_clock_allowed=_startswith(relpath, WALL_CLOCK_PREFIXES),
+        strict_payload=_startswith(relpath, ("src",)),
+    )
+    found: List[Violation] = []
+    for family in _RULE_FAMILIES:
+        found.extend(family(ctx))
+
+    pragmas = collect_pragmas(text)
+    found = [v for v in found if not pragmas.suppresses(v.line, v.rule)]
+    found.extend(pragmas.own_violations(relpath))
+    return found
+
+
+def _discover(path: Path, repo_root: Path) -> List[Path]:
+    if path.is_file():
+        return [path]
+    files: List[Path] = []
+    for candidate in sorted(path.rglob("*")):
+        if candidate.suffix not in (".py", ".toml") or not candidate.is_file():
+            continue
+        if _SKIP_DIR_NAMES & set(candidate.parts):
+            continue
+        if _startswith(_relpath(candidate, repo_root), EXCLUDED_PREFIXES):
+            continue
+        files.append(candidate)
+    return files
+
+
+def discover(
+    paths: Sequence[Union[str, Path]], repo_root: Optional[Union[str, Path]] = None
+) -> List[Path]:
+    """Every lintable file under ``paths`` (files pass through verbatim)."""
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        files.extend(_discover(path, root))
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], repo_root: Optional[Union[str, Path]] = None
+) -> List[Violation]:
+    """Lint files and/or directories; violations sorted by path and line."""
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    found: List[Violation] = []
+    for file_path in discover(paths, root):
+        found.extend(lint_file(file_path, root))
+    return sorted(found)
+
+
+def lint_repo(repo_root: Optional[Union[str, Path]] = None) -> List[Violation]:
+    """Lint the default roots under ``repo_root`` (default: cwd)."""
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    roots = [root / name for name in DEFAULT_ROOTS if (root / name).is_dir()]
+    return lint_paths(roots, root)

@@ -1,0 +1,159 @@
+"""Event-contract rules: every emit and subscription checked against the
+declared contract (:mod:`repro.common.event_contract`).
+
+* ``evt-undeclared-emit`` — ``emit("name", ...)`` (or a
+  ``has_subscribers("name")`` probe) with a literal name the contract does
+  not declare.
+* ``evt-missing-key`` — a statically visible emit payload omits a required
+  key.  Enforced in ``src/`` (strict-payload roots); emitters there define
+  the contract, so they must satisfy it in full.
+* ``evt-unknown-key`` — a payload key the contract does not declare for the
+  event, anywhere a literal emit appears.
+* ``evt-unmatched-subscription`` — an ``on(pattern)`` / ``once(pattern)``
+  literal pattern that matches no declared event: the callback is dead code.
+
+Conventions the checker understands:
+
+* A call to a method named ``emit`` is a *full-payload* emission; a call to
+  a method named ``_emit`` is a *wrapper* emission that injects
+  ``dataset`` and ``rebalance_id`` (the :class:`RebalanceOperation`
+  convention), so those two count as provided.
+* Payloads containing ``**kwargs`` are only checked for unknown keys among
+  the visible ones (the rest is dynamic).
+* Files under ``tests/`` are skipped wholesale: unit tests drive synthetic
+  buses with made-up names by design.  The runtime completeness test
+  (``tests/analysis/test_contract_completeness.py``) covers the real system
+  end to end instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..common.event_contract import EVENT_CONTRACT, patterns_matching
+from .context import FileContext
+from .violations import Violation
+
+__all__ = ["check"]
+
+#: Keys the ``_emit`` wrapper convention injects before forwarding.
+_WRAPPER_INJECTED = frozenset({"dataset", "rebalance_id"})
+
+_SUBSCRIBE_METHODS = frozenset({"on", "once"})
+
+
+def _func_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _literal_first_arg(node: ast.Call) -> Optional[str]:
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.found: List[Violation] = []
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.found.append(
+            Violation(
+                self.ctx.relpath,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+                rule,
+                message,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _func_name(node.func)
+        if name in ("emit", "_emit"):
+            self._check_emit(node, wrapper=(name == "_emit"))
+        elif name == "has_subscribers":
+            self._check_probe(node)
+        elif name in _SUBSCRIBE_METHODS and isinstance(node.func, ast.Attribute):
+            self._check_subscription(node)
+        self.generic_visit(node)
+
+    # -- emission ----------------------------------------------------------
+
+    def _check_emit(self, node: ast.Call, wrapper: bool) -> None:
+        event_name = _literal_first_arg(node)
+        if event_name is None:
+            return  # dynamic name; the runtime completeness test covers it
+        spec = EVENT_CONTRACT.get(event_name)
+        if spec is None:
+            self._report(
+                node,
+                "evt-undeclared-emit",
+                f"event {event_name!r} is not declared in "
+                "repro.common.event_contract.EVENT_CONTRACT",
+            )
+            return
+        provided = {kw.arg for kw in node.keywords if kw.arg is not None}
+        has_splat = any(kw.arg is None for kw in node.keywords)
+        unknown = sorted(provided - spec.payload_keys())
+        for key in unknown:
+            self._report(
+                node,
+                "evt-unknown-key",
+                f"{event_name!r} payload key {key!r} is not declared "
+                f"(declared: {', '.join(sorted(spec.payload_keys()))})",
+            )
+        if has_splat or not self.ctx.strict_payload:
+            return
+        if wrapper:
+            provided = provided | _WRAPPER_INJECTED
+        missing = sorted(set(spec.required) - provided)
+        for key in missing:
+            self._report(
+                node,
+                "evt-missing-key",
+                f"{event_name!r} payload is missing required key {key!r}",
+            )
+
+    def _check_probe(self, node: ast.Call) -> None:
+        event_name = _literal_first_arg(node)
+        if event_name is not None and event_name not in EVENT_CONTRACT:
+            self._report(
+                node,
+                "evt-undeclared-emit",
+                f"has_subscribers probes undeclared event {event_name!r}",
+            )
+
+    # -- subscription ------------------------------------------------------
+
+    def _check_subscription(self, node: ast.Call) -> None:
+        pattern = _literal_first_arg(node)
+        if pattern is None:
+            return
+        # A subscription's second argument is a callback; `on("x")` calls
+        # with a single argument are someone else's API (e.g. pandas-style
+        # joins) — require the callback shape before judging the pattern.
+        if len(node.args) + len(node.keywords) < 2:
+            return
+        if not patterns_matching(pattern):
+            self._report(
+                node,
+                "evt-unmatched-subscription",
+                f"pattern {pattern!r} matches no declared event; the "
+                "callback can never fire",
+            )
+
+
+def check(ctx: FileContext) -> List[Violation]:
+    if ctx.is_test:
+        return []
+    visitor = _Visitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.found

@@ -1,0 +1,105 @@
+"""``# reprolint: allow[rule] -- reason`` pragma parsing.
+
+A pragma suppresses the named rule(s) on the physical line it sits on (the
+line a violation reports — for a multi-line call, the line the call starts
+on).  The reason is mandatory: an audited exception that cannot say *why* it
+is safe is not audited.  Examples::
+
+    value = hash(key)  # reprolint: allow[det-builtin-hash] -- float hashes are unsalted
+    # reprolint: allow[det-wall-clock,det-entropy] -- bench harness measures real time
+
+Comments are found with :mod:`tokenize`, so pragma-looking text inside string
+literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .violations import RULE_CATALOG, Violation
+
+__all__ = ["FilePragmas", "Pragma", "collect_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class FilePragmas:
+    """Per-file pragma index: which rules are allowed on which lines."""
+
+    def __init__(self, pragmas: List[Pragma]) -> None:
+        self.pragmas = pragmas
+        self._by_line: Dict[int, Tuple[str, ...]] = {}
+        for pragma in pragmas:
+            merged = self._by_line.get(pragma.line, ()) + pragma.rules
+            self._by_line[pragma.line] = merged
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        allowed = self._by_line.get(line, ())
+        return rule in allowed or "*" in allowed
+
+    def own_violations(self, relpath: str) -> List[Violation]:
+        """The pragma comments' own findings (missing reason, unknown rule)."""
+        found: List[Violation] = []
+        for pragma in self.pragmas:
+            if not pragma.reason:
+                found.append(
+                    Violation(
+                        relpath,
+                        pragma.line,
+                        1,
+                        "pragma-missing-reason",
+                        "pragma needs `-- <reason>`: say why this exception is safe",
+                    )
+                )
+            for rule in pragma.rules:
+                if rule != "*" and rule not in RULE_CATALOG:
+                    found.append(
+                        Violation(
+                            relpath,
+                            pragma.line,
+                            1,
+                            "pragma-missing-reason",
+                            f"pragma names unknown rule {rule!r} "
+                            f"(see `python -m repro lint --list-rules`)",
+                        )
+                    )
+        return found
+
+
+def collect_pragmas(source: str) -> FilePragmas:
+    """Parse every reprolint pragma comment in ``source``."""
+    pragmas: List[Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports the parse error separately; no pragmas then.
+        comments = []
+    for line, text in comments:
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        pragmas.append(Pragma(line=line, rules=rules, reason=(match.group("reason") or "").strip()))
+    return FilePragmas(pragmas)

@@ -1,0 +1,35 @@
+"""Rendering lint results: plain ``path:line:col`` lines or GitHub
+workflow-command annotations, plus the summary verdict line."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence
+
+from .violations import Violation
+
+__all__ = ["render_report"]
+
+
+def render_report(
+    violations: Sequence[Violation], format: str = "plain", files_checked: int = 0
+) -> str:
+    """Render violations plus a one-line summary; empty input renders the
+    all-clear verdict the CI log greps for."""
+    if format not in ("plain", "github"):
+        raise ValueError(f"unknown lint output format {format!r}; use 'plain' or 'github'")
+    lines: List[str] = []
+    for violation in violations:
+        lines.append(
+            violation.format_github() if format == "github" else violation.format_plain()
+        )
+    checked = f" ({files_checked} files checked)" if files_checked else ""
+    if not violations:
+        lines.append(f"reprolint: clean{checked}")
+    else:
+        by_rule = Counter(v.rule for v in violations)
+        breakdown = ", ".join(f"{rule} x{count}" for rule, count in sorted(by_rule.items()))
+        lines.append(
+            f"reprolint: {len(violations)} violation(s){checked}: {breakdown}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Violation records and the rule catalogue for reprolint.
+
+Every rule has a stable kebab-case identifier (what pragmas suppress and CI
+annotations carry) and a one-line description; ``RULE_CATALOG`` is the
+complete list, rendered by ``python -m repro lint --list-rules`` and kept in
+sync with ``docs/STATIC_ANALYSIS.md`` by the docs tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["RULE_CATALOG", "Violation"]
+
+
+#: rule id -> one-line description (the catalogue the docs render).
+RULE_CATALOG: Dict[str, str] = {
+    # determinism family
+    "det-unseeded-random": (
+        "`random.Random()` constructed without a seed — every RNG stream "
+        "must derive from `ClusterConfig.seed`"
+    ),
+    "det-global-random": (
+        "module-level `random.*` call (shared, externally seedable global "
+        "RNG state) — use a seeded `random.Random` instance"
+    ),
+    "det-wall-clock": (
+        "wall/CPU clock read (`time.time`, `perf_counter`, `datetime.now`, "
+        "...) outside the bench harness — simulated time comes from the "
+        "cost model via `SimulatedClock`"
+    ),
+    "det-entropy": (
+        "OS entropy source (`os.urandom`, `uuid.uuid1/4`, `secrets.*`, "
+        "`random.SystemRandom`) — never reproducible across runs"
+    ),
+    "det-builtin-hash": (
+        "builtin `hash()` / `.__hash__()` call — salted per process for "
+        "str/bytes, so seeding or routing through it breaks cross-process "
+        "determinism; use `repro.common.hashutil` or `zlib`/`hashlib`"
+    ),
+    # event-contract family
+    "evt-undeclared-emit": (
+        "emits (or probes) an event name not declared in "
+        "`repro.common.event_contract.EVENT_CONTRACT`"
+    ),
+    "evt-missing-key": (
+        "emit payload omits a key the contract requires for this event"
+    ),
+    "evt-unknown-key": (
+        "emit payload carries a key the contract does not declare for this "
+        "event"
+    ),
+    "evt-unmatched-subscription": (
+        "`on()`/`once()` pattern matches no declared event — the callback "
+        "could never fire"
+    ),
+    # registry-key family
+    "reg-unknown-strategy": (
+        "string literal names a rebalancing strategy that is not in the "
+        "strategy registry (names or aliases)"
+    ),
+    "reg-unknown-policy": (
+        "string literal names an autopilot policy that is not in the policy "
+        "registry (names or aliases)"
+    ),
+    "reg-spec-key": (
+        "a committed scenario spec (TOML) names an unregistered strategy or "
+        "policy"
+    ),
+    # the linter's own hygiene
+    "pragma-missing-reason": (
+        "`# reprolint: allow[...]` pragma without a `-- reason`; audited "
+        "exceptions must say why"
+    ),
+    "parse-error": "the file failed to parse (syntax error)",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, and what is wrong."""
+
+    path: str  # repo-relative, posix-style
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def format_plain(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def format_github(self) -> str:
+        """One GitHub Actions workflow-command annotation line."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.column},"
+            f"title=reprolint {self.rule}::{self.message}"
+        )

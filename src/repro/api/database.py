@@ -58,7 +58,7 @@ class Database:
         strategy: "Optional[str | object]" = None,
         workload_scale: float = 1.0,
         strategy_options: Optional[Mapping[str, Any]] = None,
-    ):
+    ) -> None:
         config = config or ClusterConfig()
         if strategy is None:
             strategy = config.strategy
@@ -116,7 +116,7 @@ class Database:
         self._check_open()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     def _check_open(self) -> None:

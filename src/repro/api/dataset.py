@@ -54,7 +54,7 @@ class DeleteReport:
 class Dataset:
     """Handle for one dataset of an open :class:`Database` session."""
 
-    def __init__(self, database: "Database", name: str):
+    def __init__(self, database: "Database", name: str) -> None:
         self.database = database
         self.name = name
 

@@ -6,52 +6,28 @@ Every :class:`~repro.api.database.Database` owns an
 API package).  Benches, tests, and observability code subscribe with
 ``db.on(pattern, callback)`` instead of poking cluster internals.
 
-Canonical event names, in emission order for a resize:
+The full declared contract — every event name with its required and optional
+payload keys — lives in :mod:`repro.common.event_contract`, which is also
+what the ``reprolint`` static-analysis rules (:mod:`repro.analysis`) hold
+every emitter and subscriber to, and what the event-bus section of
+``docs/ARCHITECTURE.md`` is generated from.  :data:`EVENT_NAMES` is derived
+from that contract, so the three can never disagree.
 
-========================== ==================================================
-``dataset.create``          a dataset was created (controller)
-``dataset.drop``            a dataset was dropped (controller)
-``ingest.start``            a data feed started ingesting (feed)
-``ingest.complete``         the feed finished; payload carries the report
-``rebalance.start``         ``rebalance_to`` began (controller)
-``rebalance.dataset.start`` one dataset's rebalance operation began
-``rebalance.phase``         a protocol phase finished (initialization,
-                            data_movement, finalization)
-``rebalance.commit``        the COMMIT record was forced (the commit point)
-``rebalance.abort``         the operation aborted; payload carries the reason
-``rebalance.dataset.complete`` one dataset's operation finished
-``rebalance.complete``      the whole resize finished; payload carries the
-                            :class:`~repro.cluster.reports.ClusterRebalanceReport`
-``rebalance.error``         the resize raised (e.g. an injected fault)
-``recovery.complete``       ``db.recover()`` finished; payload lists outcomes
-``node.provision``          a node was added (before data moved onto it)
-``node.decommission``       a node was removed (after data moved away)
-``database.close``          the Database session was closed
-``autopilot.start``         an autopilot engine attached to the session
-``autopilot.stop``          the engine detached; payload carries its tallies
-``autopilot.decision``      a policy decided to act; payload carries action,
-                            target_nodes, reason, and the engine outcome
-``autopilot.skip``          a guardrail vetoed the decision (cooldown,
-                            hysteresis, max_rebalances)
-``autopilot.dry_run``       dry-run mode: the decision was planned, not run
-``autopilot.rebalance.start``    the engine began executing a rebalance
-``autopilot.rebalance.complete`` the policy-triggered rebalance finished;
-                            payload carries the
-                            :class:`~repro.cluster.reports.ClusterRebalanceReport`
-``op.read``                 an instrumented ``Dataset.get`` completed
-``op.insert``               an instrumented ``Dataset.insert`` batch completed
-``op.update``               a ``Dataset.upsert`` (or a concurrent write
-                            replicated during a rebalance) completed
-``op.delete``               an instrumented ``Dataset.delete`` completed
-``op.scan``                 an instrumented ``Dataset.scan`` was fully consumed
-``op.query``                a query (plan or spec mode) completed
-========================== ==================================================
+The short version of the contract:
 
-Every ``op.*`` payload carries ``latency_seconds`` (the call's simulated
-latency) and ``records``; the session's
-:class:`~repro.metrics.MetricsRegistry` subscribes to ``op.*`` and turns the
-samples into latency histograms tagged with the cluster phase in flight
-(steady vs rebalance).
+* ``op.*`` — instrumented operation samples (``op.read`` / ``op.insert`` /
+  ``op.update`` / ``op.delete`` / ``op.scan`` / ``op.query``, plus
+  ``op.batch`` for one batched same-verb run).  Every sample carries
+  ``latency_seconds`` and ``records``; the session's
+  :class:`~repro.metrics.MetricsRegistry` turns them into latency histograms
+  tagged with the cluster phase in flight (steady vs rebalance).
+* ``rebalance.*`` / ``recovery.complete`` — the resize protocol's lifecycle,
+  from ``rebalance.start`` through per-dataset phases and commit to
+  ``rebalance.complete``.
+* ``autopilot.*`` — the control loop's decisions, skips, and triggered
+  rebalances.
+* ``ingest.*``, ``dataset.*``, ``node.*``, ``database.close`` — feeds,
+  dataset DDL, topology, and session lifecycle.
 
 Patterns use ``fnmatch`` semantics: ``db.on("rebalance.*", cb)`` sees every
 rebalance event, ``db.on("*", cb)`` sees everything.
@@ -59,40 +35,12 @@ rebalance event, ``db.on("*", cb)`` sees everything.
 
 from __future__ import annotations
 
+from ..common.event_contract import EVENT_CONTRACT, declared_events
 from ..common.events import Event, EventBus, Subscription
 
-#: Canonical event names (kept in one tuple so tests can assert coverage).
-EVENT_NAMES = (
-    "dataset.create",
-    "dataset.drop",
-    "dataset.delete",
-    "ingest.start",
-    "ingest.complete",
-    "rebalance.start",
-    "rebalance.dataset.start",
-    "rebalance.phase",
-    "rebalance.commit",
-    "rebalance.abort",
-    "rebalance.dataset.complete",
-    "rebalance.complete",
-    "rebalance.error",
-    "recovery.complete",
-    "node.provision",
-    "node.decommission",
-    "database.close",
-    "autopilot.start",
-    "autopilot.stop",
-    "autopilot.decision",
-    "autopilot.skip",
-    "autopilot.dry_run",
-    "autopilot.rebalance.start",
-    "autopilot.rebalance.complete",
-    "op.read",
-    "op.insert",
-    "op.update",
-    "op.delete",
-    "op.scan",
-    "op.query",
-)
+#: Canonical event names, derived from the declared contract
+#: (:mod:`repro.common.event_contract`) so tests can assert coverage against
+#: the same source the linter and the generated docs use.
+EVENT_NAMES = declared_events()
 
-__all__ = ["EVENT_NAMES", "Event", "EventBus", "Subscription"]
+__all__ = ["EVENT_CONTRACT", "EVENT_NAMES", "Event", "EventBus", "Subscription"]

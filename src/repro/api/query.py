@@ -55,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class QueryResult:
     """Rows plus the query's :class:`~repro.cluster.reports.QueryReport`."""
 
-    def __init__(self, rows: Any, report: QueryReport):
+    def __init__(self, rows: Any, report: QueryReport) -> None:
         self.rows = rows
         self.report = report
 
@@ -121,7 +121,7 @@ def _extractor(column: "str | Callable[[Row], Any] | None") -> Callable[[Row], A
 class QueryBuilder:
     """Immutable-ish fluent builder; every verb returns ``self`` for chaining."""
 
-    def __init__(self, dataset: "Dataset", name: Optional[str] = None):
+    def __init__(self, dataset: "Dataset", name: Optional[str] = None) -> None:
         self._dataset = dataset
         self._name = name
         self._ops: List[Tuple[str, Dict[str, Any]]] = []

@@ -29,7 +29,7 @@ class Bucket(ReferenceCounted):
         config: Optional[LSMConfig] = None,
         merge_policy: Optional[MergePolicy] = None,
         index_name: str = "primary",
-    ):
+    ) -> None:
         super().__init__()
         self.bucket_id = bucket_id
         self.index_name = index_name

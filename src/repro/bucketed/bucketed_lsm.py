@@ -60,7 +60,7 @@ class BucketedLSMTree:
         bucketing_config: Optional[BucketingConfig] = None,
         merge_policy_factory: Optional[Callable[[], MergePolicy]] = None,
         allow_empty: bool = False,
-    ):
+    ) -> None:
         self.name = name
         self.partition_id = partition_id
         self.lsm_config = lsm_config or LSMConfig()

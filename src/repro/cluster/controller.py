@@ -33,6 +33,7 @@ from ..lsm.wal import WriteAheadLog
 from .cost_model import CostModel
 from .dataset import DatasetSpec, SecondaryIndexSpec
 from .feed import DataFeed, RoutingSnapshot
+from .reports import ClusterRebalanceReport
 from .node import NodeController
 from .partition import StoragePartition
 
@@ -130,7 +131,7 @@ class SimulatedCluster:
         config: Optional[ClusterConfig] = None,
         strategy: Optional[object] = None,
         workload_scale: float = 1.0,
-    ):
+    ) -> None:
         self.config = config or ClusterConfig()
         if strategy is None and self.config.strategy is not None:
             strategy = self.config.strategy
@@ -362,7 +363,7 @@ class SimulatedCluster:
         target_nodes: int,
         concurrent_rows: Optional[Mapping[str, Any]] = None,
         fault_injector: Optional[object] = None,
-    ):
+    ) -> "ClusterRebalanceReport":
         """Resize the cluster to ``target_nodes`` using the configured strategy."""
         if target_nodes < 1:
             raise ConfigError("target_nodes must be at least 1")
@@ -398,11 +399,11 @@ class SimulatedCluster:
         )
         return report
 
-    def add_nodes(self, count: int = 1):
+    def add_nodes(self, count: int = 1) -> "ClusterRebalanceReport":
         """Scale out by ``count`` nodes (provisions, then rebalances onto them)."""
         return self.rebalance_to(self.num_nodes + count)
 
-    def remove_nodes(self, count: int = 1):
+    def remove_nodes(self, count: int = 1) -> "ClusterRebalanceReport":
         """Scale in by ``count`` nodes (rebalances away, then decommissions)."""
         return self.rebalance_to(self.num_nodes - count)
 

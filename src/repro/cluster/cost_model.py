@@ -58,7 +58,7 @@ class WorkBreakdown:
 class CostModel:
     """Converts work into simulated seconds."""
 
-    def __init__(self, config: Optional[CostModelConfig] = None, workload_scale: float = 1.0):
+    def __init__(self, config: Optional[CostModelConfig] = None, workload_scale: float = 1.0) -> None:
         if workload_scale <= 0:
             raise ValueError("workload_scale must be positive")
         self.config = config or CostModelConfig()

@@ -13,7 +13,7 @@ nodes with slowest-node semantics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..common.hashutil import hash_key
 from ..lsm.entry import estimate_value_size
@@ -24,7 +24,7 @@ from .reports import IngestReport
 class DataFeed:
     """Routes and ingests records for one dataset."""
 
-    def __init__(self, cluster: "SimulatedCluster", dataset_name: str, batch_size: int = 2000):
+    def __init__(self, cluster: "SimulatedCluster", dataset_name: str, batch_size: int = 2000) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.cluster = cluster
@@ -163,7 +163,7 @@ class DataFeed:
 class RoutingSnapshot:
     """An immutable routing function captured when a feed or query starts."""
 
-    def __init__(self, mode: str, directory=None, num_partitions: int = 0):
+    def __init__(self, mode: str, directory: Optional[Any] = None, num_partitions: int = 0) -> None:
         if mode not in ("directory", "modulo"):
             raise ValueError(f"unknown routing mode {mode!r}")
         if mode == "directory" and directory is None:

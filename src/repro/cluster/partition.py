@@ -60,7 +60,7 @@ class StoragePartition:
         lsm_config: Optional[LSMConfig] = None,
         bucketing_config: Optional[BucketingConfig] = None,
         wal: Optional[WriteAheadLog] = None,
-    ):
+    ) -> None:
         self.dataset = dataset
         self.partition_id = partition_id
         self.node_id = node_id

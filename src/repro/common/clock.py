@@ -15,11 +15,13 @@ Two clock flavours are provided:
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class SimulatedClock:
     """A monotonically non-decreasing simulated-time counter (seconds)."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError("clock cannot start before time zero")
         self._now = float(start)
@@ -39,7 +41,7 @@ class SimulatedClock:
         self._now += seconds
         return self._now
 
-    def advance_many(self, durations) -> float:
+    def advance_many(self, durations: "Iterable[float]") -> float:
         """Advance by each duration in order (one validated add per value).
 
         Bit-identical to calling :meth:`advance` per duration — float

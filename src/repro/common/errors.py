@@ -64,7 +64,7 @@ class RebalanceAborted(RebalanceError):
     :meth:`repro.rebalance.operation.RebalanceOperation.run`.
     """
 
-    def __init__(self, reason: str):
+    def __init__(self, reason: str) -> None:
         super().__init__(reason)
         self.reason = reason
 
@@ -89,6 +89,6 @@ class FaultInjected(ReproError):
     cases of Section V-D.
     """
 
-    def __init__(self, site: str):
+    def __init__(self, site: str) -> None:
         super().__init__(f"injected fault at {site}")
         self.site = site

@@ -59,7 +59,7 @@ class Subscription:
 
     __slots__ = ("bus", "pattern", "callback", "active", "order", "_matcher")
 
-    def __init__(self, bus: "EventBus", pattern: str, callback: EventCallback, order: int = 0):
+    def __init__(self, bus: "EventBus", pattern: str, callback: EventCallback, order: int = 0) -> None:
         self.bus = bus
         self.pattern = pattern
         self.callback = callback

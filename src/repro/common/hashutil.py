@@ -57,7 +57,9 @@ def hash_key(key: Any) -> int:
     if isinstance(key, int):
         return hash64(key)
     if isinstance(key, float):
-        return hash64(hash(key) & _MASK64)
+        # Float hashing is an arithmetic reduction mod 2**61-1, NOT salted by
+        # PYTHONHASHSEED (only str/bytes are), so it is process-stable.
+        return hash64(hash(key) & _MASK64)  # reprolint: allow[det-builtin-hash] -- hash(float) is unsalted and cross-process stable
     if isinstance(key, str):
         return _fnv1a_bytes(key.encode("utf-8"))
     if isinstance(key, bytes):

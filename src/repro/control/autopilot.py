@@ -98,7 +98,7 @@ class Autopilot:
         hysteresis: int = 1,
         dry_run: bool = False,
         max_rebalances: Optional[int] = None,
-    ):
+    ) -> None:
         if check_every_ops < 1:
             raise ConfigError("check_every_ops must be at least 1")
         if cooldown_seconds < 0:
@@ -171,7 +171,7 @@ class Autopilot:
     def __enter__(self) -> "Autopilot":
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------ the op hook

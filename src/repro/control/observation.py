@@ -21,6 +21,7 @@ from ..metrics import PHASE_REBALANCE, PHASE_STEADY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.database import Database
+    from ..metrics.histogram import LatencyHistogram
 
 
 def balance_ratio(values: "Sequence[int]") -> float:
@@ -128,5 +129,5 @@ class ClusterObservation:
         )
 
 
-def _p99(histogram) -> float:
+def _p99(histogram: "LatencyHistogram") -> float:
     return histogram.percentile(0.99) if histogram.count else 0.0

@@ -64,7 +64,7 @@ class PlanProjection:
 class WhatIfPlanner:
     """Simulates candidate resizes of one database session's cluster."""
 
-    def __init__(self, db: "Database"):
+    def __init__(self, db: "Database") -> None:
         self.db = db
 
     # ------------------------------------------------------------- projection

@@ -26,7 +26,7 @@ runs traverse identical state sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..common.errors import ConfigError
 from .observation import ClusterObservation
@@ -129,7 +129,7 @@ class ThresholdPolicy(AutopilotPolicy):
         step: int = 1,
         min_nodes: int = 1,
         max_nodes: Optional[int] = None,
-    ):
+    ) -> None:
         if skew_threshold < 1.0:
             raise ConfigError("skew_threshold must be at least 1.0")
         if not 0.0 < capacity_low < capacity_high:
@@ -260,7 +260,7 @@ class CostAwarePolicy(AutopilotPolicy):
         min_nodes: int = 1,
         max_nodes: Optional[int] = None,
         consider_retarget: bool = True,
-    ):
+    ) -> None:
         if balance_bar < 1.0:
             raise ConfigError("balance_bar must be at least 1.0")
         if not 0.0 < capacity_low < capacity_high:
@@ -413,7 +413,7 @@ class ScheduledPolicy(AutopilotPolicy):
         target_nodes: Optional[int] = None,
         min_nodes: int = 1,
         max_nodes: Optional[int] = None,
-    ):
+    ) -> None:
         if interval_seconds <= 0:
             raise ConfigError("interval_seconds must be positive")
         if action not in (ACTION_ADD, ACTION_REMOVE, ACTION_RETARGET):
@@ -472,7 +472,7 @@ _POLICY_FACTORIES: Dict[str, Any] = {}
 _POLICY_ALIASES: Dict[str, str] = {}
 
 
-def register_policy(name: str, factory, aliases: Sequence[str] = ()) -> None:
+def register_policy(name: str, factory: "Callable[..., Any]", aliases: Sequence[str] = ()) -> None:
     """Register an autopilot policy under ``name`` (plus ``aliases``).
 
     ``factory`` is any callable returning a policy object (usually the policy

@@ -21,7 +21,7 @@ from ..common.hashutil import hash64, hash_key
 class ConsistentHashRing:
     """A hash ring mapping keys to node ids, with virtual nodes (Cassandra-style)."""
 
-    def __init__(self, virtual_nodes: int = 64):
+    def __init__(self, virtual_nodes: int = 64) -> None:
         if virtual_nodes < 1:
             raise ValueError("virtual_nodes must be at least 1")
         self.virtual_nodes = virtual_nodes
@@ -55,7 +55,7 @@ class ConsistentHashRing:
         del self._nodes[node_id]
         keep_positions: List[int] = []
         keep_owners: List[Any] = []
-        for position, owner in zip(self._positions, self._owners):
+        for position, owner in zip(self._positions, self._owners, strict=True):
             if owner != node_id:
                 keep_positions.append(position)
                 keep_owners.append(owner)
@@ -102,7 +102,7 @@ class ConsistentHashRing:
         total = float(1 << 64)
         fractions: Dict[Any, float] = {node: 0.0 for node in self._nodes}
         previous = self._positions[-1]
-        for position, owner in zip(self._positions, self._owners):
+        for position, owner in zip(self._positions, self._owners, strict=True):
             arc = (position - previous) % (1 << 64)
             fractions[owner] += arc / total
             previous = position

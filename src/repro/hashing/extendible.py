@@ -30,7 +30,7 @@ class GlobalDirectory:
     :meth:`slots` so that doubling the depth never copies data.
     """
 
-    def __init__(self, assignments: Optional[Mapping[BucketId, int]] = None):
+    def __init__(self, assignments: Optional[Mapping[BucketId, int]] = None) -> None:
         self._assignments: Dict[BucketId, int] = dict(assignments or {})
         #: Lazily built hash-routing table: slot ``low_bits(h, D)`` ->
         #: ``(bucket, partition)``.  Invalidated by :meth:`reassign`; rebuilt
@@ -231,7 +231,7 @@ class GlobalDirectory:
 class LocalDirectory:
     """The bucket set owned by one storage partition."""
 
-    def __init__(self, partition_id: int, buckets: Optional[Iterable[BucketId]] = None):
+    def __init__(self, partition_id: int, buckets: Optional[Iterable[BucketId]] = None) -> None:
         self.partition_id = partition_id
         self._buckets: Dict[BucketId, None] = {}
         #: Lazily built hash-routing table at the local max depth: slot ->

@@ -40,7 +40,7 @@ class Partitioner(Protocol):
 class HashModuloPartitioner:
     """``hash(K) mod N``: AsterixDB's current global hash partitioning."""
 
-    def __init__(self, num_partitions: int):
+    def __init__(self, num_partitions: int) -> None:
         if num_partitions < 1:
             raise ConfigError("num_partitions must be at least 1")
         self._num_partitions = num_partitions
@@ -74,7 +74,7 @@ class HashModuloPartitioner:
 class DirectoryPartitioner:
     """Routes keys through an extendible-hash global directory."""
 
-    def __init__(self, directory: GlobalDirectory):
+    def __init__(self, directory: GlobalDirectory) -> None:
         self._directory = directory
 
     @property
@@ -100,7 +100,7 @@ class RangePartitioner:
     the last; keys above every split point go to the last partition.
     """
 
-    def __init__(self, split_points: Sequence[Any]):
+    def __init__(self, split_points: Sequence[Any]) -> None:
         self._split_points: List[Any] = list(split_points)
         if sorted(self._split_points) != self._split_points:
             raise ConfigError("split points must be sorted ascending")

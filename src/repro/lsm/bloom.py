@@ -9,7 +9,7 @@ faithful and testable.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from ..common.hashutil import hash64, hash_key
 
@@ -25,7 +25,7 @@ class BloomFilter:
 
     __slots__ = ("_bits", "_num_bits", "_num_hashes", "_num_keys")
 
-    def __init__(self, expected_keys: int, bits_per_key: int = 10, num_hashes: int = 7):
+    def __init__(self, expected_keys: int, bits_per_key: int = 10, num_hashes: int = 7) -> None:
         if expected_keys < 0:
             raise ValueError("expected_keys must be non-negative")
         if bits_per_key < 0 or num_hashes < 0:
@@ -56,7 +56,7 @@ class BloomFilter:
         """Size of the underlying bit array (0 when disabled)."""
         return len(self._bits)
 
-    def _positions(self, key: Any):
+    def _positions(self, key: Any) -> "Iterator[int]":
         base = hash_key(key)
         # Kirsch-Mitzenmacher double hashing: position_i = h1 + i * h2.
         h1 = base

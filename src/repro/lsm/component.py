@@ -150,7 +150,7 @@ class DiskComponent(ReferenceCounted):
         entries: Iterable[Entry],
         bloom_bits_per_key: int = 10,
         bloom_num_hashes: int = 7,
-    ):
+    ) -> None:
         super().__init__()
         self.component_id = next_component_id()
         entry_list = list(entries)
@@ -223,7 +223,7 @@ class ReferenceDiskComponent(ReferenceCounted):
     next merge.
     """
 
-    def __init__(self, target: DiskComponent, hash_prefix: int, depth: int):
+    def __init__(self, target: DiskComponent, hash_prefix: int, depth: int) -> None:
         super().__init__()
         if depth < 0:
             raise ValueError("depth must be non-negative")

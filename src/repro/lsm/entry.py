@@ -99,7 +99,7 @@ class Entry:
 
     __slots__ = ("key", "value", "seqnum", "tombstone", "_size_bytes")
 
-    def __init__(self, key: Any, value: Any, seqnum: int, tombstone: bool = False):
+    def __init__(self, key: Any, value: Any, seqnum: int, tombstone: bool = False) -> None:
         self.key = key
         self.value = value
         self.seqnum = seqnum

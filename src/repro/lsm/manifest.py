@@ -53,7 +53,7 @@ class ManifestState:
 class Manifest:
     """Volatile + durable metadata for one index, with an explicit force step."""
 
-    def __init__(self, index_name: str):
+    def __init__(self, index_name: str) -> None:
         self.index_name = index_name
         self._volatile = ManifestState()
         self._durable = ManifestState()

@@ -21,7 +21,7 @@ class MergeCandidate:
     suffix-or-infix so the ordering invariant between components is preserved.
     """
 
-    def __init__(self, start: int, end: int):
+    def __init__(self, start: int, end: int) -> None:
         if end <= start:
             raise ValueError("a merge candidate must contain at least two components")
         self.start = start
@@ -61,7 +61,7 @@ class SizeTieredMergePolicy:
         size_ratio: float = 1.2,
         min_components: int = 2,
         max_components: int = 0,
-    ):
+    ) -> None:
         if size_ratio <= 0:
             raise ValueError("size_ratio must be positive")
         if min_components < 2:
@@ -105,7 +105,7 @@ class FullMergePolicy:
     the rebalance design is merge-policy agnostic.
     """
 
-    def __init__(self, threshold: int = 2):
+    def __init__(self, threshold: int = 2) -> None:
         if threshold < 2:
             raise ValueError("threshold must be at least 2")
         self.threshold = threshold

@@ -63,7 +63,7 @@ class PartitionRecovery:
     behaviour Algorithm 1 relies on for partially-split buckets.
     """
 
-    def __init__(self, wal: WriteAheadLog):
+    def __init__(self, wal: WriteAheadLog) -> None:
         self.wal = wal
         self.replayed_records = 0
 

@@ -51,7 +51,7 @@ class LSMTree:
         config: Optional[LSMConfig] = None,
         merge_policy: Optional[MergePolicy] = None,
         routing_key_extractor: Optional[Callable[[Any], Any]] = None,
-    ):
+    ) -> None:
         self.name = name
         self.config = config or LSMConfig()
         self.merge_policy = merge_policy or SizeTieredMergePolicy(

@@ -63,7 +63,7 @@ class LogRecord:
         partition_id: Optional[int],
         payload: Optional[Dict[str, Any]] = None,
         forced: bool = False,
-    ):
+    ) -> None:
         self.lsn = lsn
         self.record_type = record_type
         self.dataset = dataset
@@ -102,7 +102,7 @@ class WriteAheadLog:
     what survived.
     """
 
-    def __init__(self, owner: str = ""):
+    def __init__(self, owner: str = "") -> None:
         self.owner = owner
         self._records: List[LogRecord] = []
         self._forced_upto = 0  # index one past the last durable record

@@ -15,7 +15,7 @@ Number = Union[int, float]
 class Counter:
     """A monotonically increasing count (ops executed, records ingested...)."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value: Number = 0
 
@@ -32,7 +32,7 @@ class Counter:
 class Gauge:
     """A last-value-wins level (current cluster size, in-flight phase...)."""
 
-    def __init__(self, name: str, value: Optional[Number] = None):
+    def __init__(self, name: str, value: Optional[Number] = None) -> None:
         self.name = name
         self.value: Optional[Number] = value
 

@@ -42,7 +42,7 @@ class LatencyHistogram:
         min_latency: float = DEFAULT_MIN_LATENCY,
         growth: float = DEFAULT_GROWTH,
         buckets: int = DEFAULT_BUCKETS,
-    ):
+    ) -> None:
         if min_latency <= 0:
             raise ValueError("min_latency must be positive")
         if growth <= 1.0:
@@ -237,7 +237,7 @@ class LatencyHistogram:
             earlier_counts, earlier_count, earlier_total = earlier[0], earlier[1], earlier[2]
             if len(earlier_counts) != len(self.counts):
                 raise ValueError("snapshot comes from a different bucket grid")
-        delta.counts = [now - past for now, past in zip(self.counts, earlier_counts)]
+        delta.counts = [now - past for now, past in zip(self.counts, earlier_counts, strict=True)]
         if any(count < 0 for count in delta.counts):
             raise ValueError("snapshot is not from this histogram's past")
         delta.count = self.count - earlier_count

@@ -114,7 +114,7 @@ class MetricsSnapshot:
 class MetricsRegistry:
     """All telemetry of one database session, fed by the event bus."""
 
-    def __init__(self, clock: Optional[SimulatedClock] = None):
+    def __init__(self, clock: Optional[SimulatedClock] = None) -> None:
         self.clock = clock or SimulatedClock()
         self.phase = PHASE_STEADY
         self._counters: Dict[str, Counter] = {}

@@ -88,7 +88,7 @@ class QuerySpec:
 class QueryContext:
     """Gives a real operator plan access to cluster data with cost tracking."""
 
-    def __init__(self, executor: "ClusterQueryExecutor"):
+    def __init__(self, executor: "ClusterQueryExecutor") -> None:
         self._executor = executor
         self.operator_stats = OperatorStats()
         #: per (node, partition) scan seconds accumulated by the scans.
@@ -121,7 +121,7 @@ class QueryContext:
                 for entry in partition.scan_secondary(index_name):
                     records += 1
                     row = dict(entry.value) if isinstance(entry.value, dict) else {}
-                    for field_name, value in zip(index_spec.key_fields, entry.key[:-1]):
+                    for field_name, value in zip(index_spec.key_fields, entry.key[:-1], strict=True):
                         row[field_name] = value
                     row["_pk"] = entry.key[-1]
                     yield row
@@ -143,7 +143,7 @@ class QueryContext:
 class ClusterQueryExecutor:
     """Executes queries over a :class:`~repro.cluster.controller.SimulatedCluster`."""
 
-    def __init__(self, cluster):
+    def __init__(self, cluster: Any) -> None:
         self.cluster = cluster
 
     # ------------------------------------------------------------ spec mode

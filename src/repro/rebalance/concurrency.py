@@ -47,7 +47,7 @@ class LogReplicator:
         runtime: "DatasetRuntime",
         plan: RebalancePlan,
         partition_nodes: Mapping[int, str],
-    ):
+    ) -> None:
         self.runtime = runtime
         self.plan = plan
         self.partition_nodes = dict(partition_nodes)

@@ -74,7 +74,7 @@ class MovementWork:
 class DataMover:
     """Executes the data movement phase for one dataset."""
 
-    def __init__(self, runtime: "DatasetRuntime", partition_nodes: Mapping[int, str]):
+    def __init__(self, runtime: "DatasetRuntime", partition_nodes: Mapping[int, str]) -> None:
         self.runtime = runtime
         self.partition_nodes = dict(partition_nodes)
         self.work = MovementWork()

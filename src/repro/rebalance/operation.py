@@ -56,7 +56,7 @@ FAULT_SITES = (
 class FaultInjector:
     """Raises :class:`FaultInjected` the first time a registered site is hit."""
 
-    def __init__(self, sites: Iterable[str] = ()):
+    def __init__(self, sites: Iterable[str] = ()) -> None:
         unknown = [site for site in sites if site not in FAULT_SITES]
         if unknown:
             raise ValueError(f"unknown fault sites: {unknown}")
@@ -134,7 +134,7 @@ class RebalanceOperation:
         strategy_name: str = "DynaHash",
         plan: Optional[RebalancePlan] = None,
         fault_injector: Optional[FaultInjector] = None,
-    ):
+    ) -> None:
         self.cluster = cluster
         self.dataset_name = dataset_name
         self.runtime: "DatasetRuntime" = cluster.dataset(dataset_name)
@@ -461,7 +461,9 @@ class RebalanceOperation:
         return cost.rpc_time(2 * max(1, self.cluster.num_nodes))
 
 
-def apply_commit_to_runtime(runtime: "DatasetRuntime", new_directory: GlobalDirectory, moves) -> None:
+def apply_commit_to_runtime(
+    runtime: "DatasetRuntime", new_directory: GlobalDirectory, moves: Sequence[Any]
+) -> None:
     """The NC/CC commit tasks, shared between the live path and recovery.
 
     Every step is idempotent: installing with nothing pending, cleaning up an

@@ -71,7 +71,7 @@ class _LoadTracker:
         target_partitions: Sequence[int],
         partition_to_node: Mapping[int, str],
         global_depth: int,
-    ):
+    ) -> None:
         self.partition_load: Dict[int, int] = {pid: 0 for pid in target_partitions}
         self.node_load: Dict[str, int] = {}
         self.partition_to_node = dict(partition_to_node)

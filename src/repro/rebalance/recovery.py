@@ -60,7 +60,7 @@ class RecoveryOutcome:
 class RebalanceRecoveryManager:
     """Drives CC/NC recovery for in-flight rebalance operations."""
 
-    def __init__(self, cluster: "SimulatedCluster"):
+    def __init__(self, cluster: "SimulatedCluster") -> None:
         self.cluster = cluster
 
     # ------------------------------------------------------------- analysis

@@ -17,7 +17,7 @@ ring so that resizes move only the buckets whose ring owner changed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..common.config import BucketingConfig
 from ..common.errors import ConfigError
@@ -118,7 +118,7 @@ class DynaHashStrategy(RebalancingStrategy):
 
     name = "DynaHash"
 
-    def __init__(self, max_bucket_bytes: Optional[int] = None, initial_buckets_per_partition: int = 1):
+    def __init__(self, max_bucket_bytes: Optional[int] = None, initial_buckets_per_partition: int = 1) -> None:
         self.max_bucket_bytes = max_bucket_bytes
         self.initial_buckets_per_partition = initial_buckets_per_partition
 
@@ -143,7 +143,7 @@ class StaticHashStrategy(RebalancingStrategy):
 
     name = "StaticHash"
 
-    def __init__(self, total_buckets: int = 256):
+    def __init__(self, total_buckets: int = 256) -> None:
         if total_buckets < 1:
             raise ConfigError("total_buckets must be at least 1")
         self.total_buckets = total_buckets
@@ -169,7 +169,7 @@ class ConsistentHashStrategy(RebalancingStrategy):
 
     name = "ConsistentHash"
 
-    def __init__(self, total_buckets: int = 256, virtual_nodes: int = 16):
+    def __init__(self, total_buckets: int = 256, virtual_nodes: int = 16) -> None:
         self.total_buckets = total_buckets
         self.virtual_nodes = virtual_nodes
 
@@ -396,7 +396,7 @@ _STRATEGY_FACTORIES: Dict[str, Any] = {}
 _STRATEGY_ALIASES: Dict[str, str] = {}
 
 
-def register_strategy(name: str, factory, aliases: Sequence[str] = ()) -> None:
+def register_strategy(name: str, factory: "Callable[..., Any]", aliases: Sequence[str] = ()) -> None:
     """Register a rebalancing strategy under ``name`` (plus ``aliases``).
 
     ``factory`` is any callable returning a strategy object (usually the

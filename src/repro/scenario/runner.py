@@ -334,7 +334,7 @@ def _answers_equal(left: Any, right: Any) -> bool:
         )
     if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
         return len(left) == len(right) and all(
-            _answers_equal(a, b) for a, b in zip(left, right)
+            _answers_equal(a, b) for a, b in zip(left, right, strict=True)
         )
     return left == right
 

@@ -17,6 +17,7 @@ The generator preserves the properties the evaluation depends on:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, Iterator, List, Optional
 
@@ -68,14 +69,25 @@ def _comment(rng: random.Random, length: int = 24) -> str:
 class TPCHGenerator:
     """Deterministic TPC-H row generator."""
 
-    def __init__(self, scale_factor: float = 0.001, seed: int = 2022):
+    def __init__(self, scale_factor: float = 0.001, seed: int = 2022) -> None:
         if scale_factor <= 0:
             raise ValueError("scale_factor must be positive")
         self.scale_factor = scale_factor
         self.seed = seed
 
+    def _table_seed(self, table: str) -> int:
+        """A per-table seed that is a pure function of (seed, table, scale).
+
+        Hashing the tuple with builtin ``hash`` would salt the table-name
+        string per process (PYTHONHASHSEED), generating *different* TPC-H
+        data in different processes under the same seed; blake2b is stable
+        everywhere.
+        """
+        material = f"{self.seed}:{table}:{round(self.scale_factor, 6)!r}".encode("utf-8")
+        return int.from_bytes(hashlib.blake2b(material, digest_size=8).digest(), "big")
+
     def _rng(self, table: str) -> random.Random:
-        return random.Random((self.seed, table, round(self.scale_factor, 6)).__hash__())
+        return random.Random(self._table_seed(table))
 
     def row_count(self, table: TableSpec) -> int:
         return rows_at_scale(table, self.scale_factor)

@@ -9,7 +9,7 @@ scale factor grows with the cluster ("100 times the number of NCs"), which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from ..cluster.reports import IngestReport
 from .datagen import TPCHGenerator
@@ -55,19 +55,19 @@ class TPCHLoadResult:
 class TPCHWorkload:
     """Generates and loads TPC-H data into a :class:`SimulatedCluster`."""
 
-    def __init__(self, scale_factor: float = 0.001, seed: int = 2022):
+    def __init__(self, scale_factor: float = 0.001, seed: int = 2022) -> None:
         self.scale_factor = scale_factor
         self.seed = seed
         self.generator = TPCHGenerator(scale_factor=scale_factor, seed=seed)
 
-    def create_datasets(self, cluster, tables: Sequence[str] = DEFAULT_TABLES) -> None:
+    def create_datasets(self, cluster: Any, tables: Sequence[str] = DEFAULT_TABLES) -> None:
         """Create one dataset per TPC-H table (with the paper's indexes)."""
         for name in tables:
             cluster.create_dataset_from_spec(dataset_spec(TABLES_BY_NAME[name]))
 
     def load(
         self,
-        cluster,
+        cluster: Any,
         tables: Sequence[str] = DEFAULT_TABLES,
         create: bool = True,
         batch_size: int = 2000,

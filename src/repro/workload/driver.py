@@ -210,7 +210,7 @@ class WorkloadDriver:
         spec: Optional[WorkloadSpec] = None,
         seed: Optional[int] = None,
         **spec_overrides: Any,
-    ):
+    ) -> None:
         if spec is not None and spec_overrides:
             raise ValueError("pass either a WorkloadSpec or keyword overrides, not both")
         self.db = db
@@ -602,7 +602,7 @@ class WorkloadDriver:
                     if record is not None:
                         result.reads_found += 1
 
-        def on_protocol_phase(event) -> None:
+        def on_protocol_phase(event: Any) -> None:
             # Run half the foreground ops after initialization and the rest
             # after data movement — both points are genuinely mid-rebalance
             # (the directory swap and bucket cleanup happen at commit, so the

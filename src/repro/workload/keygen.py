@@ -22,7 +22,7 @@ YCSB", SoCC'10):
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 from ..common.hashutil import hash_key
 
@@ -72,7 +72,7 @@ class ZipfianKeys(KeyGenerator):
 
     name = "zipfian"
 
-    def __init__(self, num_keys: int, theta: float = 0.99, scrambled: bool = False):
+    def __init__(self, num_keys: int, theta: float = 0.99, scrambled: bool = False) -> None:
         if num_keys < 1:
             raise ValueError("num_keys must be at least 1")
         if not 0.0 < theta < 1.0:
@@ -130,7 +130,7 @@ class HotspotKeys(KeyGenerator):
 
     name = "hotspot"
 
-    def __init__(self, hot_fraction: float = 0.2, hot_probability: float = 0.8):
+    def __init__(self, hot_fraction: float = 0.2, hot_probability: float = 0.8) -> None:
         if not 0.0 < hot_fraction < 1.0:
             raise ValueError("hot_fraction must be in (0, 1)")
         if not 0.0 < hot_probability <= 1.0:
@@ -156,7 +156,7 @@ class LatestKeys(KeyGenerator):
 
     name = "latest"
 
-    def __init__(self, window: int = 256, theta: float = 0.99):
+    def __init__(self, window: int = 256, theta: float = 0.99) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
         self.window = window
@@ -177,7 +177,7 @@ DISTRIBUTIONS = {
 }
 
 
-def make_key_generator(name: str, **options) -> KeyGenerator:
+def make_key_generator(name: str, **options: Any) -> KeyGenerator:
     """Build a distribution by name (``uniform``/``zipfian``/``hotspot``/``latest``)."""
     try:
         factory = DISTRIBUTIONS[name.lower()]

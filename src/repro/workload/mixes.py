@@ -74,7 +74,7 @@ class OperationMix:
     def choose(self, rng: random.Random) -> str:
         """Draw one operation name from the mix using ``rng``."""
         draw = rng.random()
-        for op, threshold in zip(OPERATIONS, self._cumulative):
+        for op, threshold in zip(OPERATIONS, self._cumulative, strict=True):
             if draw < threshold:
                 return op
         return OPERATIONS[0]  # pragma: no cover - float round-off guard

@@ -13,7 +13,7 @@ wall-clock dependent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 from .keygen import KeyGenerator
 from .mixes import OperationMix
@@ -87,7 +87,7 @@ class Schedule:
         return [phase.name for phase in self.phases]
 
 
-def steady_schedule(ops: int, **phase_options) -> Schedule:
+def steady_schedule(ops: int, **phase_options: Any) -> Schedule:
     """A single steady phase of ``ops`` operations."""
     return Schedule((Phase(name="steady", ops=ops, **phase_options),))
 

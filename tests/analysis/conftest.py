@@ -1,0 +1,35 @@
+"""Shared fixtures for the reprolint test suite."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_file
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    """Lint a dedented source snippet as if it lived at ``relpath``.
+
+    The relpath decides scoping (``src/`` = strict payloads, ``tests/`` =
+    event rules off, ``benchmarks/`` = wall clock allowed), so tests pick the
+    path that exercises the behaviour under test.
+    """
+
+    def _lint(source, relpath="src/repro/snippet.py"):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_file(path, tmp_path)
+
+    return _lint
+
+
+@pytest.fixture
+def rules_of(lint_source):
+    """Like ``lint_source`` but returns just the set of violated rule ids."""
+
+    def _rules(source, relpath="src/repro/snippet.py"):
+        return {violation.rule for violation in lint_source(source, relpath)}
+
+    return _rules

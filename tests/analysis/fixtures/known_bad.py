@@ -1,0 +1,55 @@
+"""Intentionally-violating corpus for reprolint's own tests and the CI smoke.
+
+Every construct below breaks a determinism or registry rule on purpose.
+This file is excluded from repo-wide lint discovery
+(``repro.analysis.engine.EXCLUDED_PREFIXES``) and must never be imported —
+it exists to be *parsed* by the linter and to make
+``python -m repro lint tests/analysis/fixtures/known_bad.py`` exit non-zero.
+"""
+
+import os
+import random
+import time
+import uuid
+
+from repro.control.policy import policy_by_name
+from repro.rebalance.strategies import strategy_by_name
+
+
+def unseeded() -> random.Random:
+    return random.Random()
+
+
+def global_stream() -> float:
+    return random.random()
+
+
+def wall_clock() -> float:
+    return time.time()
+
+
+def entropy() -> bytes:
+    token = uuid.uuid4()
+    return os.urandom(8) + str(token).encode()
+
+
+def salted_table_seed(seed: int, table: str, scale: float) -> random.Random:
+    # The original repro.tpch.datagen bug, shape-for-shape: tuple.__hash__
+    # salts the embedded table-name string per process (PYTHONHASHSEED).
+    return random.Random((seed, table, round(scale, 6)).__hash__())
+
+
+def salted_route(key: str, partitions: int) -> int:
+    return hash(key) % partitions
+
+
+def typo_strategy() -> object:
+    return strategy_by_name("dynohash")
+
+
+def typo_policy() -> object:
+    return policy_by_name("treshold")
+
+
+def reasonless(key: str) -> int:
+    return hash(key)  # reprolint: allow[det-builtin-hash]

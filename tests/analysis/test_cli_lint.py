@@ -1,0 +1,42 @@
+"""The ``python -m repro lint`` subcommand: exit codes and output formats."""
+
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+KNOWN_BAD = REPO_ROOT / "tests" / "analysis" / "fixtures" / "known_bad.py"
+
+
+class TestExitCodes:
+    def test_clean_path_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import random\nrng = random.Random(7)\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_known_bad_fixture_exits_one(self, capsys):
+        assert main(["lint", str(KNOWN_BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "det-builtin-hash" in out
+        assert "reg-unknown-strategy" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/path.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_github_format(self, capsys):
+        main(["lint", str(KNOWN_BAD), "--format", "github"])
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("det-wall-clock", "evt-undeclared-emit", "reg-spec-key"):
+            assert rule in out
+
+    def test_registered_in_help(self):
+        assert "lint" in build_parser().format_help()

@@ -1,0 +1,115 @@
+"""Determinism rules: ambient randomness, wall clocks, salted hashing."""
+
+
+class TestUnseededRandom:
+    def test_unseeded_random_flagged(self, rules_of):
+        assert "det-unseeded-random" in rules_of(
+            """
+            import random
+            rng = random.Random()
+            """
+        )
+
+    def test_seeded_random_clean(self, rules_of):
+        assert rules_of(
+            """
+            import random
+            rng = random.Random(42)
+            """
+        ) == set()
+
+    def test_from_import_alias_resolved(self, rules_of):
+        assert "det-unseeded-random" in rules_of(
+            """
+            from random import Random as RNG
+            rng = RNG()
+            """
+        )
+
+
+class TestGlobalRandom:
+    def test_module_level_draw_flagged(self, rules_of):
+        assert "det-global-random" in rules_of(
+            """
+            import random
+            value = random.random()
+            """
+        )
+
+    def test_instance_draw_clean(self, rules_of):
+        assert rules_of(
+            """
+            import random
+            rng = random.Random(7)
+            value = rng.random()
+            """
+        ) == set()
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_src(self, rules_of):
+        source = """
+            import time
+            now = time.perf_counter()
+            """
+        assert "det-wall-clock" in rules_of(source)
+
+    def test_allowed_in_bench_contexts(self, rules_of):
+        source = """
+            import time
+            now = time.perf_counter()
+            """
+        assert rules_of(source, "benchmarks/test_speed.py") == set()
+        assert rules_of(source, "src/repro/bench/harness.py") == set()
+
+    def test_datetime_now_via_from_import(self, rules_of):
+        assert "det-wall-clock" in rules_of(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """
+        )
+
+
+class TestEntropy:
+    def test_os_urandom_and_uuid4(self, rules_of):
+        rules = rules_of(
+            """
+            import os
+            import uuid
+            a = os.urandom(8)
+            b = uuid.uuid4()
+            """
+        )
+        assert rules == {"det-entropy"}
+
+    def test_secrets_module(self, rules_of):
+        assert "det-entropy" in rules_of(
+            """
+            import secrets
+            token = secrets.token_hex(8)
+            """
+        )
+
+
+class TestBuiltinHash:
+    def test_builtin_hash_flagged(self, rules_of):
+        assert "det-builtin-hash" in rules_of("value = hash('key')\n")
+
+    def test_dunder_hash_on_tuple_literal_flagged(self, rules_of):
+        # The exact shape of the repro.tpch.datagen per-table seeding bug.
+        assert "det-builtin-hash" in rules_of(
+            "seed_value = (2022, 'orders', 0.001).__hash__()\n"
+        )
+
+    def test_defining_dunder_hash_is_exempt(self, rules_of):
+        assert rules_of(
+            """
+            class Key:
+                def __init__(self, inner: tuple) -> None:
+                    self.inner = inner
+
+                def __hash__(self) -> int:
+                    return hash(self.inner)
+            """
+        ) == set()

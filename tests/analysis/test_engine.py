@@ -1,0 +1,112 @@
+"""Engine behaviour: discovery, scoping, the clean-repo gate, reporting."""
+
+from pathlib import Path
+
+from repro.analysis import DEFAULT_ROOTS, RULE_CATALOG, lint_file, lint_paths, lint_repo, render_report
+from repro.analysis.engine import discover
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestCleanRepo:
+    def test_the_repo_lints_clean(self):
+        violations = lint_repo(REPO_ROOT)
+        assert violations == [], "\n".join(v.format_plain() for v in violations)
+
+
+class TestDiscovery:
+    def test_fixture_corpus_excluded_from_directory_walks(self):
+        files = discover([REPO_ROOT / "tests"], REPO_ROOT)
+        assert not any("fixtures" in f.parts and "analysis" in f.parts for f in files)
+
+    def test_explicit_fixture_path_is_linted_anyway(self):
+        files = discover([FIXTURES / "known_bad.py"], REPO_ROOT)
+        assert files == [FIXTURES / "known_bad.py"]
+
+    def test_pycache_never_descended(self, tmp_path):
+        bad = tmp_path / "src" / "__pycache__" / "junk.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nx = time.time()\n")
+        assert discover([tmp_path / "src"], tmp_path) == []
+
+    def test_missing_path_raises(self):
+        try:
+            discover([REPO_ROOT / "no_such_dir"], REPO_ROOT)
+        except FileNotFoundError:
+            pass
+        else:
+            raise AssertionError("expected FileNotFoundError")
+
+    def test_default_roots_all_exist(self):
+        for root in DEFAULT_ROOTS:
+            assert (REPO_ROOT / root).is_dir(), root
+
+
+class TestOutOfTreeAnchoring:
+    """Absolute paths from another cwd keep their repo-relative scoping."""
+
+    def test_bench_wall_clock_exemption_survives_foreign_root(self, tmp_path):
+        micro = REPO_ROOT / "src" / "repro" / "bench" / "micro.py"
+        rules = {v.rule for v in lint_file(micro, tmp_path)}
+        assert "det-wall-clock" not in rules
+
+    def test_tests_event_exemption_survives_foreign_root(self, tmp_path):
+        events_tests = REPO_ROOT / "tests" / "common" / "test_events.py"
+        rules = {v.rule for v in lint_file(events_tests, tmp_path)}
+        assert not any(rule.startswith("evt-") for rule in rules)
+
+    def test_fixture_exclusion_survives_foreign_root(self, tmp_path):
+        files = discover([REPO_ROOT / "tests" / "analysis"], tmp_path)
+        assert not any("fixtures" in f.parts for f in files)
+
+    def test_unanchorable_path_falls_back_to_itself(self, tmp_path):
+        loose = tmp_path / "loose.py"
+        loose.write_text("import time\nx = time.time()\n")
+        violations = lint_file(loose, tmp_path / "elsewhere")
+        assert [v.rule for v in violations] == ["det-wall-clock"]
+
+
+class TestKnownBadFixture:
+    def test_every_determinism_rule_fires(self):
+        rules = {v.rule for v in lint_file(FIXTURES / "known_bad.py", REPO_ROOT)}
+        assert {
+            "det-unseeded-random",
+            "det-global-random",
+            "det-wall-clock",
+            "det-entropy",
+            "det-builtin-hash",
+            "reg-unknown-strategy",
+            "reg-unknown-policy",
+            "pragma-missing-reason",
+        } <= rules
+
+    def test_fixture_rules_exist_in_catalog(self):
+        for violation in lint_file(FIXTURES / "known_bad.py", REPO_ROOT):
+            assert violation.rule in RULE_CATALOG
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_a_violation(self, tmp_path):
+        broken = tmp_path / "src" / "broken.py"
+        broken.parent.mkdir(parents=True)
+        broken.write_text("def oops(:\n")
+        violations = lint_paths([broken], tmp_path)
+        assert [v.rule for v in violations] == ["parse-error"]
+
+
+class TestReport:
+    def test_plain_format_lines(self):
+        violations = lint_file(FIXTURES / "known_bad.py", REPO_ROOT)
+        report = render_report(violations, "plain", files_checked=1)
+        first = violations[0]
+        assert f"{first.path}:{first.line}:{first.column}: {first.rule}" in report
+        assert "violation" in report.splitlines()[-1]
+
+    def test_github_format_annotations(self):
+        violations = lint_file(FIXTURES / "known_bad.py", REPO_ROOT)
+        report = render_report(violations, "github", files_checked=1)
+        assert report.startswith("::error file=")
+
+    def test_clean_summary(self):
+        assert "clean" in render_report([], "plain", files_checked=7)

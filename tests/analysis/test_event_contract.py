@@ -1,0 +1,71 @@
+"""The declared event contract: structure, derivation, rendering."""
+
+from repro.api.events import EVENT_NAMES
+from repro.common.event_contract import (
+    EVENT_CONTRACT,
+    EVENT_FAMILIES,
+    allowed_keys,
+    declared_events,
+    is_declared,
+    patterns_matching,
+    render_contract_markdown,
+    required_keys,
+)
+
+
+class TestStructure:
+    def test_names_unique_across_families(self):
+        names = [spec.name for family in EVENT_FAMILIES for spec in family.events]
+        assert len(names) == len(set(names))
+
+    def test_required_and_optional_disjoint(self):
+        for spec in EVENT_CONTRACT.values():
+            assert not (set(spec.required) & set(spec.optional)), spec.name
+
+    def test_every_spec_describes_itself(self):
+        for spec in EVENT_CONTRACT.values():
+            assert spec.description, spec.name
+
+
+class TestDerivation:
+    def test_event_names_derived_from_contract(self):
+        assert set(EVENT_NAMES) == set(declared_events())
+
+    def test_declared_events_follow_family_order(self):
+        assert list(declared_events()) == [
+            spec.name for family in EVENT_FAMILIES for spec in family.events
+        ]
+
+    def test_is_declared(self):
+        assert is_declared("op.read")
+        assert not is_declared("op.teleport")
+
+    def test_key_helpers(self):
+        assert "dataset" in required_keys("op.read")
+        assert required_keys("op.read") <= allowed_keys("op.read")
+        assert "found" in allowed_keys("op.read")
+
+
+class TestPatterns:
+    def test_wildcard_families(self):
+        assert len(patterns_matching("op.*")) >= 6
+        assert len(patterns_matching("rebalance.*")) >= 6
+        assert patterns_matching("*") == declared_events()
+
+    def test_exact_name(self):
+        assert patterns_matching("autopilot.stop") == ("autopilot.stop",)
+
+    def test_unmatched(self):
+        assert patterns_matching("nothing.*") == ()
+
+
+class TestRendering:
+    def test_markdown_lists_every_event(self):
+        markdown = render_contract_markdown()
+        for name in declared_events():
+            assert f"`{name}`" in markdown
+
+    def test_markdown_has_one_section_per_family(self):
+        markdown = render_contract_markdown()
+        for family in EVENT_FAMILIES:
+            assert family.title in markdown

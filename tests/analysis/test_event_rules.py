@@ -1,0 +1,111 @@
+"""Event-contract rules: emits and subscriptions against the declaration."""
+
+
+class TestEmit:
+    def test_declared_full_payload_clean(self, rules_of):
+        assert rules_of(
+            """
+            def drop(bus, name):
+                bus.emit("dataset.drop", dataset=name)
+            """
+        ) == set()
+
+    def test_undeclared_name_flagged(self, rules_of):
+        assert "evt-undeclared-emit" in rules_of(
+            """
+            def notify(bus):
+                bus.emit("dataset.vaporised", dataset="x")
+            """
+        )
+
+    def test_missing_required_key_strict_in_src(self, rules_of):
+        source = """
+            def drop(bus):
+                bus.emit("dataset.drop")
+            """
+        assert "evt-missing-key" in rules_of(source)
+        # Outside src/ the payload may be assembled elsewhere; only unknown
+        # keys are policed.
+        assert rules_of(source, "examples/snippet.py") == set()
+
+    def test_unknown_key_flagged_everywhere(self, rules_of):
+        source = """
+            def drop(bus, name):
+                bus.emit("dataset.drop", dataset=name, nonsense=1)
+            """
+        assert "evt-unknown-key" in rules_of(source)
+        assert "evt-unknown-key" in rules_of(source, "examples/snippet.py")
+
+    def test_splat_disables_missing_key_check(self, rules_of):
+        assert rules_of(
+            """
+            def drop(bus, payload):
+                bus.emit("dataset.drop", **payload)
+            """
+        ) == set()
+
+    def test_wrapper_emit_injects_dataset_and_rebalance_id(self, rules_of):
+        assert rules_of(
+            """
+            class Op:
+                def commit(self, moved: int) -> None:
+                    self._emit("rebalance.commit", buckets_moved=moved)
+            """
+        ) == set()
+
+    def test_dynamic_name_skipped(self, rules_of):
+        assert rules_of(
+            """
+            def emit_op(bus, op, **payload):
+                bus.emit(f"op.{op}", **payload)
+            """
+        ) == set()
+
+    def test_probe_of_undeclared_event(self, rules_of):
+        assert "evt-undeclared-emit" in rules_of(
+            """
+            def probe(bus):
+                return bus.has_subscribers("dataset.vaporised")
+            """
+        )
+
+
+class TestSubscription:
+    def test_matching_patterns_clean(self, rules_of):
+        assert rules_of(
+            """
+            def wire(bus, callback):
+                bus.on("op.*", callback)
+                bus.on("rebalance.commit", callback)
+                bus.once("*", callback)
+            """
+        ) == set()
+
+    def test_unmatched_pattern_flagged(self, rules_of):
+        assert "evt-unmatched-subscription" in rules_of(
+            """
+            def wire(bus, callback):
+                bus.on("opp.*", callback)
+            """
+        )
+
+    def test_single_argument_on_is_not_a_subscription(self, rules_of):
+        # Someone else's `.on()` API (no callback argument) is not judged.
+        assert rules_of(
+            """
+            def join(frame):
+                return frame.on("opp.key")
+            """
+        ) == set()
+
+
+class TestScoping:
+    def test_tests_are_skipped_wholesale(self, rules_of):
+        assert rules_of(
+            """
+            def test_bus(bus, callback):
+                bus.emit("made.up.event", whatever=1)
+                bus.on("also.made.up", callback)
+            """,
+            "tests/common/test_events.py",
+        ) == set()

@@ -1,0 +1,65 @@
+"""Pragma parsing and suppression: `# reprolint: allow[rule] -- reason`."""
+
+from repro.analysis import collect_pragmas
+
+
+class TestParsing:
+    def test_single_rule_with_reason(self):
+        pragmas = collect_pragmas(
+            "x = hash(k)  # reprolint: allow[det-builtin-hash] -- k is an int\n"
+        ).pragmas
+        assert len(pragmas) == 1
+        assert pragmas[0].line == 1
+        assert pragmas[0].rules == ("det-builtin-hash",)
+        assert pragmas[0].reason == "k is an int"
+
+    def test_multiple_rules(self):
+        pragmas = collect_pragmas(
+            "# reprolint: allow[det-wall-clock, det-entropy] -- bench harness\n"
+        ).pragmas
+        assert pragmas[0].rules == ("det-wall-clock", "det-entropy")
+
+    def test_pragma_inside_string_literal_ignored(self):
+        source = 'text = "# reprolint: allow[det-builtin-hash] -- not a comment"\n'
+        assert collect_pragmas(source).pragmas == []
+
+    def test_non_pragma_comments_ignored(self):
+        assert collect_pragmas("x = 1  # a plain comment\n").pragmas == []
+
+
+class TestSuppression:
+    def test_pragma_suppresses_on_its_line(self, lint_source):
+        assert lint_source(
+            "value = hash(3.5)  # reprolint: allow[det-builtin-hash] -- float hashes are unsalted\n"
+        ) == []
+
+    def test_pragma_does_not_leak_to_other_lines(self, rules_of):
+        assert "det-builtin-hash" in rules_of(
+            """
+            a = hash(3.5)  # reprolint: allow[det-builtin-hash] -- float hashes are unsalted
+            b = hash("other")
+            """
+        )
+
+    def test_star_suppresses_any_rule(self, lint_source):
+        assert lint_source(
+            "import time\nnow = time.time()  # reprolint: allow[*] -- demo of the wildcard\n"
+        ) == []
+
+    def test_wrong_rule_does_not_suppress(self, rules_of):
+        assert "det-builtin-hash" in rules_of(
+            "value = hash('key')  # reprolint: allow[det-wall-clock] -- wrong rule named\n"
+        )
+
+
+class TestPragmaOwnViolations:
+    def test_missing_reason_flagged(self, rules_of):
+        rules = rules_of(
+            "value = hash(3.5)  # reprolint: allow[det-builtin-hash]\n"
+        )
+        assert rules == {"pragma-missing-reason"}
+
+    def test_unknown_rule_name_flagged(self, rules_of):
+        assert "pragma-missing-reason" in rules_of(
+            "x = 1  # reprolint: allow[det-nonsense] -- typo'd rule id\n"
+        )

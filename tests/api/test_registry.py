@@ -43,7 +43,7 @@ class TestStrategyByName:
 
     def test_unknown_name_lists_choices(self):
         with pytest.raises(ConfigError) as excinfo:
-            strategy_by_name("raft")
+            strategy_by_name("raft")  # reprolint: allow[reg-unknown-strategy] -- asserts the unknown-name error path
         message = str(excinfo.value)
         assert "raft" in message
         for choice in ("consistenthash", "dynahash", "hashing", "statichash"):

@@ -65,7 +65,7 @@ class TestRegistry:
 
     def test_unknown_name_raises_with_choices(self):
         with pytest.raises(ConfigError, match="cost_aware"):
-            policy_by_name("nope")
+            policy_by_name("nope")  # reprolint: allow[reg-unknown-policy] -- asserts the unknown-name error path
 
     def test_register_custom_policy(self):
         class AlwaysAdd(AutopilotPolicy):

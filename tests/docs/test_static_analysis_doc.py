@@ -1,0 +1,43 @@
+"""docs/STATIC_ANALYSIS.md stays in sync with the live rule catalogue.
+
+``repro.analysis.violations.RULE_CATALOG`` promises its complete rule list
+is mirrored by the static-analysis guide; this is the test that holds both
+sides to it, in each direction.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.violations import RULE_CATALOG
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "STATIC_ANALYSIS.md"
+
+#: Backticked tokens shaped like rule ids (``det-builtin-hash``, ...).
+RULE_TOKEN = re.compile(r"`((?:det|evt|reg|pragma|parse)-[a-z-]+)`")
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return DOC.read_text()
+
+
+def test_every_catalogued_rule_is_documented(doc_text):
+    missing = [rule for rule in RULE_CATALOG if f"`{rule}`" not in doc_text]
+    assert not missing, f"docs/STATIC_ANALYSIS.md does not document {missing}"
+
+
+def test_the_doc_names_no_unknown_rules(doc_text):
+    unknown = sorted(set(RULE_TOKEN.findall(doc_text)) - set(RULE_CATALOG))
+    assert not unknown, f"docs/STATIC_ANALYSIS.md mentions undeclared rule ids {unknown}"
+
+
+def test_pragma_syntax_is_documented(doc_text):
+    assert "reprolint: allow[" in doc_text
+    assert "-- " in doc_text, "the mandatory pragma reason syntax is undocumented"
+
+
+def test_cli_entry_points_are_documented(doc_text):
+    for fragment in ("python -m repro lint", "--format github", "--list-rules"):
+        assert fragment in doc_text, f"missing CLI usage: {fragment}"

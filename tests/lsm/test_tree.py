@@ -12,7 +12,7 @@ from repro.lsm.tree import LSMTree
 
 
 def small_config(**overrides):
-    defaults = dict(memory_component_bytes=1024, bloom_bits_per_key=10)
+    defaults = {"memory_component_bytes": 1024, "bloom_bits_per_key": 10}
     defaults.update(overrides)
     return LSMConfig(**defaults)
 

@@ -58,7 +58,7 @@ class TestFactory:
 
     def test_unknown_rejected(self):
         with pytest.raises(ConfigError):
-            strategy_by_name("mystery")
+            strategy_by_name("mystery")  # reprolint: allow[reg-unknown-strategy] -- asserts the unknown-name error path
 
 
 class TestLayouts:

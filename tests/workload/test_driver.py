@@ -31,13 +31,13 @@ def config(num_nodes=2):
 
 
 def small_spec(**overrides):
-    options = dict(
-        dataset="traffic",
-        initial_records=120,
-        schedule=steady_schedule(60),
-        mix="A",
-        keys="zipfian",
-    )
+    options = {
+        "dataset": "traffic",
+        "initial_records": 120,
+        "schedule": steady_schedule(60),
+        "mix": "A",
+        "keys": "zipfian",
+    }
     options.update(overrides)
     return WorkloadSpec(**options)
 

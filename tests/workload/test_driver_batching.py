@@ -40,7 +40,7 @@ class TestBatchedEqualsLegacy:
         assert batched == legacy
         assert batched_report.total_ops == legacy_report.total_ops
         for batched_phase, legacy_phase in zip(
-            batched_report.phases, legacy_report.phases
+            batched_report.phases, legacy_report.phases, strict=True
         ):
             assert batched_phase.ops == legacy_phase.ops
             assert batched_phase.reads == legacy_phase.reads
