@@ -17,7 +17,18 @@ lifecycle event bus::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TYPE_CHECKING,
+)
 
 from ..cluster.controller import SimulatedCluster
 from ..cluster.dataset import SecondaryIndexSpec
@@ -32,6 +43,9 @@ from ..rebalance.operation import FaultInjector
 from ..rebalance.recovery import RebalanceRecoveryManager, RecoveryOutcome
 from .dataset import Dataset
 from .registry import resolve_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace import TraceSession
 
 
 class Database:
@@ -69,6 +83,7 @@ class Database:
         self._executor = ClusterQueryExecutor(self._cluster)
         self._metrics = MetricsRegistry().attach(self._cluster.events)
         self._autopilot: "Optional[Autopilot]" = None
+        self._trace: "Optional[TraceSession]" = None
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -91,6 +106,7 @@ class Database:
         db._executor = ClusterQueryExecutor(cluster)
         db._metrics = MetricsRegistry().attach(cluster.events)
         db._autopilot = None
+        db._trace = None
         db._closed = False
         return db
 
@@ -106,6 +122,10 @@ class Database:
                 self._autopilot.stop()
             self._closed = True
             self._cluster.events.emit("database.close", datasets=self._cluster.dataset_names())
+            if self._trace is not None:
+                # The tracer closed its spans on database.close above; this
+                # takes the final gauge sample and detaches everything.
+                self._trace.finish()
             self._metrics.detach()
 
     @property
@@ -286,6 +306,34 @@ class Database:
     def autopilot_engine(self) -> Optional[Autopilot]:
         """The attached autopilot engine, if :meth:`autopilot` was called."""
         return self._autopilot
+
+    # ----------------------------------------------------------------- tracing
+
+    def start_trace(self, sample_interval_seconds: float = 0.25) -> "TraceSession":
+        """Attach a tracing session (spans + timeline gauges) to this run.
+
+        Everything after this call is recorded into a span tree on the
+        simulated clock plus sampled time-series (see :mod:`repro.trace`).
+        One tracing session per database session: starting a new one
+        finishes its predecessor.  The session is finished automatically on
+        :meth:`close`; call ``finish()`` earlier to stop recording mid-run.
+        Tracing never changes the metrics state — a traced and an untraced
+        run of the same seed produce identical snapshots.
+        """
+        self._check_open()
+        from ..trace import TraceSession
+
+        if self._trace is not None:
+            self._trace.finish()
+        self._trace = TraceSession(
+            self, sample_interval_seconds=sample_interval_seconds
+        ).attach()
+        return self._trace
+
+    @property
+    def trace_session(self) -> "Optional[TraceSession]":
+        """The attached tracing session, if :meth:`start_trace` was called."""
+        return self._trace
 
     def recover(self) -> List[RecoveryOutcome]:
         """Run rebalance recovery as a restarted coordinator would."""

@@ -217,6 +217,9 @@ class Dataset:
         get slower as a bucket accumulates unmerged components.
         """
         runtime = self._runtime()
+        heat = self.database.cluster.heat
+        if heat is not None:
+            heat.record_read(self.name, key)
         partition_id = runtime.partition_of_key(key)
         partition = runtime.partitions[partition_id]
         opened_before = partition.components_opened_total()
@@ -254,9 +257,12 @@ class Dataset:
         component_open_time = cost.component_open_time
         page_bytes = self.database.config.lsm.page_bytes
         disk_rate = cost.config.disk_read_bytes_per_sec
+        heat = self.database.cluster.heat
         records: List[Optional[Dict[str, Any]]] = []
         latencies: List[float] = []
         for key in keys:
+            if heat is not None:
+                heat.record_read(self.name, key)
             partition = partitions[partition_of_key(key)]
             opened_before = partition.components_opened_total()
             record = partition.lookup(key)

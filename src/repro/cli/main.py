@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line: scenarios in, reports out.
 
-Four subcommands cover the operate-it-like-a-database loop the docs teach
+The subcommands cover the operate-it-like-a-database loop the docs teach
 (declare a cluster + workload + policy, run it, read the report):
 
 ``run SPEC``
@@ -20,12 +20,20 @@ Four subcommands cover the operate-it-like-a-database loop the docs teach
 ``inspect RECORDING``
     Print a recorded run's cluster directory/partition state, check
     outcomes, counters, and latency percentiles — offline, from the JSON.
+    ``--format json`` emits the same summary as a machine-readable document.
 
 ``replay RECORDING``
     Re-run the recorded scenario from its embedded spec + seed and diff the
-    resulting :class:`~repro.api.MetricsSnapshot` against the recorded one.
-    Zero differences is the determinism contract; any difference lists line
-    by line and exits 1.
+    resulting :class:`~repro.api.MetricsSnapshot` — and, for traced runs,
+    the embedded trace payload — against the recorded ones.  Zero
+    differences is the determinism contract; any difference lists line by
+    line and exits 1.
+
+``trace RECORDING|SPEC``
+    Render a traced run: the span tree and a phase Gantt in the terminal,
+    plus a Chrome trace-event JSON file Perfetto (https://ui.perfetto.dev)
+    loads directly.  Given a recording, reads the embedded trace; given a
+    spec, runs it with tracing force-enabled first.
 
 ``lint [PATHS...]``
     Run **reprolint** (:mod:`repro.analysis`), the invariant-enforcing
@@ -38,6 +46,7 @@ Four subcommands cover the operate-it-like-a-database loop the docs teach
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -45,6 +54,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..scenario import (
     ScenarioSpecError,
     diff_snapshots,
+    diff_traces,
     load_recording,
     load_scenario,
     run_scenario,
@@ -147,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print every counter (not just the headline ones)",
     )
+    inspect.add_argument(
+        "--format",
+        default="plain",
+        choices=("plain", "json"),
+        help="output format: human-readable tables or a JSON summary document",
+    )
 
     replay = subparsers.add_parser(
         "replay",
@@ -156,6 +172,43 @@ def build_parser() -> argparse.ArgumentParser:
         "determinism contract holds; differences exit 1.",
     )
     replay.add_argument("recording", help="path to a recording JSON")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a traced run and write Perfetto-loadable trace JSON",
+        description="Render a run's trace: span tree + Gantt in the "
+        "terminal, Chrome trace-event JSON on disk (load it at "
+        "https://ui.perfetto.dev). Accepts a recording with an embedded "
+        "trace, or a scenario spec to run with tracing force-enabled.",
+    )
+    trace.add_argument(
+        "source",
+        help="a recording written by `run --record` (with a [trace] section) "
+        "or a scenario spec (.toml or .json)",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        help="where to write the Chrome trace JSON "
+        "(default: ./<source stem>.trace.json)",
+    )
+    trace.add_argument(
+        "--seed",
+        type=int,
+        help="override the spec's cluster seed (spec sources only)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=80,
+        help="maximum span-tree lines to print (default: 80)",
+    )
+    trace.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="skip the terminal renderings; just write the trace file",
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -199,6 +252,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_inspect(args)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except ScenarioSpecError as exc:
@@ -350,6 +405,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     snapshot = snapshot_from_recording(document)
     scenario = document.get("scenario", {}).get("scenario", {})
     nodes = document.get("nodes", {})
+    if args.format == "json":
+        print(json.dumps(_inspect_summary(args, document, snapshot), indent=2, sort_keys=True))
+        return 0
     print(
         f"recording of scenario {scenario.get('name')!r}: seed={document.get('seed')}, "
         f"nodes {nodes.get('before')} -> {nodes.get('after')}, "
@@ -383,6 +441,15 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             status = "PASS" if check.get("passed") else "FAIL"
             print(f"  {check.get('name')}: {status} ({check.get('detail')})")
 
+    trace = document.get("trace")
+    if trace is not None:
+        print(
+            f"\ntrace: {len(trace.get('spans', []))} span(s), "
+            f"{len(trace.get('series', []))} series sampled every "
+            f"{trace.get('interval_seconds')}s simulated "
+            f"(render with `python -m repro trace {args.recording}`)"
+        )
+
     counter_rows = [
         [name, int(value)]
         for name, value in snapshot.counters.items()
@@ -412,6 +479,127 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(
             format_table(["op[phase]", "count", "p50 (ms)", "p99 (ms)", "max (ms)"], histogram_rows)
         )
+    return 0
+
+
+def _inspect_summary(
+    args: argparse.Namespace, document: Dict[str, Any], snapshot: Any
+) -> Dict[str, Any]:
+    """The ``inspect --format json`` document (stable keys, JSON-safe values)."""
+    from ..metrics.histogram import LatencyHistogram
+
+    scenario = document.get("scenario", {}).get("scenario", {})
+    histograms: Dict[str, Any] = {}
+    for key, snap in sorted(snapshot.histograms.items()):
+        histogram = LatencyHistogram.from_snapshot(snap)
+        if not histogram.count:
+            continue
+        summary = histogram.summary()
+        histograms[key] = {
+            "count": int(summary["count"]),
+            "p50_ms": summary["p50"] * 1e3,
+            "p99_ms": summary["p99"] * 1e3,
+            "max_ms": summary["max"] * 1e3,
+        }
+    trace = document.get("trace")
+    trace_summary = None
+    if trace is not None:
+        trace_summary = {
+            "spans": len(trace.get("spans", [])),
+            "series": sorted(series["name"] for series in trace.get("series", [])),
+            "interval_seconds": trace.get("interval_seconds"),
+        }
+    return {
+        "scenario": scenario.get("name"),
+        "seed": document.get("seed"),
+        "nodes": document.get("nodes", {}),
+        "total_ops": document.get("total_ops"),
+        "simulated_seconds": document.get("simulated_seconds"),
+        "describe": document.get("describe", {}),
+        "checks": document.get("checks", []),
+        "counters": {
+            name: int(value)
+            for name, value in snapshot.counters.items()
+            if args.counters or name in _HEADLINE_COUNTERS
+        },
+        "histograms": histograms,
+        "trace": trace_summary,
+    }
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..trace import chrome_trace_json, render_gantt, render_span_tree
+
+    source = Path(args.source)
+    if not source.exists():
+        print(f"error: no such file: {source}", file=sys.stderr)
+        return 2
+
+    # A recording embeds its trace; anything else is treated as a spec and
+    # run with tracing force-enabled (the whole point of asking for a trace).
+    document: Optional[Dict[str, Any]] = None
+    if source.suffix == ".json":
+        try:
+            document = load_recording(source)
+        except ScenarioSpecError:
+            document = None
+
+    if document is not None:
+        payload = document.get("trace")
+        if payload is None:
+            print(
+                f"error: {source} has no embedded trace; re-record with a "
+                "[trace] section in the spec, or point `trace` at the spec "
+                "itself to run it traced",
+                file=sys.stderr,
+            )
+            return 2
+        label = payload.get("scenario") or document.get("scenario", {}).get(
+            "scenario", {}
+        ).get("name")
+    else:
+        from dataclasses import replace as dc_replace
+
+        from ..scenario import TraceSection
+
+        spec = load_scenario(source)
+        if spec.trace is None or not spec.trace.enabled:
+            interval = spec.trace.sample_interval_seconds if spec.trace is not None else 0.25
+            spec = dc_replace(
+                spec, trace=TraceSection(enabled=True, sample_interval_seconds=interval)
+            )
+        print(f"running scenario {spec.name!r} with tracing enabled ...")
+        result = run_scenario(spec, seed=args.seed)
+        payload = result.trace
+        label = spec.name
+        if payload is None:  # pragma: no cover - defensive; trace was forced on
+            print("error: the run produced no trace payload", file=sys.stderr)
+            return 2
+
+    if not args.quiet:
+        print(
+            f"trace of scenario {label!r}: {len(payload.get('spans', []))} span(s), "
+            f"{len(payload.get('series', []))} series, seed={payload.get('seed')}"
+        )
+        tree_lines = render_span_tree(payload).splitlines()
+        print("\nspan tree:")
+        for line in tree_lines[: args.limit]:
+            print(f"  {line}")
+        if len(tree_lines) > args.limit:
+            print(f"  … +{len(tree_lines) - args.limit} more span(s); raise --limit to see them")
+        print("\ntimeline:")
+        print(render_gantt(payload))
+        print()
+
+    out = Path(args.out) if args.out else Path(f"{source.stem}.trace.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(chrome_trace_json(payload))
+    print(f"chrome trace written: {out} (load it at https://ui.perfetto.dev)")
     return 0
 
 
@@ -462,13 +650,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"replaying scenario {spec.name!r} with seed={seed} ...")
     result = run_scenario(spec, seed=seed)
     differences = diff_snapshots(recorded, result.snapshot)
+    differences.extend(diff_traces(document.get("trace"), result.trace))
     if differences:
         print(f"replay DIVERGED: {len(differences)} difference(s) vs {args.recording}")
         for line in differences:
             print(f"  {line}")
         return 1
+    traced = document.get("trace") is not None
     print(
-        f"replay OK: snapshot identical to {Path(args.recording).name} "
+        f"replay OK: snapshot{' and trace' if traced else ''} identical to "
+        f"{Path(args.recording).name} "
         f"({len(recorded.counters)} counters, {len(recorded.histograms)} histograms, "
         f"{recorded.simulated_seconds:.3f} simulated seconds)"
     )

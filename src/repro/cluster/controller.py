@@ -141,6 +141,14 @@ class SimulatedCluster:
             strategy = strategy_by_name(strategy)
         self.strategy = strategy
         self.events = EventBus()
+        #: Optional per-bucket heat sink (a ``repro.trace.BucketHeat``),
+        #: installed by a :class:`~repro.trace.TimelineRecorder` while a
+        #: tracing session is attached.  Hot paths guard every use with a
+        #: single ``is not None`` probe, the heat counterpart of
+        #: ``EventBus.has_subscribers`` — untraced runs pay one attribute
+        #: load per verb.  Typed loosely because the trace layer sits above
+        #: this package.
+        self.heat: Optional[Any] = None
         self.cost = CostModel(self.config.cost, workload_scale=workload_scale)
         self.cc = ClusterController()
         self.nodes: List[NodeController] = []

@@ -77,6 +77,8 @@ class DataFeed:
         primary_key_of = self.runtime.spec.primary_key_of
         partition_of_hash = self.routing.partition_of_hash
         batch_size = self.batch_size
+        heat = self.cluster.heat
+        dataset_name = self.dataset_name
         #: The current batch, grouped by target partition (insertion order
         #: within each partition follows arrival order).
         grouped: Dict[int, List[Tuple[Any, int, Mapping[str, Any]]]] = {}
@@ -90,6 +92,8 @@ class DataFeed:
             key = primary_key_of(row)
             hashed = hash_key(key)
             pid = partition_of_hash(hashed)
+            if heat is not None:
+                heat.record_write(dataset_name, hashed)
             group = grouped.get(pid)
             if group is None:
                 group = grouped[pid] = []

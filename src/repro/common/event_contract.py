@@ -151,6 +151,16 @@ EVENT_FAMILIES: Tuple[EventFamily, ...] = (
                 description="one dataset's protocol operation began",
             ),
             EventSpec(
+                "rebalance.bucket_move",
+                required=("dataset", "rebalance_id", "bucket", "source", "destination"),
+                optional=("records", "payload_bytes"),
+                description=(
+                    "one bucket's snapshot was shipped during data movement; "
+                    "`source`/`destination` are partition ids (emitted only "
+                    "when someone subscribes — the tracer's per-move feed)"
+                ),
+            ),
+            EventSpec(
                 "rebalance.phase",
                 required=("dataset", "rebalance_id", "phase", "seconds"),
                 description=(
@@ -241,6 +251,51 @@ EVENT_FAMILIES: Tuple[EventFamily, ...] = (
                 "autopilot.stop",
                 required=("decisions", "rebalances"),
                 description="engine detached (session close or replacement)",
+            ),
+        ),
+    ),
+    EventFamily(
+        key="trace",
+        title="`trace.*` — tracing hook points",
+        intro=(
+            "Emitted only when a tracing session (`repro.trace`) is attached: "
+            "every emitter probes `has_subscribers` first, so an untraced run "
+            "pays one cached dict hit per hook at most. The workload driver "
+            "brackets each phase, the autopilot reports every evaluation "
+            "(including the ones that decide to do nothing — "
+            "`autopilot.decision` only fires on action), and the "
+            "`TimelineRecorder` publishes each gauge sample it takes so tests "
+            "and dashboards can watch the timeline live."
+        ),
+        events=(
+            EventSpec(
+                "trace.phase.start",
+                required=("phase",),
+                optional=("ops",),
+                description="the workload driver entered a schedule phase",
+            ),
+            EventSpec(
+                "trace.phase.end",
+                required=("phase",),
+                optional=("ops", "seconds"),
+                description="the phase finished; `seconds` is its simulated duration",
+            ),
+            EventSpec(
+                "trace.autopilot.evaluate",
+                required=("policy", "action"),
+                optional=("reason",),
+                description=(
+                    "one autopilot evaluation ran; `action` is the raw policy "
+                    "verdict before guardrails (including `none`)"
+                ),
+            ),
+            EventSpec(
+                "trace.sample",
+                required=("simulated_seconds", "values"),
+                description=(
+                    "the `TimelineRecorder` took a gauge sample; `values` maps "
+                    "series name to the sampled value"
+                ),
             ),
         ),
     ),

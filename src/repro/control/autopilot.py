@@ -207,6 +207,17 @@ class Autopilot:
             if observation.in_rebalance:
                 return None
             decision = self.policy.decide(observation, self.planner)
+            # Tracing hook point: report every evaluation, including the
+            # no-action ones `autopilot.decision` never records.  Probed
+            # first so untraced sessions skip the payload entirely.
+            events = self.db.events
+            if events.has_subscribers("trace.autopilot.evaluate"):
+                events.emit(
+                    "trace.autopilot.evaluate",
+                    policy=self.policy.name,
+                    action=decision.action,
+                    reason=decision.reason,
+                )
             if not decision.wants_rebalance:
                 self._streak_signature = None
                 self._streak_count = 0

@@ -68,6 +68,12 @@ class ClusterObservation:
     steady_read_p99: float
     rebalance_write_p99: float
     dataset_names: Tuple[str, ...]
+    #: Cumulative per-bucket op counts, ``(dataset, bucket, count)`` sorted
+    #: by (dataset, bucket).  Populated only while a tracing session's
+    #: `TimelineRecorder` has its heat tracker installed on the cluster
+    #: (empty otherwise), so policies consuming heat must tolerate absence.
+    bucket_read_heat: Tuple[Tuple[str, str, int], ...] = ()
+    bucket_write_heat: Tuple[Tuple[str, str, int], ...] = ()
 
     @classmethod
     def capture(cls, db: "Database") -> "ClusterObservation":
@@ -84,6 +90,7 @@ class ClusterObservation:
             for pid, partition in runtime.partitions.items():
                 partition_bytes[pid] = partition_bytes.get(pid, 0) + partition.size_bytes
         per_partition = tuple(partition_bytes[pid] for pid in sorted(partition_bytes))
+        heat = cluster.heat
         return cls(
             simulated_seconds=metrics.clock.now,
             num_nodes=cluster.num_nodes,
@@ -103,6 +110,8 @@ class ClusterObservation:
             steady_read_p99=_p99(metrics.latency("read", PHASE_STEADY)),
             rebalance_write_p99=_p99(metrics.write_latency(PHASE_REBALANCE)),
             dataset_names=tuple(cluster.dataset_names()),
+            bucket_read_heat=heat.read_heat() if heat is not None else (),
+            bucket_write_heat=heat.write_heat() if heat is not None else (),
         )
 
     # ------------------------------------------------------------ conveniences
@@ -120,6 +129,19 @@ class ClusterObservation:
         if node_capacity_bytes <= 0:
             raise ValueError("node_capacity_bytes must be positive")
         return self.mean_node_bytes() / node_capacity_bytes
+
+    def max_bucket_heat(self) -> int:
+        """The hottest single bucket's combined read+write op count.
+
+        Combines both heat tables per (dataset, bucket); 0 when no heat
+        tracker is installed (untraced sessions), so threshold policies can
+        use heat as a strictly additive trigger.
+        """
+        combined: dict = {}
+        for table in (self.bucket_read_heat, self.bucket_write_heat):
+            for dataset, bucket, count in table:
+                combined[(dataset, bucket)] = combined.get((dataset, bucket), 0) + count
+        return max(combined.values(), default=0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

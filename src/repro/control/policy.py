@@ -114,6 +114,13 @@ class ThresholdPolicy(AutopilotPolicy):
     p99_regression_factor:
         Optional: when the cumulative steady write p99 exceeds this multiple
         of the first non-zero baseline it observed, add a node.
+    hot_bucket_ops:
+        Optional: when any single bucket's combined read+write heat (from
+        the observation's per-bucket heat counters, populated only while a
+        tracing session is attached) exceeds this count, re-target the
+        current node set so Algorithm 2 can spread the hot bucket's
+        neighbours.  ``None`` disables it; untraced sessions report zero
+        heat, so the trigger never fires without a `TimelineRecorder`.
     """
 
     name = "Threshold"
@@ -126,6 +133,7 @@ class ThresholdPolicy(AutopilotPolicy):
         capacity_high: float = 0.85,
         capacity_low: float = 0.25,
         p99_regression_factor: Optional[float] = None,
+        hot_bucket_ops: Optional[int] = None,
         step: int = 1,
         min_nodes: int = 1,
         max_nodes: Optional[int] = None,
@@ -136,12 +144,15 @@ class ThresholdPolicy(AutopilotPolicy):
             raise ConfigError("need 0 < capacity_low < capacity_high")
         if step < 1:
             raise ConfigError("step must be at least 1")
+        if hot_bucket_ops is not None and hot_bucket_ops < 1:
+            raise ConfigError("hot_bucket_ops must be at least 1")
         self.skew_threshold = skew_threshold
         self.partition_skew_threshold = partition_skew_threshold
         self.node_capacity_bytes = node_capacity_bytes
         self.capacity_high = capacity_high
         self.capacity_low = capacity_low
         self.p99_regression_factor = p99_regression_factor
+        self.hot_bucket_ops = hot_bucket_ops
         self.step = step
         self.min_nodes = min_nodes
         self.max_nodes = max_nodes
@@ -178,6 +189,18 @@ class ThresholdPolicy(AutopilotPolicy):
                     reason=(
                         f"node skew {observation.node_balance_ratio:.2f} > "
                         f"{self.skew_threshold:.2f}"
+                    ),
+                )
+
+        if self.hot_bucket_ops is not None:
+            hottest = observation.max_bucket_heat()
+            if hottest > self.hot_bucket_ops and planner.project(nodes).buckets_moved > 0:
+                return PolicyDecision(
+                    ACTION_RETARGET,
+                    target_nodes=nodes,
+                    reason=(
+                        f"hot bucket: {hottest} ops on one bucket > "
+                        f"{self.hot_bucket_ops}"
                     ),
                 )
 

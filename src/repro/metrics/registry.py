@@ -371,6 +371,17 @@ class MetricsRegistry:
         counter = self._counters.get(name)
         return counter.value if counter is not None else 0
 
+    def gauge_value(self, name: str) -> float:
+        """Read a gauge without creating it (0 when never set).
+
+        The gauge counterpart of :meth:`counter_value`, with the same
+        passive-read guarantee: inspection (e.g. the timeline recorder
+        sampling ``rebalance.in_flight``) cannot perturb :meth:`snapshot`
+        equality.
+        """
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0
+
     def ops_per_second(self, op: Optional[str] = None) -> float:
         """Throughput in operations per *simulated* second (read-only)."""
         if self.clock.now <= 0:

@@ -319,10 +319,27 @@ class RebalanceOperation:
                 concurrent=True,
             )
 
+        # Per-move tracing feed: probed once per phase, so untraced runs pay
+        # one cached dict hit for the whole movement loop.
+        bus = getattr(self.cluster, "events", None)
+        trace_moves = bus is not None and bus.has_subscribers("rebalance.bucket_move")
+
         row_iter = iter(concurrent_rows)
         for move in moves:
             self.faults.fire("nc_fail_before_prepare")
-            mover.move_bucket(move)
+            if trace_moves:
+                loaded_before = mover.work.total_loaded_bytes
+                moved_records = mover.move_bucket(move)
+                self._emit(
+                    "rebalance.bucket_move",
+                    bucket=move.bucket.label,
+                    source=move.source_partition,
+                    destination=move.destination_partition,
+                    records=moved_records,
+                    payload_bytes=mover.work.total_loaded_bytes - loaded_before,
+                )
+            else:
+                mover.move_bucket(move)
             for _ in range(writes_per_move):
                 row = next(row_iter, None)
                 if row is None:

@@ -24,6 +24,7 @@ reproduces it bit for bit (``python -m repro replay``).
 from .loader import load_scenario, parse_scenario
 from .recording import (
     diff_snapshots,
+    diff_traces,
     load_recording,
     recording_payload,
     snapshot_from_recording,
@@ -43,6 +44,7 @@ from .spec import (
     ScenarioSpecError,
     SecondaryIndexSection,
     TPCHSection,
+    TraceSection,
     WorkloadPhaseSpec,
     WorkloadSection,
     parse_bytes,
@@ -63,9 +65,11 @@ __all__ = [
     "SecondaryIndexSection",
     "StepOutcome",
     "TPCHSection",
+    "TraceSection",
     "WorkloadPhaseSpec",
     "WorkloadSection",
     "diff_snapshots",
+    "diff_traces",
     "load_recording",
     "load_scenario",
     "parse_bytes",

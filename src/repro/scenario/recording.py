@@ -27,6 +27,7 @@ from .spec import ScenarioSpec, ScenarioSpecError
 
 __all__ = [
     "diff_snapshots",
+    "diff_traces",
     "load_recording",
     "recording_payload",
     "spec_from_recording",
@@ -39,7 +40,7 @@ RECORDING_VERSION = 1
 
 def recording_payload(result: ScenarioResult) -> Dict[str, Any]:
     """The JSON-serialisable recording for one finished run."""
-    return {
+    payload = {
         "version": RECORDING_VERSION,
         "scenario": result.spec.to_mapping(),
         "seed": result.seed,
@@ -53,6 +54,11 @@ def recording_payload(result: ScenarioResult) -> Dict[str, Any]:
         "describe": result.describe,
         "snapshot": json.loads(result.snapshot.to_json()),
     }
+    # Traced runs embed the span/series payload; its absence keeps older
+    # readers (and untraced recordings) working, so the version stays 1.
+    if result.trace is not None:
+        payload["trace"] = result.trace
+    return payload
 
 
 def write_recording(result: ScenarioResult, path: Union[str, Path]) -> str:
@@ -113,6 +119,54 @@ def diff_snapshots(recorded: MetricsSnapshot, replayed: MetricsSnapshot) -> List
     differences.extend(
         _diff_mapping("histograms", recorded.histograms, replayed.histograms)
     )
+    return differences
+
+
+def diff_traces(recorded: Any, replayed: Any) -> List[str]:
+    """Differences between two trace payloads (empty = identical).
+
+    Traces are compared through their canonical JSON form, so tuple/list
+    representation differences between a live payload and one round-tripped
+    through a recording file do not count as divergence.  ``None`` on both
+    sides (untraced runs) compares equal.
+    """
+    if recorded is None and replayed is None:
+        return []
+    if recorded is None or replayed is None:
+        missing = "recording" if recorded is None else "replay"
+        return [f"trace: missing from the {missing}"]
+    recorded = json.loads(json.dumps(recorded, sort_keys=True))
+    replayed = json.loads(json.dumps(replayed, sort_keys=True))
+    if recorded == replayed:
+        return []
+    differences = []
+    for key in ("version", "scenario", "seed", "interval_seconds"):
+        if recorded.get(key) != replayed.get(key):
+            differences.append(
+                f"trace.{key}: recorded {recorded.get(key)!r}, replayed {replayed.get(key)!r}"
+            )
+    recorded_spans = recorded.get("spans", [])
+    replayed_spans = replayed.get("spans", [])
+    if len(recorded_spans) != len(replayed_spans):
+        differences.append(
+            f"trace.spans: recorded {len(recorded_spans)} span(s), "
+            f"replayed {len(replayed_spans)}"
+        )
+    else:
+        for index, (left, right) in enumerate(zip(recorded_spans, replayed_spans, strict=True)):
+            if left != right:
+                differences.append(
+                    f"trace.spans[{index}]: recorded {_compact(left)}, replayed {_compact(right)}"
+                )
+    recorded_series = {series["name"]: series for series in recorded.get("series", [])}
+    replayed_series = {series["name"]: series for series in replayed.get("series", [])}
+    differences.extend(_diff_mapping("trace.series", recorded_series, replayed_series))
+    if recorded.get("heat") != replayed.get("heat"):
+        differences.append("trace.heat: per-bucket heat tables differ")
+    if not differences:
+        # Canonical forms differ but no category above caught it (e.g. an
+        # unknown key) — still report the divergence rather than hide it.
+        differences.append("trace: payloads differ")
     return differences
 
 

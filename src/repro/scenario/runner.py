@@ -66,6 +66,9 @@ class ScenarioResult:
     metrics_report: str = ""
     snapshot: Any = None  # MetricsSnapshot
     describe: Dict[str, Any] = field(default_factory=dict)
+    #: Trace payload (spans + timeline series) when the spec enabled a
+    #: ``[trace]`` section; ``None`` for untraced runs.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def passed(self) -> bool:
@@ -167,6 +170,12 @@ def run_scenario(
     )
     try:
         result.nodes_before = db.num_nodes
+
+        trace_session = None
+        if spec.trace is not None and spec.trace.enabled:
+            trace_session = db.start_trace(
+                sample_interval_seconds=spec.trace.sample_interval_seconds
+            )
 
         pilot = None
         if spec.autopilot is not None:
@@ -300,6 +309,11 @@ def run_scenario(
                     result.read_p99_seconds[phase] = reads.percentile(0.99)
         result.describe = db.describe()
         result.snapshot = db.metrics.snapshot()
+        if trace_session is not None:
+            # Close the trace *after* the snapshot so the session span's end
+            # matches the recorded simulated_seconds, then serialise it.
+            trace_session.finish()
+            result.trace = trace_session.to_payload(scenario=spec.name, seed=config.seed)
 
         _evaluate_checks(
             result,

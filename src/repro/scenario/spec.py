@@ -47,6 +47,7 @@ __all__ = [
     "ScenarioSpecError",
     "SecondaryIndexSection",
     "TPCHSection",
+    "TraceSection",
     "WorkloadPhaseSpec",
     "WorkloadSection",
     "parse_bytes",
@@ -712,6 +713,44 @@ class AutopilotSection:
         return mapping
 
 
+@dataclass(frozen=True)
+class TraceSection:
+    """``[trace]``: attach a tracing session (spans + timeline) to the run.
+
+    Presence of the section enables tracing (``enabled = false`` keeps the
+    section but turns it off, e.g. for A/B-ing overhead); the resulting
+    span tree and sampled series embed into the run's recording and join
+    ``replay``'s determinism diff.
+    """
+
+    enabled: bool = True
+    #: Simulated seconds between timeline gauge samples.
+    sample_interval_seconds: float = 0.25
+
+    _KEYS = ("enabled", "sample_interval_seconds")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any], where: str = "trace") -> "TraceSection":
+        _check_keys(mapping, where, cls._KEYS)
+        section = cls(
+            enabled=_get_typed(mapping, "enabled", bool, where, True),
+            sample_interval_seconds=float(
+                _get_typed(mapping, "sample_interval_seconds", (int, float), where, 0.25)
+            ),
+        )
+        if section.sample_interval_seconds <= 0:
+            raise ScenarioSpecError(f"{where}.sample_interval_seconds: must be positive")
+        return section
+
+    def to_mapping(self) -> Dict[str, Any]:
+        # ``enabled`` is always emitted: the section's presence is what turns
+        # tracing on, so an all-defaults section must survive the round trip.
+        mapping: Dict[str, Any] = {"enabled": self.enabled}
+        if self.sample_interval_seconds != TraceSection().sample_interval_seconds:
+            mapping["sample_interval_seconds"] = self.sample_interval_seconds
+        return mapping
+
+
 # ---------------------------------------------------------------------------
 # steps
 # ---------------------------------------------------------------------------
@@ -904,6 +943,7 @@ _TOP_LEVEL_KEYS = (
     "tpch",
     "workload",
     "autopilot",
+    "trace",
     "steps",
     "checks",
 )
@@ -920,6 +960,7 @@ class ScenarioSpec:
     tpch: Optional[TPCHSection] = None
     workload: Optional[WorkloadSection] = None
     autopilot: Optional[AutopilotSection] = None
+    trace: Optional[TraceSection] = None
     steps: Tuple[Step, ...] = ()
     checks: ChecksSection = field(default_factory=ChecksSection)
 
@@ -978,6 +1019,9 @@ class ScenarioSpec:
                 _require_mapping(mapping["autopilot"], "autopilot")
             )
             if "autopilot" in mapping
+            else None,
+            trace=TraceSection.from_mapping(_require_mapping(mapping["trace"], "trace"))
+            if "trace" in mapping
             else None,
             steps=steps,
             checks=ChecksSection.from_mapping(_require_mapping(mapping.get("checks", {}), "checks")),
@@ -1077,6 +1121,8 @@ class ScenarioSpec:
             mapping["workload"] = self.workload.to_mapping()
         if self.autopilot is not None:
             mapping["autopilot"] = self.autopilot.to_mapping()
+        if self.trace is not None:
+            mapping["trace"] = self.trace.to_mapping()
         if self.steps:
             mapping["steps"] = [step.to_mapping() for step in self.steps]
         checks = self.checks.to_mapping()

@@ -1,0 +1,47 @@
+"""Simulated-time tracing: spans, timeline gauges, and Perfetto export.
+
+The observability layer of the reproduction.  A run traced with
+:meth:`Database.start_trace` (or a scenario's ``[trace]`` section) produces:
+
+* a **span tree** on the simulated clock — session, workload phases, op
+  batches, rebalance protocol phases down to per-bucket moves, and the
+  autopilot decisions that triggered them (:mod:`repro.trace.spans`),
+* **columnar time-series** sampled on a simulated-time grid — per-node
+  bytes, per-bucket read/write heat, in-flight rebalance progress, rolling
+  write p99 (:mod:`repro.trace.timeline`),
+* a **Chrome trace-event JSON** export loadable in Perfetto /
+  ``chrome://tracing``, plus terminal renderings
+  (:mod:`repro.trace.export`).
+
+Tracing is strictly opt-in: with no session attached the hot paths pay one
+cached ``has_subscribers`` probe (or one ``is None`` check for the heat
+hook) and emit nothing, so traced and untraced runs produce identical
+:class:`~repro.metrics.MetricsSnapshot` documents — and the trace itself is
+deterministic, byte-identical across runs and hash seeds.
+
+See ``docs/OBSERVABILITY.md`` for the span model and Perfetto workflow.
+"""
+
+from .export import (
+    chrome_trace_json,
+    chrome_trace_payload,
+    render_gantt,
+    render_span_tree,
+)
+from .session import TRACE_PAYLOAD_VERSION, TraceSession
+from .spans import Span, Tracer
+from .timeline import BucketHeat, TimelineRecorder, TimeSeries
+
+__all__ = [
+    "BucketHeat",
+    "Span",
+    "TRACE_PAYLOAD_VERSION",
+    "TimeSeries",
+    "TimelineRecorder",
+    "TraceSession",
+    "Tracer",
+    "chrome_trace_json",
+    "chrome_trace_payload",
+    "render_gantt",
+    "render_span_tree",
+]

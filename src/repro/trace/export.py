@@ -1,0 +1,203 @@
+"""Trace export: Chrome trace-event JSON and terminal renderings.
+
+The exchange format for a traced run is a plain JSON-safe mapping (the
+*trace payload*, built by :meth:`TraceSession.to_payload`) so recordings can
+embed it and the CLI can re-render it without re-running anything.  This
+module turns that payload into:
+
+* **Chrome trace-event JSON** — the ``{"traceEvents": [...]}`` document
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load directly.
+  Spans become ``"ph": "X"`` complete events (timestamps in microseconds of
+  simulated time), zero-duration marks become ``"ph": "i"`` instants, span
+  categories map to named threads so workload, ops, rebalance, and autopilot
+  activity sit on parallel tracks, and every time-series becomes a
+  ``"ph": "C"`` counter track.  Serialization sorts keys and keeps event
+  order stable, so the same run produces byte-identical output — trace files
+  join the determinism gate.
+* **Terminal views** — an indented span tree and a phase Gantt chart for
+  ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "chrome_trace_json",
+    "chrome_trace_payload",
+    "render_gantt",
+    "render_span_tree",
+]
+
+#: Category -> Perfetto thread id (tracks appear in this order).
+_CATEGORY_TIDS = {
+    "session": 0,
+    "workload": 1,
+    "ops": 2,
+    "rebalance": 3,
+    "autopilot": 4,
+}
+_OTHER_TID = 5
+
+_SECONDS_TO_MICROS = 1_000_000.0
+
+
+def chrome_trace_payload(trace: Mapping[str, Any]) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for one trace payload."""
+    events: List[Dict[str, Any]] = [
+        {
+            "args": {"name": "repro simulated cluster"},
+            "cat": "__metadata",
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+        }
+    ]
+    for category, tid in sorted(_CATEGORY_TIDS.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "args": {"name": category},
+                "cat": "__metadata",
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "ts": 0,
+            }
+        )
+    for span in trace.get("spans", []):
+        args = dict(span.get("attrs", {}))
+        args["span_id"] = span["id"]
+        if span.get("parent") is not None:
+            args["parent_id"] = span["parent"]
+        event: Dict[str, Any] = {
+            "args": args,
+            "cat": span["cat"],
+            "name": span["name"],
+            "pid": 0,
+            "tid": _CATEGORY_TIDS.get(span["cat"], _OTHER_TID),
+            "ts": span["start"] * _SECONDS_TO_MICROS,
+        }
+        if span["dur"] > 0:
+            event["ph"] = "X"
+            event["dur"] = span["dur"] * _SECONDS_TO_MICROS
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+    for series in trace.get("series", []):
+        name = series["name"]
+        for t, value in zip(series["times"], series["values"], strict=True):
+            events.append(
+                {
+                    "args": {"value": value},
+                    "name": name,
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": t * _SECONDS_TO_MICROS,
+                }
+            )
+    other_data: Dict[str, Any] = {"clock": "simulated"}
+    if trace.get("scenario") is not None:
+        other_data["scenario"] = trace["scenario"]
+    if trace.get("seed") is not None:
+        other_data["seed"] = trace["seed"]
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": other_data,
+        "traceEvents": events,
+    }
+
+
+def chrome_trace_json(trace: Mapping[str, Any]) -> str:
+    """The Chrome trace document as deterministic (byte-stable) JSON."""
+    return json.dumps(chrome_trace_payload(trace), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# ------------------------------------------------------------------ terminal
+
+
+def _span_forest(
+    trace: Mapping[str, Any],
+) -> Tuple[List[Dict[str, Any]], Dict[Optional[int], List[Dict[str, Any]]]]:
+    """Roots and a parent-id -> children index, both in recorded order."""
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in trace.get("spans", []):
+        children.setdefault(span.get("parent"), []).append(span)
+    return children.get(None, []), children
+
+
+def _attr_summary(span: Mapping[str, Any], limit: int = 4) -> str:
+    parts = []
+    for key in sorted(span.get("attrs", {})):
+        parts.append(f"{key}={span['attrs'][key]}")
+        if len(parts) >= limit:
+            break
+    return "  ".join(parts)
+
+
+def render_span_tree(trace: Mapping[str, Any]) -> str:
+    """An indented text rendering of the span tree."""
+    roots, children = _span_forest(trace)
+    lines: List[str] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        indent = "  " * depth
+        label = f"{indent}{span['name']}"
+        timing = f"{span['start']:>9.4f}s  +{span['dur']:.4f}s"
+        summary = _attr_summary(span)
+        lines.append(f"{label:<44} {timing}" + (f"  {summary}" if summary else ""))
+        for child in children.get(span["id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    if not lines:
+        return "(no spans)"
+    return "\n".join(lines)
+
+
+def render_gantt(trace: Mapping[str, Any], width: int = 64, max_rows: int = 40) -> str:
+    """A fixed-width Gantt of the phases and protocol spans.
+
+    Rows are the structural spans — workload phases, autopilot brackets, and
+    the rebalance protocol down to its per-dataset phases — so overlap
+    between traffic and resizes is visible at a glance without one row per
+    op batch.
+    """
+    roots, children = _span_forest(trace)
+    rows: List[Dict[str, Any]] = []
+
+    def collect(span: Dict[str, Any], depth: int) -> None:
+        structural = depth == 1 or span["cat"] in ("rebalance", "autopilot")
+        if structural and depth <= 3 and span["dur"] > 0:
+            rows.append(span)
+        for child in children.get(span["id"], []):
+            collect(child, depth + 1)
+
+    for root in roots:
+        collect(root, 0)
+    if not rows:
+        return "(no phase spans)"
+    t0 = min(span["start"] for span in rows)
+    t1 = max(span["start"] + span["dur"] for span in rows)
+    window = max(t1 - t0, 1e-12)
+    scale = width / window
+    lines = [f"{'':<28} {t0:.3f}s{'':{max(0, width - 14)}}{t1:.3f}s"]
+    hidden = 0
+    for span in rows:
+        if len(lines) > max_rows:
+            hidden += 1
+            continue
+        offset = int((span["start"] - t0) * scale)
+        length = max(1, int(round(span["dur"] * scale)))
+        length = min(length, width - offset) or 1
+        name = span["name"][:28]
+        bar = " " * offset + "█" * length
+        lines.append(f"{name:<28} |{bar:<{width}}|")
+    if hidden:
+        lines.append(f"… +{hidden} more rows")
+    return "\n".join(lines)

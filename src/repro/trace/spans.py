@@ -1,0 +1,543 @@
+"""Spans: the hierarchical simulated-time skeleton of a traced run.
+
+A :class:`Tracer` subscribes to the session's event bus and turns the event
+stream into a tree of :class:`Span` values on the *simulated* clock — the
+same clock the metrics registry advances, so spans line up with every latency
+sample the run recorded.  The tree nests the way the run nests:
+
+* ``session`` → one ``workload/<phase>`` span per driver schedule phase →
+  one ``ops/<verb>`` span per op batch (the batched pipeline's ``op.batch``
+  events map one-to-one; the per-op pipeline's single-op events are
+  aggregated into maximal same-verb runs, which is deterministic because the
+  event stream is),
+* ``rebalance`` → one ``rebalance/<dataset>`` span per dataset operation →
+  one span per protocol phase → one ``move/<bucket>`` span per shipped
+  bucket, plus zero-duration marks for commit/abort,
+* ``autopilot/rebalance`` brackets a policy-triggered resize, and every
+  evaluation/decision appears as a zero-duration mark carrying the policy
+  verdict.
+
+Because the simulator is run-to-completion (the clock only advances when the
+cost model charges time), span timing is *reconstructed from event payloads*
+rather than measured around callbacks: an op span ends at the clock reading
+its event was observed at and starts one latency earlier; a rebalance phase
+span's duration is the ``seconds`` its ``rebalance.phase`` event reports,
+laid out sequentially from the dataset span's start; bucket moves are laid
+out inside the data-movement phase proportional to their payload bytes.
+Everything is derived from deterministic values, so the span list is
+bit-identical across runs and hash seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..common.events import Event, Subscription
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.database import Database
+
+__all__ = ["Span", "Tracer"]
+
+#: Span categories, doubling as Perfetto track assignments (see export).
+CATEGORY_SESSION = "session"
+CATEGORY_WORKLOAD = "workload"
+CATEGORY_OPS = "ops"
+CATEGORY_REBALANCE = "rebalance"
+CATEGORY_AUTOPILOT = "autopilot"
+
+
+@dataclass
+class Span:
+    """One node of the span tree: a named simulated-time interval."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    #: Simulated seconds; zero-duration spans are instant marks.
+    start: float
+    duration: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-safe form embedded into recordings and trace files."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start,
+            "dur": self.duration,
+            "attrs": dict(self.attributes),
+        }
+
+
+@dataclass
+class _DatasetRebalanceState:
+    """Per-dataset cursor state while its protocol operation is in flight."""
+
+    span: Span
+    #: Where the next phase span begins (accumulated phase seconds).
+    cursor: float
+    #: Buffered ``rebalance.bucket_move`` payloads awaiting their phase span.
+    pending_moves: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class _OpRun:
+    """An in-progress aggregation of consecutive same-verb op samples."""
+
+    __slots__ = ("op", "dataset", "concurrent", "parent_id", "start", "end", "count", "records")
+
+    def __init__(
+        self,
+        op: str,
+        dataset: Optional[str],
+        concurrent: bool,
+        parent_id: Optional[int],
+        start: float,
+        end: float,
+        records: int,
+    ) -> None:
+        self.op = op
+        self.dataset = dataset
+        self.concurrent = concurrent
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.count = 1
+        self.records = records
+
+    def matches(self, op: str, dataset: Optional[str], concurrent: bool) -> bool:
+        return self.op == op and self.dataset == dataset and self.concurrent == concurrent
+
+
+class Tracer:
+    """Builds the span tree of one session by listening to its event bus."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._subscriptions: List[Subscription] = []
+        self._next_id = 0
+        self._run: Optional[_OpRun] = None
+        self._datasets: Dict[str, _DatasetRebalanceState] = {}
+        self._attached = False
+        self._finished = False
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach(self) -> "Tracer":
+        """Subscribe to the bus and open the root ``session`` span."""
+        if self._attached:
+            return self
+        self._attached = True
+        root = self._open("session", CATEGORY_SESSION, self._now())
+        root.attributes["nodes"] = self.db.num_nodes
+        handlers = (
+            ("trace.phase.start", self._on_phase_start),
+            ("trace.phase.end", self._on_phase_end),
+            ("trace.autopilot.evaluate", self._on_autopilot_evaluate),
+            ("op.read", self._on_op),
+            ("op.insert", self._on_op),
+            ("op.update", self._on_op),
+            ("op.delete", self._on_op),
+            ("op.scan", self._on_op),
+            ("op.query", self._on_op),
+            ("op.batch", self._on_op_batch),
+            ("rebalance.start", self._on_rebalance_start),
+            ("rebalance.dataset.start", self._on_dataset_start),
+            ("rebalance.bucket_move", self._on_bucket_move),
+            ("rebalance.phase", self._on_rebalance_phase),
+            ("rebalance.commit", self._on_commit),
+            ("rebalance.abort", self._on_abort),
+            ("rebalance.dataset.complete", self._on_dataset_complete),
+            ("rebalance.complete", self._on_rebalance_complete),
+            ("rebalance.error", self._on_rebalance_error),
+            ("recovery.complete", self._on_recovery),
+            ("autopilot.decision", self._on_autopilot_decision),
+            ("autopilot.rebalance.start", self._on_autopilot_rebalance_start),
+            ("autopilot.rebalance.complete", self._on_autopilot_rebalance_complete),
+            ("database.close", self._on_database_close),
+        )
+        events = self.db.events
+        for pattern, handler in handlers:
+            self._subscriptions.append(events.on(pattern, handler))
+        return self
+
+    def finish(self) -> List[Span]:
+        """Close every open span at the current clock and unsubscribe."""
+        if self._finished:
+            return self.spans
+        self._finished = True
+        self._flush_run()
+        now = self._now()
+        while self._stack:
+            span = self._stack.pop()
+            span.duration = max(0.0, now - span.start)
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions = []
+        return self.spans
+
+    def to_payload(self) -> List[Dict[str, Any]]:
+        return [span.to_payload() for span in self.spans]
+
+    # --------------------------------------------------------------- plumbing
+
+    def _now(self) -> float:
+        return self.db.metrics.clock.now
+
+    def _open(self, name: str, category: str, start: float) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            start=start,
+            duration=0.0,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span, duration: float) -> None:
+        span.duration = max(0.0, duration)
+        # Pop to (and including) the span; tolerates a missing matching open.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+            popped.duration = max(0.0, span.start + span.duration - popped.start)
+
+    def _top(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def _leaf(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        attributes: Dict[str, Any],
+        parent_id: Optional[int] = None,
+    ) -> Span:
+        """Record a closed span without touching the open-span stack."""
+        if parent_id is None:
+            top = self._top()
+            parent_id = top.span_id if top is not None else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            start=start,
+            duration=max(0.0, duration),
+            attributes=attributes,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def _flush_run(self) -> None:
+        run = self._run
+        if run is None:
+            return
+        self._run = None
+        attributes: Dict[str, Any] = {"count": run.count, "records": run.records}
+        if run.dataset is not None:
+            attributes["dataset"] = run.dataset
+        if run.concurrent:
+            attributes["concurrent"] = True
+        self._leaf(
+            f"ops/{run.op}",
+            CATEGORY_OPS,
+            run.start,
+            run.end - run.start,
+            attributes,
+            parent_id=run.parent_id,
+        )
+
+    # ------------------------------------------------------------- op samples
+
+    def _on_op(self, event: Event) -> None:
+        # event name is "op.<verb>"; by the time this handler runs the
+        # metrics registry (always subscribed first) has advanced the clock
+        # past this sample's latency.
+        op = event.name[3:]
+        latency = float(event["latency_seconds"])
+        records = int(event.get("records", 1))
+        dataset = event.get("dataset")
+        concurrent = bool(event.get("concurrent", False))
+        end = self._now()
+        run = self._run
+        if run is not None and run.matches(op, dataset, concurrent):
+            run.end = end
+            run.count += 1
+            run.records += records
+            return
+        self._flush_run()
+        top = self._top()
+        self._run = _OpRun(
+            op=op,
+            dataset=dataset,
+            concurrent=concurrent,
+            parent_id=top.span_id if top is not None else None,
+            start=max(0.0, end - latency),
+            end=end,
+            records=records,
+        )
+
+    def _on_op_batch(self, event: Event) -> None:
+        self._flush_run()
+        latencies = event["latencies"]
+        total = 0.0
+        for value in latencies:
+            total += value
+        end = self._now()
+        self._leaf(
+            f"ops/{event['op']}",
+            CATEGORY_OPS,
+            max(0.0, end - total),
+            total,
+            {
+                "count": int(event["count"]),
+                "records": int(event["count"]) * int(event["records_per_op"]),
+                "dataset": event["dataset"],
+                "batched": True,
+            },
+        )
+
+    # -------------------------------------------------------- workload phases
+
+    def _on_phase_start(self, event: Event) -> None:
+        self._flush_run()
+        span = self._open(f"workload/{event['phase']}", CATEGORY_WORKLOAD, self._now())
+        planned = event.get("ops")
+        if planned is not None:
+            span.attributes["planned_ops"] = int(planned)
+
+    def _on_phase_end(self, event: Event) -> None:
+        self._flush_run()
+        name = f"workload/{event['phase']}"
+        span = self._find_open(name)
+        if span is None:
+            return
+        ops = event.get("ops")
+        if ops is not None:
+            span.attributes["ops"] = int(ops)
+        self._close(span, self._now() - span.start)
+
+    def _find_open(self, name: str) -> Optional[Span]:
+        for span in reversed(self._stack):
+            if span.name == name:
+                return span
+        return None
+
+    # ----------------------------------------------------------- rebalancing
+
+    def _on_rebalance_start(self, event: Event) -> None:
+        self._flush_run()
+        span = self._open("rebalance", CATEGORY_REBALANCE, self._now())
+        span.attributes.update(
+            strategy=event["strategy"],
+            old_nodes=int(event["old_nodes"]),
+            target_nodes=int(event["target_nodes"]),
+        )
+
+    def _on_dataset_start(self, event: Event) -> None:
+        self._flush_run()
+        dataset = event["dataset"]
+        span = self._open(f"rebalance/{dataset}", CATEGORY_REBALANCE, self._now())
+        span.attributes.update(dataset=dataset, rebalance_id=int(event["rebalance_id"]))
+        self._datasets[dataset] = _DatasetRebalanceState(span=span, cursor=span.start)
+
+    def _on_bucket_move(self, event: Event) -> None:
+        state = self._datasets.get(event["dataset"])
+        if state is not None:
+            state.pending_moves.append(dict(event.payload))
+
+    def _on_rebalance_phase(self, event: Event) -> None:
+        self._flush_run()
+        state = self._datasets.get(event["dataset"])
+        if state is None:
+            return
+        seconds = float(event["seconds"])
+        phase = event["phase"]
+        span = self._leaf(
+            f"phase/{phase}",
+            CATEGORY_REBALANCE,
+            state.cursor,
+            seconds,
+            {"phase": phase, "dataset": event["dataset"]},
+            parent_id=state.span.span_id,
+        )
+        if phase == "data_movement" and state.pending_moves:
+            self._layout_moves(state.pending_moves, span)
+            state.pending_moves = []
+        state.cursor += seconds
+
+    def _layout_moves(self, moves: List[Dict[str, Any]], phase_span: Span) -> None:
+        """Lay buffered bucket moves across the data-movement phase span.
+
+        Move events carry no timing of their own (the whole phase is charged
+        as one block of simulated work), so each move gets a slice of the
+        phase proportional to its payload bytes — a faithful picture of
+        where the phase's time went, and deterministic because the move
+        order and byte counts are.
+        """
+        weights = [max(0, int(move.get("payload_bytes", 0))) for move in moves]
+        total = sum(weights)
+        if total <= 0:
+            weights = [1] * len(moves)
+            total = len(moves)
+        cursor = phase_span.start
+        for move, weight in zip(moves, weights, strict=True):
+            duration = phase_span.duration * (weight / total)
+            attributes: Dict[str, Any] = {
+                "bucket": move["bucket"],
+                "source": move["source"],
+                "destination": move["destination"],
+            }
+            if "records" in move:
+                attributes["records"] = int(move["records"])
+            if "payload_bytes" in move:
+                attributes["payload_bytes"] = int(move["payload_bytes"])
+            self._leaf(
+                f"move/{move['bucket']}",
+                CATEGORY_REBALANCE,
+                cursor,
+                duration,
+                attributes,
+                parent_id=phase_span.span_id,
+            )
+            cursor += duration
+
+    def _on_commit(self, event: Event) -> None:
+        state = self._datasets.get(event["dataset"])
+        if state is None:
+            return
+        self._leaf(
+            "commit",
+            CATEGORY_REBALANCE,
+            state.cursor,
+            0.0,
+            {"buckets_moved": int(event["buckets_moved"])},
+            parent_id=state.span.span_id,
+        )
+
+    def _on_abort(self, event: Event) -> None:
+        state = self._datasets.get(event["dataset"])
+        if state is None:
+            return
+        self._leaf(
+            "abort",
+            CATEGORY_REBALANCE,
+            state.cursor,
+            0.0,
+            {"reason": str(event["reason"])},
+            parent_id=state.span.span_id,
+        )
+
+    def _on_dataset_complete(self, event: Event) -> None:
+        self._flush_run()
+        state = self._datasets.pop(event["dataset"], None)
+        if state is None:
+            return
+        state.span.attributes["committed"] = bool(event["committed"])
+        report = event.get("report")
+        records_moved = getattr(report, "records_moved", None)
+        if records_moved is not None:
+            state.span.attributes["records_moved"] = int(records_moved)
+        self._close(state.span, state.cursor - state.span.start)
+
+    def _on_rebalance_complete(self, event: Event) -> None:
+        self._flush_run()
+        span = self._find_open("rebalance")
+        if span is None:
+            return
+        span.attributes["new_nodes"] = int(event["new_nodes"])
+        span.attributes["committed"] = bool(event["committed"])
+        report = event.get("report")
+        seconds = getattr(report, "simulated_seconds", None)
+        bytes_shipped = getattr(report, "bytes_shipped", None)
+        if bytes_shipped is not None:
+            span.attributes["bytes_shipped"] = int(bytes_shipped)
+        duration = float(seconds) if seconds is not None else self._now() - span.start
+        self._close(span, duration)
+
+    def _on_rebalance_error(self, event: Event) -> None:
+        self._flush_run()
+        # Abandon any per-dataset state from the failed operation.
+        self._datasets.clear()
+        span = self._find_open("rebalance")
+        if span is None:
+            return
+        span.attributes["error"] = str(event["error"])
+        self._close(span, self._now() - span.start)
+
+    def _on_recovery(self, event: Event) -> None:
+        self._flush_run()
+        self._leaf(
+            "recovery",
+            CATEGORY_REBALANCE,
+            self._now(),
+            0.0,
+            {"outcomes": len(event["outcomes"])},
+        )
+
+    # -------------------------------------------------------------- autopilot
+
+    def _on_autopilot_evaluate(self, event: Event) -> None:
+        self._flush_run()
+        attributes = {"policy": event["policy"], "action": event["action"]}
+        reason = event.get("reason")
+        if reason:
+            attributes["reason"] = str(reason)
+        self._leaf("autopilot/evaluate", CATEGORY_AUTOPILOT, self._now(), 0.0, attributes)
+
+    def _on_autopilot_decision(self, event: Event) -> None:
+        self._flush_run()
+        self._leaf(
+            "autopilot/decision",
+            CATEGORY_AUTOPILOT,
+            self._now(),
+            0.0,
+            {
+                "policy": event["policy"],
+                "action": event["action"],
+                "target_nodes": int(event["target_nodes"]),
+                "reason": str(event["reason"]),
+                "outcome": event["outcome"],
+            },
+        )
+
+    def _on_autopilot_rebalance_start(self, event: Event) -> None:
+        self._flush_run()
+        span = self._open("autopilot/rebalance", CATEGORY_AUTOPILOT, self._now())
+        span.attributes.update(
+            action=event["action"],
+            target_nodes=int(event["target_nodes"]),
+            reason=str(event["reason"]),
+        )
+
+    def _on_autopilot_rebalance_complete(self, event: Event) -> None:
+        self._flush_run()
+        span = self._find_open("autopilot/rebalance")
+        if span is None:
+            return
+        span.attributes["new_nodes"] = int(event["new_nodes"])
+        span.attributes["committed"] = bool(event["committed"])
+        self._close(span, self._now() - span.start)
+
+    # ---------------------------------------------------------------- session
+
+    def _on_database_close(self, event: Event) -> None:
+        self.finish()

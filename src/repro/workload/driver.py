@@ -346,7 +346,12 @@ class WorkloadDriver:
         pilot = getattr(self.db, "autopilot_engine", None)
         decisions_before = len(pilot.decisions) if pilot is not None else 0
         rebalances_before = pilot.rebalances_triggered if pilot is not None else 0
+        events = self.db.events
         for phase in schedule:
+            # Tracing hook points: bracket the phase for the span tree. The
+            # probe is a cached dict hit, so untraced runs skip the payload.
+            if events.has_subscribers("trace.phase.start"):
+                events.emit("trace.phase.start", phase=phase.name, ops=phase.ops)
             started = self.metrics.clock.now
             if phase.rebalance is not None:
                 result = self._run_rebalance_phase(phase)
@@ -354,6 +359,13 @@ class WorkloadDriver:
                 result = self._run_traffic_phase(phase)
             result.simulated_seconds = self.metrics.clock.now - started
             report.phases.append(result)
+            if events.has_subscribers("trace.phase.end"):
+                events.emit(
+                    "trace.phase.end",
+                    phase=phase.name,
+                    ops=result.ops,
+                    seconds=result.simulated_seconds,
+                )
         self._flush_inserts()
         report.total_ops = sum(result.ops for result in report.phases)
         report.simulated_seconds = self.metrics.clock.now - run_started

@@ -1,0 +1,132 @@
+"""The ``trace`` subcommand, ``inspect --format json``, and replay trace diffs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+TRACED_SPEC = """\
+[scenario]
+name = "cli-traced"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+seed = 21
+
+[trace]
+
+[workload]
+dataset = "t"
+initial_records = 100
+
+[[workload.phases]]
+name = "steady"
+ops = 50
+
+[[steps]]
+kind = "rebalance"
+add = 1
+"""
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "traced.toml"
+    path.write_text(TRACED_SPEC)
+    return path
+
+
+@pytest.fixture
+def recording_path(tmp_path, spec_path):
+    path = tmp_path / "rec.json"
+    assert main(["run", str(spec_path), "--record", str(path), "-q"]) == 0
+    return path
+
+
+class TestTraceSubcommand:
+    def test_trace_from_recording(self, recording_path, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", str(recording_path), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "span tree:" in stdout
+        assert "timeline:" in stdout
+        assert "session" in stdout
+        assert "ui.perfetto.dev" in stdout
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        assert document["otherData"]["scenario"] == "cli-traced"
+
+    def test_trace_from_spec_forces_tracing_on(self, tmp_path, capsys):
+        untraced = tmp_path / "untraced.toml"
+        untraced.write_text(TRACED_SPEC.replace("[trace]\n", ""))
+        out = tmp_path / "chrome.json"
+        assert main(["trace", str(untraced), "-q", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "tracing enabled" in stdout
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_recording_without_trace_errors_with_hint(self, tmp_path, capsys):
+        untraced = tmp_path / "untraced.toml"
+        untraced.write_text(TRACED_SPEC.replace("[trace]\n", ""))
+        recording = tmp_path / "untraced_rec.json"
+        assert main(["run", str(untraced), "--record", str(recording), "-q"]) == 0
+        assert main(["trace", str(recording)]) == 2
+        err = capsys.readouterr().err
+        assert "no embedded trace" in err
+        assert "[trace]" in err
+
+    def test_missing_source_exits_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.toml")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_limit_truncates_the_tree(self, recording_path, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", str(recording_path), "--limit", "2", "--out", str(out)]) == 0
+        assert "more span(s)" in capsys.readouterr().out
+
+    def test_default_out_lands_in_cwd(self, recording_path, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", str(recording_path), "-q"]) == 0
+        assert (tmp_path / "rec.trace.json").exists()
+
+
+class TestInspectJson:
+    def test_json_format_is_a_machine_readable_summary(self, recording_path, capsys):
+        assert main(["inspect", str(recording_path), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scenario"] == "cli-traced"
+        assert document["seed"] == 21
+        assert document["nodes"] == {"before": 3, "after": 4}
+        assert document["counters"]["ops.total"] == 50
+        assert "read[steady]" in document["histograms"]
+        assert document["trace"]["spans"] > 0
+        assert "rebalance.in_flight" in document["trace"]["series"]
+
+    def test_json_counters_flag_expands_the_set(self, recording_path, capsys):
+        assert main(["inspect", str(recording_path), "--format", "json", "--counters"]) == 0
+        full = json.loads(capsys.readouterr().out)
+        assert main(["inspect", str(recording_path), "--format", "json"]) == 0
+        headline = json.loads(capsys.readouterr().out)
+        assert set(headline["counters"]) <= set(full["counters"])
+        assert len(full["counters"]) > len(headline["counters"])
+
+    def test_plain_format_mentions_the_trace(self, recording_path, capsys):
+        assert main(["inspect", str(recording_path)]) == 0
+        assert "trace:" in capsys.readouterr().out
+
+
+class TestReplayTraceDiff:
+    def test_replay_reports_trace_identity(self, recording_path, capsys):
+        assert main(["replay", str(recording_path)]) == 0
+        assert "snapshot and trace identical" in capsys.readouterr().out
+
+    def test_tampered_trace_diverges(self, recording_path, capsys):
+        document = json.loads(recording_path.read_text())
+        document["trace"]["spans"][0]["dur"] += 1.0
+        recording_path.write_text(json.dumps(document))
+        assert main(["replay", str(recording_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "trace.spans[0]" in out

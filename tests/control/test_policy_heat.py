@@ -1,0 +1,134 @@
+"""ThresholdPolicy's hot-bucket trigger reading the observation heat counters.
+
+The per-bucket heat tables on :class:`ClusterObservation` are populated only
+while a tracing session's :class:`~repro.trace.TimelineRecorder` has its
+heat tracker installed on the cluster — these tests pin both halves: the
+observation surfaces real heat from a traced session, and the policy turns
+it into a retarget decision (and stays inert untraced / unconfigured).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import BucketingConfig, ClusterConfig, Database, KIB, LSMConfig
+from repro.common.errors import ConfigError
+from repro.control import (
+    ACTION_NONE,
+    ACTION_RETARGET,
+    ClusterObservation,
+    ThresholdPolicy,
+    resolve_policy,
+)
+from repro.trace import TimelineRecorder
+
+
+def config(num_nodes=3):
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
+        strategy="dynahash",
+    )
+
+
+def rows(count, start=0):
+    return [{"k": key, "payload": "x" * 64} for key in range(start, start + count)]
+
+
+class StubPlanner:
+    """A planner whose projection always (or never) moves buckets."""
+
+    def __init__(self, buckets_moved=1):
+        self.buckets_moved = buckets_moved
+
+    def project(self, target_nodes):
+        class _Projection:
+            pass
+
+        projection = _Projection()
+        projection.buckets_moved = self.buckets_moved
+        return projection
+
+
+class TestObservationHeat:
+    def test_untraced_capture_reports_no_heat(self):
+        with Database(config()) as db:
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(100))
+            observation = ClusterObservation.capture(db)
+        assert observation.bucket_read_heat == ()
+        assert observation.bucket_write_heat == ()
+        assert observation.max_bucket_heat() == 0
+
+    def test_traced_capture_surfaces_real_heat(self):
+        with Database(config()) as db:
+            recorder = TimelineRecorder(db).attach()
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(100))
+            for _ in range(200):
+                dataset.get(1)  # hammer one key -> one hot bucket
+            observation = ClusterObservation.capture(db)
+            recorder.finish()
+        assert observation.bucket_write_heat != ()
+        assert observation.max_bucket_heat() >= 200
+        hottest = max(
+            count for _, _, count in observation.bucket_read_heat
+        )
+        assert hottest >= 200
+
+    def test_max_bucket_heat_combines_reads_and_writes(self):
+        with Database(config()) as db:
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(10))
+            observation = ClusterObservation.capture(db)
+        combined = replace(
+            observation,
+            bucket_read_heat=(("t", "0", 30), ("t", "1", 5)),
+            bucket_write_heat=(("t", "0", 12), ("t", "2", 50)),
+        )
+        assert combined.max_bucket_heat() == 50  # bucket "2" writes alone
+        assert (
+            replace(combined, bucket_write_heat=(("t", "0", 12),)).max_bucket_heat() == 42
+        )  # bucket "0" reads + writes
+
+
+class TestHotBucketTrigger:
+    @pytest.fixture
+    def hot_observation(self):
+        with Database(config()) as db:
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(200))
+            observation = ClusterObservation.capture(db)
+        return replace(observation, bucket_read_heat=(("t", "010", 500),))
+
+    def test_hot_bucket_retargets(self, hot_observation):
+        policy = ThresholdPolicy(hot_bucket_ops=100)
+        decision = policy.decide(hot_observation, StubPlanner(buckets_moved=2))
+        assert decision.action == ACTION_RETARGET
+        assert decision.target_nodes == hot_observation.num_nodes
+        assert "hot bucket" in decision.reason
+
+    def test_no_move_projection_stays_quiet(self, hot_observation):
+        policy = ThresholdPolicy(hot_bucket_ops=100)
+        decision = policy.decide(hot_observation, StubPlanner(buckets_moved=0))
+        assert decision.action == ACTION_NONE
+
+    def test_threshold_not_exceeded_stays_quiet(self, hot_observation):
+        policy = ThresholdPolicy(hot_bucket_ops=500)  # heat == 500, need >
+        decision = policy.decide(hot_observation, StubPlanner())
+        assert decision.action == ACTION_NONE
+
+    def test_disabled_by_default(self, hot_observation):
+        decision = ThresholdPolicy().decide(hot_observation, StubPlanner())
+        assert decision.action == ACTION_NONE
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ThresholdPolicy(hot_bucket_ops=0)
+
+    def test_resolves_through_the_registry(self):
+        policy = resolve_policy("threshold", hot_bucket_ops=25)
+        assert isinstance(policy, ThresholdPolicy)
+        assert policy.hot_bucket_ops == 25

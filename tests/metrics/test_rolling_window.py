@@ -1,0 +1,79 @@
+"""Rolling-window deltas over cumulative histograms (`LatencyHistogram.since`).
+
+The timeline recorder's ``write.p99.rolling`` gauge is built on these
+semantics: snapshot the cumulative histogram each sample, and the delta
+between consecutive snapshots is exactly the samples of that window.
+"""
+
+import pytest
+
+from repro.metrics.histogram import LatencyHistogram
+
+
+class TestSince:
+    def test_none_snapshot_returns_everything(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001, count=10)
+        window = histogram.since(None)
+        assert window.count == 10
+        assert window.counts == histogram.counts
+
+    def test_delta_holds_only_the_new_samples(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001, count=5)
+        snap = histogram.snapshot()
+        histogram.record(0.004, count=3)
+        window = histogram.since(snap)
+        assert window.count == 3
+        assert window.total == pytest.approx(0.012)
+        # Only the 4 ms bucket gained counts.
+        gained = [index for index, count in enumerate(window.counts) if count]
+        assert len(gained) == 1
+        assert window.percentile(0.99) >= 0.004
+
+    def test_empty_window_reports_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.002, count=4)
+        snap = histogram.snapshot()
+        window = histogram.since(snap)
+        assert window.count == 0
+        assert window.percentile(0.99) == 0.0
+
+    def test_consecutive_windows_partition_the_stream(self):
+        histogram = LatencyHistogram()
+        snapshots = [histogram.snapshot()]
+        for value, count in ((0.001, 4), (0.002, 2), (0.008, 1)):
+            histogram.record(value, count=count)
+            snapshots.append(histogram.snapshot())
+        window_counts = [
+            histogram.since(snapshots[i]).count - histogram.since(snapshots[i + 1]).count
+            for i in range(len(snapshots) - 1)
+        ]
+        assert window_counts == [4, 2, 1]
+        assert sum(window_counts) == histogram.count
+
+    def test_foreign_snapshot_is_rejected(self):
+        histogram = LatencyHistogram()
+        other = LatencyHistogram(buckets=5)
+        with pytest.raises(ValueError):
+            histogram.since(other.snapshot())
+
+    def test_ahead_snapshot_is_rejected(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001, count=2)
+        snap = histogram.snapshot()
+        rewound = LatencyHistogram()
+        rewound.record(0.001)
+        with pytest.raises(ValueError):
+            rewound.since(snap)
+
+    def test_delta_keeps_cumulative_bounds(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.1)
+        snap = histogram.snapshot()
+        histogram.record(0.001)
+        window = histogram.since(snap)
+        # Bounds stay cumulative (conservative percentiles), documented
+        # behaviour: the extremes of only-the-new-samples are unrecoverable.
+        assert window.max_value == 0.1
+        assert window.min_value == 0.001

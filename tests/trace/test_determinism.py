@@ -1,0 +1,100 @@
+"""Trace determinism: same seed ⇒ byte-identical Chrome trace JSON.
+
+Trace files join the snapshot determinism gate: spans are reconstructed
+from deterministic event payloads on the simulated clock, series sample
+deterministic gauges on a simulated-time grid, and serialization sorts keys
+— so two runs of the same spec with the same seed must produce *identical
+bytes*, in one process or across processes with different hash salts.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.scenario import load_scenario, parse_scenario, run_scenario
+from repro.trace import chrome_trace_json
+
+SPEC = """\
+[scenario]
+name = "trace_determinism_probe"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+strategy = "dynahash"
+seed = 424242
+
+[trace]
+sample_interval_seconds = 0.1
+
+[workload]
+dataset = "traffic"
+initial_records = 400
+
+[[workload.phases]]
+name = "steady"
+ops = 120
+
+[[steps]]
+kind = "rebalance"
+add = 1
+"""
+
+
+def _run_once():
+    spec = parse_scenario(SPEC)
+    return run_scenario(spec)
+
+
+class TestInProcessDeterminism:
+    def test_same_seed_byte_identical_chrome_trace(self):
+        first = _run_once()
+        second = _run_once()
+        assert first.trace == second.trace
+        assert chrome_trace_json(first.trace) == chrome_trace_json(second.trace)
+
+    def test_different_seed_different_trace(self):
+        spec = parse_scenario(SPEC)
+        first = run_scenario(spec, seed=1)
+        second = run_scenario(spec, seed=2)
+        assert chrome_trace_json(first.trace) != chrome_trace_json(second.trace)
+
+    def test_example_scenario_trace_is_stable(self):
+        path = Path(__file__).resolve().parents[2] / "examples/scenarios/traced_rebalance.toml"
+        spec = load_scenario(path)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.trace is not None
+        assert chrome_trace_json(first.trace) == chrome_trace_json(second.trace)
+
+
+def _run_traced(tmp_path: Path, hash_seed: str) -> bytes:
+    spec = tmp_path / "probe.toml"
+    spec.write_text(SPEC)
+    out = tmp_path / f"trace_{hash_seed}.json"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", str(spec), "-q", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert proc.returncode == 0, (
+        f"trace run failed under PYTHONHASHSEED={hash_seed}:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return out.read_bytes()
+
+
+class TestCrossProcessDeterminism:
+    def test_trace_bytes_identical_across_hash_seeds(self, tmp_path):
+        first = _run_traced(tmp_path, "1")
+        second = _run_traced(tmp_path, "31337")
+        assert first == second
+        document = json.loads(first)
+        assert document["traceEvents"]

@@ -1,0 +1,146 @@
+"""Timeline sampling and per-bucket heat tracking."""
+
+import pytest
+
+from repro.api import BucketingConfig, ClusterConfig, Database, KIB, LSMConfig
+from repro.trace import BucketHeat, TimelineRecorder, TimeSeries
+
+
+def config(num_nodes=3, seed=5, strategy="dynahash"):
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        partitions_per_node=2,
+        lsm=LSMConfig(memory_component_bytes=32 * KIB),
+        bucketing=BucketingConfig(max_bucket_bytes=48 * KIB),
+        strategy=strategy,
+        seed=seed,
+    )
+
+
+def rows(count, start=0):
+    return [{"k": key, "payload": "x" * 64} for key in range(start, start + count)]
+
+
+class TestTimeSeries:
+    def test_columnar_append_and_payload(self):
+        series = TimeSeries("node.bytes.nc0")
+        series.append(0.0, 10)
+        series.append(0.5, 20.0)
+        assert len(series) == 2
+        assert series.to_payload() == {
+            "name": "node.bytes.nc0",
+            "times": [0.0, 0.5],
+            "values": [10.0, 20.0],
+        }
+
+
+class TestTimelineRecorder:
+    def test_interval_must_be_positive(self):
+        with Database(config()) as db:
+            with pytest.raises(ValueError):
+                TimelineRecorder(db, interval_seconds=0.0)
+
+    def test_samples_follow_the_simulated_grid(self):
+        with Database(config()) as db:
+            recorder = TimelineRecorder(db, interval_seconds=0.1).attach()
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(400))
+            for key in range(200):
+                dataset.get(key)
+            recorder.finish()
+        series = {s.name: s for s in recorder.series}
+        in_flight = series["rebalance.in_flight"]
+        # Initial sample + grid crossings + closing sample, strictly ordered.
+        assert len(in_flight) >= 3
+        assert in_flight.times == sorted(in_flight.times)
+        assert in_flight.times[0] == 0.0
+        assert all(value == 0.0 for value in in_flight.values)
+        assert set(series) >= {
+            "heat.read.max",
+            "heat.write.max",
+            "rebalance.buckets_moved",
+            "write.p99.rolling",
+        }
+        assert any(name.startswith("node.bytes.") for name in series)
+
+    def test_rebalance_edges_force_samples_and_count_moves(self):
+        with Database(config()) as db:
+            recorder = TimelineRecorder(db, interval_seconds=100.0).attach()
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(600))
+            report = db.rebalance(add=1)
+            recorder.finish()
+        series = {s.name: s for s in recorder.series}
+        in_flight = series["rebalance.in_flight"]
+        # The forced rebalance.start edge sees the gauge raised.
+        assert 1.0 in in_flight.values
+        moved = series["rebalance.buckets_moved"]
+        assert moved.values[-1] == float(
+            sum(r.buckets_moved for r in report.dataset_reports)
+        )
+
+    def test_rolling_p99_windows_reset_between_samples(self):
+        with Database(config()) as db:
+            recorder = TimelineRecorder(db, interval_seconds=0.05).attach()
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(300))
+            for key in range(100):
+                dataset.get(key)
+            recorder.finish()
+        series = {s.name: s for s in recorder.series}
+        rolling = series["write.p99.rolling"]
+        # Writes happened only during the initial insert, so later windows
+        # (reads only) must report 0 — a cumulative p99 would stay positive.
+        assert rolling.values[-1] == 0.0
+        assert max(rolling.values) > 0.0
+
+    def test_finish_uninstalls_the_heat_hook(self):
+        with Database(config()) as db:
+            recorder = TimelineRecorder(db).attach()
+            assert db.cluster.heat is recorder.heat
+            recorder.finish()
+            assert db.cluster.heat is None
+
+
+class TestBucketHeat:
+    def test_reads_and_writes_credit_live_buckets(self):
+        with Database(config()) as db:
+            recorder = TimelineRecorder(db).attach()
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(200))
+            for key in range(50):
+                dataset.get(key)
+            dataset.get_many(list(range(10)))
+            recorder.finish()
+        heat = recorder.heat
+        read_total = sum(count for _, _, count in heat.read_heat())
+        write_total = sum(count for _, _, count in heat.write_heat())
+        assert read_total == 60
+        assert write_total == 200
+        assert all(ds == "t" for ds, _, _ in heat.read_heat())
+        assert heat.max_read() == max(count for _, _, count in heat.read_heat())
+        # Tables are sorted by (dataset, bucket) — deterministic export order.
+        assert list(heat.read_heat()) == sorted(heat.read_heat())
+
+    def test_modulo_routing_uses_partition_labels(self):
+        with Database(config(strategy="hashing")) as db:
+            recorder = TimelineRecorder(db).attach()
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(100))
+            recorder.finish()
+        labels = {bucket for _, bucket, _ in recorder.heat.write_heat()}
+        assert labels
+        assert all(label.startswith("p") for label in labels)
+
+    def test_unknown_dataset_is_ignored(self):
+        with Database(config()) as db:
+            heat = BucketHeat(db.cluster)
+            heat.record_read("nope", 1)
+            assert heat.read_heat() == ()
+
+    def test_untraced_sessions_have_no_heat_hook(self):
+        with Database(config()) as db:
+            assert db.cluster.heat is None
+            dataset = db.create_dataset("t", primary_key="k")
+            dataset.insert(rows(10))
+            assert dataset.get(1) is not None
