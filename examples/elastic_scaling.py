@@ -1,31 +1,29 @@
 """Elastic scaling: compare rebalancing approaches when resizing a cluster.
 
-The scenario lives in ``examples/scenarios/elastic_scaling.toml`` — a TPC-H
-subset scaled in by one node and back out.  This script is a thin wrapper
-over the scenario CLI that runs the same spec once per registered strategy
-(the CLI's ``--strategy`` override), reproducing the paper's comparison:
-DynaHash and StaticHash move only the displaced buckets, while the Hashing
-baseline re-partitions nearly every record.  Each run is equivalent to::
+The grid lives in ``examples/scenarios/elastic_scaling_sweep.toml`` — a
+TPC-H subset scaled in by one node and back out, swept over the paper's
+three strategies via its ``[sweep]`` section.  This script is a thin wrapper
+over the scenario CLI: one ``sweep`` run produces a recording per strategy
+plus a manifest, and ``compare`` renders the head-to-head tables (DynaHash
+and StaticHash move only the displaced buckets, while the Hashing baseline
+re-partitions nearly every record).  Equivalent to::
 
-    python -m repro run examples/scenarios/elastic_scaling.toml --strategy <name>
+    python -m repro sweep examples/scenarios/elastic_scaling_sweep.toml --out-dir OUT
+    python -m repro compare OUT/sweep.manifest.json
 """
 
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.cli import main
 
-SPEC = Path(__file__).resolve().parent / "scenarios" / "elastic_scaling.toml"
-
-#: The paper's three approaches, by registry name.  A --strategy override
-#: drops the spec's strategy_options, so each strategy runs on its defaults.
-STRATEGIES = ("hashing", "static", "dynahash")
+SPEC = Path(__file__).resolve().parent / "scenarios" / "elastic_scaling_sweep.toml"
 
 if __name__ == "__main__":
-    for strategy in STRATEGIES:
-        print(f"==== strategy: {strategy}")
-        code = main(["run", str(SPEC), "--strategy", strategy])
+    with tempfile.TemporaryDirectory(prefix="elastic_scaling_sweep_") as out_dir:
+        code = main(["sweep", str(SPEC), "--out-dir", out_dir])
         if code:
             sys.exit(code)
         print()
-    sys.exit(0)
+        sys.exit(main(["compare", str(Path(out_dir) / "sweep.manifest.json")]))

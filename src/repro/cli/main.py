@@ -33,7 +33,21 @@ The subcommands cover the operate-it-like-a-database loop the docs teach
     Render a traced run: the span tree and a phase Gantt in the terminal,
     plus a Chrome trace-event JSON file Perfetto (https://ui.perfetto.dev)
     loads directly.  Given a recording, reads the embedded trace; given a
-    spec, runs it with tracing force-enabled first.
+    spec, runs it with tracing force-enabled first.  ``--timeline-csv``
+    additionally exports the timeline series as byte-stable CSV.
+
+``sweep SPEC``
+    Expand a base spec over a parameter grid (the spec's ``[sweep]`` section
+    and/or ``--axis strategy=a,b`` arguments), run one deterministic
+    recording per cell — ``--jobs N`` fans cells out across processes with
+    byte-identical results — and write a byte-stable sweep manifest.  See
+    :mod:`repro.report`.
+
+``compare RECORDING... | MANIFEST``
+    The comparison engine: load N recordings (or a sweep manifest), align
+    them on the shared simulated-time grid, print head-to-head tables and
+    per-pair deltas, optionally enforce ``--gate`` regression thresholds
+    (exit 1 on breach) and write a self-contained HTML dashboard.
 
 ``lint [PATHS...]``
     Run **reprolint** (:mod:`repro.analysis`), the invariant-enforcing
@@ -209,6 +223,90 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the terminal renderings; just write the trace file",
     )
+    trace.add_argument(
+        "--timeline-csv",
+        metavar="PATH",
+        help="also export the timeline series as CSV (one column per series, "
+        "one row per sample instant; byte-stable like the Chrome export)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a spec over a parameter grid, one recording per cell",
+        description="Expand a base scenario spec over a parameter grid (its "
+        "[sweep] section and/or --axis arguments), run every cell "
+        "deterministically, and write the recordings plus a byte-stable "
+        "manifest for `compare`. Exits 1 if any cell's checks failed.",
+    )
+    sweep.add_argument("spec", help="path to the base scenario spec (.toml or .json)")
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="add or replace a grid axis (an alias like strategy/seed/nodes/"
+        "workload_scale/policy, or a dotted spec path); repeatable",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: the spec's sweep.jobs, else 1); "
+        "results are byte-identical at any value",
+    )
+    sweep.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        help="directory for recordings + manifest (default: sweep_<scenario>)",
+    )
+    sweep.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="print only the manifest path and failing cells",
+    )
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="diff N recordings (or a sweep manifest) head to head",
+        description="Load recordings (or one sweep manifest), align them on "
+        "the shared simulated-time grid, and print comparison tables and "
+        "per-pair deltas. --gate turns relative-delta thresholds into a CI "
+        "regression gate (exit 1 on breach); --html writes a self-contained "
+        "dashboard.",
+    )
+    compare.add_argument(
+        "sources",
+        nargs="+",
+        metavar="RECORDING",
+        help="recording files, or a single sweep manifest JSON",
+    )
+    compare.add_argument(
+        "--baseline",
+        metavar="CELL",
+        help="cell label the deltas and gates compare against (default: first)",
+    )
+    compare.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="METRIC=DELTA",
+        help="fail (exit 1) if a cell's metric moved past the signed relative "
+        "delta vs the baseline, e.g. write_p99_ms[rebalance]=0.25 (may not "
+        "grow >25%%) or ops_per_sec=-0.10 (may not drop >10%%); repeatable",
+    )
+    compare.add_argument(
+        "--html",
+        metavar="PATH",
+        help="write the self-contained HTML dashboard here",
+    )
+    compare.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="print only gate outcomes and the dashboard path",
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -254,6 +352,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_replay(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except ScenarioSpecError as exc:
@@ -600,7 +702,109 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(chrome_trace_json(payload))
     print(f"chrome trace written: {out} (load it at https://ui.perfetto.dev)")
+    if args.timeline_csv:
+        from ..trace import timeline_csv
+
+        csv_path = Path(args.timeline_csv)
+        csv_path.parent.mkdir(parents=True, exist_ok=True)
+        csv_path.write_text(timeline_csv(payload))
+        print(
+            f"timeline CSV written: {csv_path} "
+            f"({len(payload.get('series', []))} series)"
+        )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..report import merge_axes, parse_axis_arg, run_sweep
+
+    spec = load_scenario(args.spec)
+    spec_axes = spec.sweep.axes if spec.sweep is not None else ()
+    axes = merge_axes(spec_axes, [parse_axis_arg(argument) for argument in args.axis])
+    if not axes:
+        # Fail before the banner — run_sweep would raise the same complaint,
+        # but only after printing a misleading empty-grid header.
+        raise ScenarioSpecError(
+            "sweep: no axes — declare a [sweep.axes] section in the spec or "
+            "pass --axis NAME=VALUE,... on the command line"
+        )
+    jobs = args.jobs
+    if jobs is None:
+        jobs = spec.sweep.jobs if spec.sweep is not None else 1
+    if jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir) if args.out_dir else Path(f"sweep_{spec.name}")
+
+    grid_size = 1
+    for _, values in axes:
+        grid_size *= len(values)
+    if not args.quiet:
+        print(
+            f"sweep of scenario {spec.name!r}: "
+            + " x ".join(f"{name}[{len(values)}]" for name, values in axes)
+            + f" = {grid_size} cell(s), jobs={jobs}"
+        )
+
+    def progress(cell: Any, passed: bool) -> None:
+        verdict = "OK" if passed else "FAILED"
+        if not args.quiet or not passed:
+            print(f"  cell {cell.cell_id}: {verdict}")
+
+    manifest = run_sweep(spec, axes, out_dir, jobs=jobs, progress=progress)
+    failed = [entry["id"] for entry in manifest["cells"] if not entry["passed"]]
+    manifest_path = out_dir / "sweep.manifest.json"
+    print(
+        f"sweep {'FAILED' if failed else 'OK'}: "
+        f"{len(manifest['cells']) - len(failed)}/{len(manifest['cells'])} cell(s) passed; "
+        f"manifest written: {manifest_path}"
+    )
+    print(f"compare with: python -m repro compare {manifest_path}")
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
+# compare
+# ---------------------------------------------------------------------------
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from ..report import (
+        evaluate_gates,
+        load_comparison,
+        parse_gate_arg,
+        render_comparison,
+        render_dashboard,
+    )
+
+    # Parse gates before rendering anything: a typo'd --gate should fail
+    # fast, not after 30 lines of tables.
+    gates = dict(parse_gate_arg(argument) for argument in args.gate or [])
+    comparison = load_comparison(args.sources)
+    if not args.quiet:
+        print(render_comparison(comparison, baseline=args.baseline))
+    status = 0
+    if gates:
+        results = evaluate_gates(comparison, gates, baseline=args.baseline)
+        if not args.quiet:
+            print()
+        for result in results:
+            print(result.line())
+        breached = sum(1 for result in results if not result.passed)
+        print(f"gates: {len(results) - breached}/{len(results)} passed")
+        if breached:
+            status = 1
+    if args.html:
+        html_path = Path(args.html)
+        html_path.parent.mkdir(parents=True, exist_ok=True)
+        html_path.write_text(render_dashboard(comparison))
+        print(f"dashboard written: {html_path}")
+    return status
 
 
 # ---------------------------------------------------------------------------

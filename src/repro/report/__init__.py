@@ -1,0 +1,51 @@
+"""Parameter sweeps and cross-recording comparison (the reporting layer).
+
+PR 7 made a *single* run observable; this package makes claims about
+*differences between runs* first-class.  It has two halves, mirrored by the
+``python -m repro sweep`` and ``python -m repro compare`` subcommands:
+
+* **Sweeps** (:mod:`repro.report.grid`, :mod:`repro.report.executor`): a base
+  :class:`~repro.scenario.ScenarioSpec` plus a parameter grid — axes declared
+  in the spec's ``[sweep]`` section and/or ``--axis strategy=a,b`` arguments —
+  expands into one *cell* per point of the cartesian product.  Each cell is an
+  independent seeded simulation, so the executor can fan cells out across
+  worker processes (``--jobs``) with a test-pinned guarantee that parallel and
+  serial sweeps produce **byte-identical** recordings, and writes a byte-stable
+  *sweep manifest* (cell -> overrides, recording path, headline metrics).
+
+* **Comparison** (:mod:`repro.report.align`, :mod:`repro.report.tables`,
+  :mod:`repro.report.html`): N recordings (or one manifest) load into a
+  :class:`~repro.report.align.Comparison`, their snapshots and trace/timeline
+  payloads aligned on the shared simulated-time grid, rendered as terminal
+  tables, per-pair metric diffs with relative-delta gates (the CI regression
+  gate), and a self-contained dependency-free HTML dashboard.
+
+Everything here is offline and deterministic: the same recordings produce the
+same tables, diffs, and dashboard bytes on every run, every process, and every
+``PYTHONHASHSEED``.
+"""
+
+from .align import CellView, Comparison, align_series, headline_metrics, load_comparison
+from .executor import run_sweep, sweep_manifest_json
+from .grid import SweepCell, expand_cells, merge_axes, parse_axis_arg
+from .html import render_dashboard
+from .tables import GateResult, evaluate_gates, parse_gate_arg, render_comparison
+
+__all__ = [
+    "CellView",
+    "Comparison",
+    "GateResult",
+    "SweepCell",
+    "align_series",
+    "evaluate_gates",
+    "expand_cells",
+    "headline_metrics",
+    "load_comparison",
+    "merge_axes",
+    "parse_axis_arg",
+    "parse_gate_arg",
+    "render_comparison",
+    "render_dashboard",
+    "run_sweep",
+    "sweep_manifest_json",
+]

@@ -1,0 +1,328 @@
+"""Loading recordings into a comparison and aligning them.
+
+A :class:`Comparison` is N recordings viewed side by side: each becomes a
+:class:`CellView` (label, headline metrics, checks, optional trace payload),
+loaded either from explicit recording paths or from one sweep manifest
+written by ``python -m repro sweep``.
+
+Alignment: every run measures time in *simulated seconds from zero*, so runs
+are directly comparable without clock skew — the "shared simulated-time grid"
+is simply the union of the cells' sample instants.  :func:`align_series`
+resamples each cell's timeline series onto that union grid as a step function
+(a sample holds until the next one), which is exactly how the gauges behave
+between samples.
+
+Degradation contract (tested): recordings without a trace payload compare
+fine (their series are just absent); a single recording renders its overview
+without diffs; version mismatches fail in
+:func:`~repro.scenario.load_recording` with the offending path; cells from
+different scenarios compare, but the comparison carries a loud note.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..scenario import ScenarioSpecError, load_recording
+
+__all__ = [
+    "CellView",
+    "Comparison",
+    "align_series",
+    "headline_metrics",
+    "load_comparison",
+]
+
+#: Manifest documents are versioned independently of recordings.
+MANIFEST_VERSION = 1
+MANIFEST_KIND = "sweep"
+
+
+@dataclass
+class CellView:
+    """One recording, digested for comparison."""
+
+    label: str
+    document: Dict[str, Any]
+    #: ``axis -> value`` overrides when the cell came from a sweep manifest.
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Flat headline metrics (see :func:`headline_metrics`).
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def scenario_name(self) -> Optional[str]:
+        return self.document.get("scenario", {}).get("scenario", {}).get("name")
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.document.get("seed")
+
+    @property
+    def strategy(self) -> Optional[str]:
+        return self.document.get("scenario", {}).get("cluster", {}).get("strategy")
+
+    @property
+    def checks(self) -> List[Dict[str, Any]]:
+        return list(self.document.get("checks", []))
+
+    @property
+    def passed(self) -> bool:
+        return all(check.get("passed") for check in self.checks)
+
+    @property
+    def trace(self) -> Optional[Dict[str, Any]]:
+        return self.document.get("trace")
+
+
+@dataclass
+class Comparison:
+    """N cells side by side, plus anything worth warning about."""
+
+    cells: List[CellView]
+    #: Loud-but-non-fatal observations (mismatched scenarios, missing traces).
+    notes: List[str] = field(default_factory=list)
+    #: The manifest path when the comparison was loaded from one.
+    manifest: Optional[str] = None
+
+    @property
+    def labels(self) -> List[str]:
+        return [cell.label for cell in self.cells]
+
+    def metric_keys(self) -> List[str]:
+        """The union of headline-metric keys, in first-seen cell order."""
+        keys: List[str] = []
+        for cell in self.cells:
+            for key in cell.metrics:
+                if key not in keys:
+                    keys.append(key)
+        return keys
+
+    def series_names(self) -> List[str]:
+        """The union of timeline-series names across traced cells, sorted."""
+        names = set()
+        for cell in self.cells:
+            trace = cell.trace
+            if trace is not None:
+                names.update(series["name"] for series in trace.get("series", []))
+        return sorted(names)
+
+
+# ---------------------------------------------------------------------------
+# headline metrics
+# ---------------------------------------------------------------------------
+
+
+def _phase_percentile(
+    document: Dict[str, Any], ops: Sequence[str], phase: str, quantile: float
+) -> Optional[float]:
+    """A percentile over the given ops' recorded histograms for one phase."""
+    from ..metrics.histogram import LatencyHistogram
+
+    merged = LatencyHistogram()
+    found = False
+    histograms = document.get("snapshot", {}).get("histograms", {})
+    for op in ops:
+        snap = histograms.get(f"{op}[{phase}]")
+        if snap is None:
+            continue
+        merged.merge(LatencyHistogram.from_snapshot((tuple(snap[0]), *snap[1:])))
+        found = True
+    if not found or not merged.count:
+        return None
+    return merged.percentile(quantile)
+
+
+def headline_metrics(document: Dict[str, Any]) -> Dict[str, float]:
+    """The flat metric dict a manifest/compare table shows per cell.
+
+    Keys are stable strings; values are plain floats.  A metric whose
+    population is absent from the recording (no writes in a phase, no
+    rebalance, no autopilot) is *omitted*, not zeroed — comparison tables
+    print ``-`` for it.
+    """
+    from ..metrics import PHASE_REBALANCE, PHASE_STEADY, WRITE_OPS
+
+    metrics: Dict[str, float] = {}
+    total_ops = document.get("total_ops", 0)
+    simulated = document.get("simulated_seconds", 0.0)
+    metrics["total_ops"] = float(total_ops)
+    metrics["simulated_seconds"] = float(simulated)
+    if simulated > 0:
+        metrics["ops_per_sec"] = total_ops / simulated
+    for phase in (PHASE_STEADY, PHASE_REBALANCE):
+        for quantile, tag in ((0.50, "p50"), (0.99, "p99")):
+            write = _phase_percentile(document, WRITE_OPS, phase, quantile)
+            if write is not None:
+                metrics[f"write_{tag}_ms[{phase}]"] = write * 1e3
+            read = _phase_percentile(document, ("read",), phase, quantile)
+            if read is not None:
+                metrics[f"read_{tag}_ms[{phase}]"] = read * 1e3
+    rebalances = document.get("rebalances", {})
+    if rebalances:
+        metrics["rebalance.count"] = float(rebalances.get("count", 0))
+        metrics["rebalance.seconds"] = float(rebalances.get("simulated_seconds", 0.0))
+        metrics["rebalance.records_moved"] = float(rebalances.get("records_moved", 0))
+        metrics["rebalance.bytes_shipped"] = float(rebalances.get("bytes_shipped", 0))
+        metrics["rebalance.buckets_moved"] = float(rebalances.get("buckets_moved", 0))
+    counters = document.get("snapshot", {}).get("counters", {})
+    if "autopilot.decision" in counters:
+        metrics["autopilot.decisions"] = float(counters["autopilot.decision"])
+    if "autopilot.rebalance.complete" in counters:
+        metrics["autopilot.rebalances"] = float(counters["autopilot.rebalance.complete"])
+    checks = document.get("checks", [])
+    if checks:
+        metrics["checks.passed"] = float(sum(1 for c in checks if c.get("passed")))
+        metrics["checks.total"] = float(len(checks))
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+def _is_manifest(document: Any) -> bool:
+    return isinstance(document, dict) and document.get("kind") == MANIFEST_KIND
+
+
+def _load_manifest(path: Path) -> Dict[str, Any]:
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioSpecError(f"{path}: not a sweep manifest (invalid JSON: {exc})") from exc
+    if not _is_manifest(document):
+        raise ScenarioSpecError(
+            f"{path}: not a sweep manifest (missing kind={MANIFEST_KIND!r}); "
+            "manifests are written by `python -m repro sweep`"
+        )
+    version = document.get("version")
+    if version != MANIFEST_VERSION:
+        raise ScenarioSpecError(
+            f"{path}: unsupported manifest version {version!r} "
+            f"(this build reads version {MANIFEST_VERSION})"
+        )
+    if not document.get("cells"):
+        raise ScenarioSpecError(f"{path}: the manifest lists no cells")
+    return document
+
+
+def load_comparison(sources: Sequence[Union[str, Path]]) -> Comparison:
+    """Build a :class:`Comparison` from recording paths or one manifest.
+
+    One source ending in ``.json`` whose document carries ``kind: "sweep"``
+    is treated as a manifest: its cells load in manifest order, recording
+    paths resolved relative to the manifest's directory.  Any other mix of
+    sources is treated as explicit recordings, labelled by file stem
+    (deduplicated with ``#2``, ``#3``, ... suffixes).
+    """
+    if not sources:
+        raise ScenarioSpecError("compare: no recordings given")
+    first = Path(sources[0])
+    if len(sources) == 1 and first.suffix == ".json" and first.exists():
+        try:
+            probe = json.loads(first.read_text())
+        except json.JSONDecodeError:
+            probe = None
+        # Only documents that *claim* to be manifests take the manifest path:
+        # a broken manifest (bad version, no cells) must fail with the
+        # manifest's error, not fall through to a confusing recording error.
+        if _is_manifest(probe):
+            return _comparison_from_manifest(first, _load_manifest(first))
+
+    cells: List[CellView] = []
+    seen: Dict[str, int] = {}
+    for source in sources:
+        path = Path(source)
+        document = load_recording(path)
+        label = path.stem.removesuffix(".recording")
+        seen[label] = seen.get(label, 0) + 1
+        if seen[label] > 1:
+            label = f"{label}#{seen[label]}"
+        cells.append(
+            CellView(label=label, document=document, metrics=headline_metrics(document))
+        )
+    return _finish(Comparison(cells=cells))
+
+
+def _comparison_from_manifest(path: Path, manifest: Dict[str, Any]) -> Comparison:
+    cells: List[CellView] = []
+    for entry in manifest["cells"]:
+        recording = path.parent / entry["recording"]
+        document = load_recording(recording)
+        cells.append(
+            CellView(
+                label=entry["id"],
+                document=document,
+                overrides=dict(entry.get("overrides", {})),
+                metrics=headline_metrics(document),
+            )
+        )
+    return _finish(Comparison(cells=cells, manifest=str(path)))
+
+
+def _finish(comparison: Comparison) -> Comparison:
+    """Attach the degradation notes the render layers surface."""
+    names = sorted({str(cell.scenario_name) for cell in comparison.cells})
+    if len(names) > 1:
+        comparison.notes.append(
+            "cells come from different scenarios ("
+            + ", ".join(names)
+            + ") — absolute numbers are not like-for-like"
+        )
+    untraced = [cell.label for cell in comparison.cells if cell.trace is None]
+    if untraced and len(untraced) < len(comparison.cells):
+        comparison.notes.append(
+            "no trace payload in: "
+            + ", ".join(untraced)
+            + " (timeline sparklines cover the traced cells only)"
+        )
+    if len(comparison.cells) == 1:
+        comparison.notes.append(
+            "single recording — nothing to diff against; showing its summary only"
+        )
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# time alignment
+# ---------------------------------------------------------------------------
+
+
+def align_series(
+    comparison: Comparison, name: str
+) -> Tuple[List[float], Dict[str, List[Optional[float]]]]:
+    """One timeline series across cells, on the shared simulated-time grid.
+
+    Returns ``(times, {label: values})`` where ``times`` is the sorted union
+    of every cell's sample instants for ``name`` and each cell's values are
+    step-function resampled onto it: the value at ``t`` is the cell's last
+    sample at or before ``t``, or ``None`` before the cell's first sample or
+    when the cell never recorded the series (missing trace, later-provisioned
+    node).  Cells that never recorded the series are omitted from the dict.
+    """
+    per_cell: Dict[str, Tuple[List[float], List[float]]] = {}
+    union: List[float] = []
+    for cell in comparison.cells:
+        trace = cell.trace
+        if trace is None:
+            continue
+        for series in trace.get("series", []):
+            if series["name"] == name:
+                times = [float(t) for t in series["times"]]
+                per_cell[cell.label] = (times, [float(v) for v in series["values"]])
+                union.extend(times)
+                break
+    grid = sorted(set(union))
+    aligned: Dict[str, List[Optional[float]]] = {}
+    for label, (times, values) in per_cell.items():
+        resampled: List[Optional[float]] = []
+        cursor = -1
+        for t in grid:
+            while cursor + 1 < len(times) and times[cursor + 1] <= t:
+                cursor += 1
+            resampled.append(values[cursor] if cursor >= 0 else None)
+        aligned[label] = resampled
+    return grid, aligned

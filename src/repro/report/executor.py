@@ -1,0 +1,105 @@
+"""Running a sweep: one deterministic recording per cell, plus the manifest.
+
+Cells are independent seeded simulations, so the executor can run them
+in-process (``jobs=1``) or fan them out across worker processes.  Both paths
+funnel through the same module-level :func:`_run_cell` worker, which renders
+the cell's recording to its canonical JSON text *inside* the worker — the
+parent only writes bytes to disk.  That is the whole byte-identical
+guarantee: a recording's bytes are a pure function of the cell's spec, so
+``--jobs 4`` and ``--jobs 1`` produce the same files and the same manifest
+(pinned by tests).
+
+The manifest is itself byte-stable (sorted keys, fixed indentation, relative
+recording paths): running the same sweep twice into two directories produces
+identical manifests, which CI checks with a plain ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..scenario import ScenarioSpec
+from .align import MANIFEST_KIND, MANIFEST_VERSION, headline_metrics
+from .grid import Axis, SweepCell, expand_cells
+
+__all__ = ["run_sweep", "sweep_manifest_json"]
+
+#: The manifest's filename inside the sweep output directory.
+MANIFEST_NAME = "sweep.manifest.json"
+
+
+def _run_cell(payload: Tuple[int, Dict[str, Any]]) -> str:
+    """Run one cell and return its recording as canonical JSON text.
+
+    Module-level (picklable) so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can ship it to workers; the in-process path calls it directly, so both
+    modes execute byte-for-byte the same code.
+    """
+    _, mapping = payload
+    from ..scenario import ScenarioSpec, recording_payload, run_scenario
+
+    spec = ScenarioSpec.from_mapping(mapping)
+    result = run_scenario(spec)
+    return json.dumps(recording_payload(result), sort_keys=True, indent=2) + "\n"
+
+
+def run_sweep(
+    base: ScenarioSpec,
+    axes: Sequence[Axis],
+    out_dir: Union[str, Path],
+    jobs: int = 1,
+    progress: Optional[Callable[[SweepCell, bool], None]] = None,
+) -> Dict[str, Any]:
+    """Expand ``base`` over ``axes``, run every cell, write recordings + manifest.
+
+    Returns the manifest document (already written to
+    ``out_dir/sweep.manifest.json``).  ``progress`` is invoked once per cell,
+    in grid order, with the cell and whether its checks passed.
+    """
+    cells = expand_cells(base, axes)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    payloads = [(index, cell.spec.to_mapping()) for index, cell in enumerate(cells)]
+    if jobs > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            texts: List[str] = list(pool.map(_run_cell, payloads))
+    else:
+        texts = [_run_cell(payload) for payload in payloads]
+
+    manifest_cells: List[Dict[str, Any]] = []
+    for index, (cell, text) in enumerate(zip(cells, texts, strict=True)):
+        filename = f"cell-{index:03d}-{cell.slug}.recording.json"
+        (out / filename).write_text(text)
+        document = json.loads(text)
+        passed = all(check.get("passed") for check in document.get("checks", []))
+        manifest_cells.append(
+            {
+                "id": cell.cell_id,
+                "overrides": dict(cell.overrides),
+                "recording": filename,
+                "passed": passed,
+                "metrics": headline_metrics(document),
+            }
+        )
+        if progress is not None:
+            progress(cell, passed)
+
+    manifest: Dict[str, Any] = {
+        "version": MANIFEST_VERSION,
+        "kind": MANIFEST_KIND,
+        "scenario": base.name,
+        "axes": [{"axis": name, "values": list(values)} for name, values in axes],
+        "cells": manifest_cells,
+    }
+    (out / MANIFEST_NAME).write_text(sweep_manifest_json(manifest))
+    return manifest
+
+
+def sweep_manifest_json(manifest: Dict[str, Any]) -> str:
+    """The manifest as deterministic (byte-stable) JSON text."""
+    return json.dumps(manifest, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,285 @@
+"""The head-to-head HTML dashboard: one file, zero dependencies.
+
+:func:`render_dashboard` turns a :class:`~repro.report.align.Comparison` into
+a single self-contained HTML document — inline CSS, a dozen lines of inline
+vanilla JS for column sorting, inline SVG for the timeline sparklines and the
+per-cell span Gantt strips.  No external fonts, scripts, stylesheets, or
+images: the file opens identically from a CI artifact, an email attachment,
+or ``file://``.
+
+Determinism: the document contains no timestamps, hostnames, or environment
+detail; numbers render via ``%.6g``; all iteration orders derive from cell
+order and sorted unions.  The same recordings produce byte-identical HTML on
+every run and every ``PYTHONHASHSEED`` (pinned by tests).
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .align import CellView, Comparison, align_series
+
+__all__ = ["render_dashboard"]
+
+#: Fixed cell palette (cycled); chosen for contrast on the light background.
+_PALETTE = (
+    "#2563eb",  # blue
+    "#dc2626",  # red
+    "#16a34a",  # green
+    "#9333ea",  # purple
+    "#ea580c",  # orange
+    "#0891b2",  # cyan
+    "#ca8a04",  # dark yellow
+    "#db2777",  # pink
+)
+
+#: Span categories -> Gantt strip colors (others fall back to grey).
+_CATEGORY_COLORS = {
+    "workload": "#93c5fd",
+    "rebalance": "#fca5a5",
+    "autopilot": "#d8b4fe",
+    "session": "#e5e7eb",
+}
+_OTHER_COLOR = "#d1d5db"
+
+#: Sparkline sections rendered before the "+N more" cut.
+_MAX_SERIES = 16
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #111827; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #d1d5db; padding: .3rem .6rem; text-align: right; }
+th { background: #f3f4f6; cursor: pointer; user-select: none; }
+th:first-child, td:first-child { text-align: left; }
+td.pass { color: #16a34a; font-weight: 600; }
+td.fail { color: #dc2626; font-weight: 600; }
+.note { color: #92400e; background: #fef3c7; padding: .4rem .8rem;
+        border-radius: .3rem; margin-top: .5rem; display: inline-block; }
+.legend span { display: inline-block; margin-right: 1rem; }
+.legend i { display: inline-block; width: .8rem; height: .8rem;
+            border-radius: 2px; margin-right: .3rem; vertical-align: -1px; }
+svg { display: block; margin-top: .3rem; background: #f9fafb;
+      border: 1px solid #e5e7eb; border-radius: .3rem; }
+.lane-label { font-size: 11px; fill: #6b7280; }
+"""
+
+_SORT_JS = """
+document.querySelectorAll("th[data-sort]").forEach(function (th) {
+  th.addEventListener("click", function () {
+    var tbody = th.closest("table").querySelector("tbody");
+    var index = Array.prototype.indexOf.call(th.parentNode.children, th);
+    var dir = th.dataset.dir === "asc" ? -1 : 1;
+    th.dataset.dir = dir === 1 ? "asc" : "desc";
+    var rows = Array.prototype.slice.call(tbody.querySelectorAll("tr"));
+    rows.sort(function (a, b) {
+      var x = a.children[index].dataset.value, y = b.children[index].dataset.value;
+      var nx = parseFloat(x), ny = parseFloat(y);
+      if (!isNaN(nx) && !isNaN(ny)) return (nx - ny) * dir;
+      return x < y ? -dir : x > y ? dir : 0;
+    });
+    rows.forEach(function (row) { tbody.appendChild(row); });
+  });
+});
+"""
+
+
+def _num(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _cell_color(index: int) -> str:
+    return _PALETTE[index % len(_PALETTE)]
+
+
+# ---------------------------------------------------------------------------
+# table
+# ---------------------------------------------------------------------------
+
+
+def _metric_cell(value: Optional[float]) -> str:
+    if value is None:
+        return '<td data-value="">-</td>'
+    return f'<td data-value="{_num(value)}">{_num(value)}</td>'
+
+
+def _cells_table(comparison: Comparison) -> List[str]:
+    keys = comparison.metric_keys()
+    out = ["<h2>cells</h2>", '<table id="cells"><thead><tr>']
+    for header in ["cell", "strategy", "seed", "checks"] + keys:
+        out.append(f'<th data-sort="1">{escape(header)}</th>')
+    out.append("</tr></thead><tbody>")
+    for cell in comparison.cells:
+        out.append("<tr>")
+        out.append(f'<td data-value="{escape(cell.label)}">{escape(cell.label)}</td>')
+        strategy = cell.strategy or "-"
+        out.append(f'<td data-value="{escape(strategy)}">{escape(strategy)}</td>')
+        seed = "-" if cell.seed is None else str(cell.seed)
+        out.append(f'<td data-value="{seed}">{seed}</td>')
+        if cell.checks:
+            verdict = "pass" if cell.passed else "fail"
+            text = f"{sum(1 for c in cell.checks if c.get('passed'))}/{len(cell.checks)}"
+            out.append(f'<td class="{verdict}" data-value="{text}">{text} {verdict.upper()}</td>')
+        else:
+            out.append('<td data-value="">-</td>')
+        for key in keys:
+            out.append(_metric_cell(cell.metrics.get(key)))
+        out.append("</tr>")
+    out.append("</tbody></table>")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sparklines
+# ---------------------------------------------------------------------------
+
+
+def _sparkline(
+    comparison: Comparison, name: str, width: int = 640, height: int = 90
+) -> List[str]:
+    times, aligned = align_series(comparison, name)
+    if not times or not aligned:
+        return []
+    values = [v for series in aligned.values() for v in series if v is not None]
+    if not values:
+        return []
+    t_max = times[-1] or 1.0
+    v_min, v_max = min(values), max(values)
+    v_span = (v_max - v_min) or 1.0
+    pad = 6
+    out = [f"<h2>{escape(name)}</h2>"]
+    out.append(
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'role="img" aria-label="{escape(name)}">'
+    )
+    for label, series in aligned.items():
+        index = comparison.labels.index(label)
+        points = []
+        for t, value in zip(times, series, strict=True):
+            if value is None:
+                continue
+            x = pad + (t / t_max) * (width - 2 * pad)
+            y = height - pad - ((value - v_min) / v_span) * (height - 2 * pad)
+            points.append(f"{x:.1f},{y:.1f}")
+        if points:
+            out.append(
+                f'<polyline fill="none" stroke="{_cell_color(index)}" '
+                f'stroke-width="1.5" points="{" ".join(points)}">'
+                f"<title>{escape(label)}</title></polyline>"
+            )
+    out.append(
+        f'<text x="{pad}" y="{height - 2}" class="lane-label">0s .. {_num(t_max)}s '
+        f"(simulated); range {_num(v_min)} .. {_num(v_max)}</text>"
+    )
+    out.append("</svg>")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Gantt strips
+# ---------------------------------------------------------------------------
+
+
+def _gantt_rows(trace: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """The structural spans (same selection as the terminal Gantt)."""
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in trace.get("spans", []):
+        children.setdefault(span.get("parent"), []).append(span)
+    rows: List[Dict[str, Any]] = []
+
+    def collect(span: Dict[str, Any], depth: int) -> None:
+        structural = depth == 1 or span["cat"] in ("rebalance", "autopilot")
+        if structural and depth <= 3 and span["dur"] > 0:
+            rows.append(span)
+        for child in children.get(span["id"], []):
+            collect(child, depth + 1)
+
+    for root in children.get(None, []):
+        collect(root, 0)
+    return rows
+
+
+def _gantt_strips(comparison: Comparison, width: int = 640) -> List[str]:
+    traced: List[Tuple[CellView, List[Dict[str, Any]]]] = []
+    t_max = 0.0
+    for cell in comparison.cells:
+        trace = cell.trace
+        if trace is None:
+            continue
+        rows = _gantt_rows(trace)
+        if not rows:
+            continue
+        traced.append((cell, rows))
+        t_max = max(t_max, max(span["start"] + span["dur"] for span in rows))
+    if not traced or t_max <= 0:
+        return []
+    out = ["<h2>timeline (shared simulated-time axis)</h2>"]
+    out.append('<div class="legend">')
+    for category, color in _CATEGORY_COLORS.items():
+        out.append(f'<span><i style="background:{color}"></i>{escape(category)}</span>')
+    out.append("</div>")
+    lane_height, label_height = 16, 14
+    for cell, rows in traced:
+        height = label_height + lane_height + 6
+        out.append(
+            f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+            f'role="img" aria-label="timeline {escape(cell.label)}">'
+        )
+        out.append(
+            f'<text x="4" y="{label_height - 3}" class="lane-label">'
+            f"{escape(cell.label)} (0s .. {_num(t_max)}s)</text>"
+        )
+        for span in rows:
+            x = (span["start"] / t_max) * (width - 8) + 4
+            w = max(1.0, (span["dur"] / t_max) * (width - 8))
+            color = _CATEGORY_COLORS.get(span["cat"], _OTHER_COLOR)
+            title = f"{span['name']}: {_num(span['start'])}s +{_num(span['dur'])}s"
+            out.append(
+                f'<rect x="{x:.1f}" y="{label_height}" width="{w:.1f}" '
+                f'height="{lane_height}" fill="{color}" stroke="#9ca3af" '
+                f'stroke-width="0.5"><title>{escape(title)}</title></rect>'
+            )
+        out.append("</svg>")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# document
+# ---------------------------------------------------------------------------
+
+
+def render_dashboard(comparison: Comparison, title: str = "repro comparison") -> str:
+    """The full dashboard document (UTF-8 HTML, byte-stable)."""
+    names = sorted({str(cell.scenario_name) for cell in comparison.cells})
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f"<p>scenario {escape(', '.join(names))} · {len(comparison.cells)} cell(s); "
+        "click a column header to sort</p>",
+    ]
+    out.append('<div class="legend">')
+    for index, label in enumerate(comparison.labels):
+        out.append(
+            f'<span><i style="background:{_cell_color(index)}"></i>{escape(label)}</span>'
+        )
+    out.append("</div>")
+    for note in comparison.notes:
+        out.append(f'<p class="note">{escape(note)}</p>')
+    out.extend(_cells_table(comparison))
+    out.extend(_gantt_strips(comparison))
+    series_names = comparison.series_names()
+    for name in series_names[:_MAX_SERIES]:
+        out.extend(_sparkline(comparison, name))
+    if len(series_names) > _MAX_SERIES:
+        out.append(
+            f'<p class="note">+{len(series_names) - _MAX_SERIES} more series not '
+            f"shown: {escape(', '.join(series_names[_MAX_SERIES:]))}</p>"
+        )
+    out.append(f"<script>{_SORT_JS}</script>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

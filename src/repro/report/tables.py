@@ -1,0 +1,251 @@
+"""Terminal renderings of a comparison, and the relative-delta gates.
+
+Everything renders through :func:`repro.common.reporting.format_table` like
+the rest of the repo, and every row/column order is derived from cell order
+and sorted unions — so the same comparison prints byte-identical text on
+every run and every ``PYTHONHASHSEED``.
+
+Gates are the CI regression story: ``--gate METRIC=THRESHOLD`` compares every
+non-baseline cell against the baseline on one headline metric.  The
+threshold is a *signed relative delta*: ``write_p99_ms[rebalance]=0.25``
+fails a cell whose rebalance-phase write p99 grew more than +25% over the
+baseline, ``ops_per_sec=-0.10`` fails a cell whose throughput dropped more
+than 10%.  A gate over a metric a cell never recorded fails loudly — absent
+evidence is not a pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.reporting import format_table
+from ..scenario import ScenarioSpecError
+from .align import CellView, Comparison
+
+__all__ = [
+    "GateResult",
+    "evaluate_gates",
+    "parse_gate_arg",
+    "render_comparison",
+]
+
+
+def _fmt(value: Optional[float]) -> str:
+    """A metric value as stable text (``-`` for absent)."""
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    if delta is None:
+        return "-"
+    return f"{delta * 100:+.1f}%"
+
+
+def _relative_delta(base: Optional[float], value: Optional[float]) -> Optional[float]:
+    if base is None or value is None:
+        return None
+    if base == 0:
+        return 0.0 if value == 0 else float("inf") if value > 0 else float("-inf")
+    return (value - base) / abs(base)
+
+
+def _checks_cell(cell: CellView) -> str:
+    checks = cell.checks
+    if not checks:
+        return "-"
+    passed = sum(1 for check in checks if check.get("passed"))
+    verdict = "PASS" if passed == len(checks) else "FAIL"
+    return f"{passed}/{len(checks)} {verdict}"
+
+
+# ---------------------------------------------------------------------------
+# tables
+# ---------------------------------------------------------------------------
+
+
+def overview_table(comparison: Comparison) -> str:
+    """One row per cell: identity, scale, throughput, check verdict."""
+    rows = []
+    for cell in comparison.cells:
+        nodes = cell.document.get("nodes", {})
+        rows.append(
+            [
+                cell.label,
+                cell.strategy or "-",
+                _fmt(float(cell.seed)) if cell.seed is not None else "-",
+                f"{nodes.get('before', '-')}->{nodes.get('after', '-')}",
+                _fmt(cell.metrics.get("total_ops")),
+                _fmt(cell.metrics.get("simulated_seconds")),
+                _fmt(cell.metrics.get("ops_per_sec")),
+                _checks_cell(cell),
+            ]
+        )
+    return format_table(
+        ["cell", "strategy", "seed", "nodes", "ops", "sim s", "ops/s", "checks"], rows
+    )
+
+
+def metrics_table(comparison: Comparison) -> str:
+    """Head-to-head: one row per headline metric, one column per cell."""
+    keys = comparison.metric_keys()
+    rows = [
+        [key] + [_fmt(cell.metrics.get(key)) for cell in comparison.cells] for key in keys
+    ]
+    return format_table(["metric"] + comparison.labels, rows)
+
+
+def checks_table(comparison: Comparison) -> str:
+    """Per-check outcomes across cells (empty string when no cell has checks)."""
+    names: List[str] = []
+    for cell in comparison.cells:
+        for check in cell.checks:
+            if check.get("name") not in names:
+                names.append(check.get("name"))
+    if not names:
+        return ""
+    rows = []
+    for name in names:
+        row: List[str] = [name]
+        for cell in comparison.cells:
+            outcome = next((c for c in cell.checks if c.get("name") == name), None)
+            row.append("-" if outcome is None else "PASS" if outcome.get("passed") else "FAIL")
+        rows.append(row)
+    return format_table(["check"] + comparison.labels, rows)
+
+
+def diff_table(comparison: Comparison, baseline: CellView) -> str:
+    """Per-pair metric deltas vs the baseline cell, relative where defined."""
+    others = [cell for cell in comparison.cells if cell is not baseline]
+    headers = ["metric", f"{baseline.label} (base)"]
+    for cell in others:
+        headers += [cell.label, "delta"]
+    rows = []
+    for key in comparison.metric_keys():
+        base_value = baseline.metrics.get(key)
+        row = [key, _fmt(base_value)]
+        for cell in others:
+            value = cell.metrics.get(key)
+            row += [_fmt(value), _fmt_delta(_relative_delta(base_value, value))]
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _resolve_baseline(comparison: Comparison, baseline: Optional[str]) -> CellView:
+    if baseline is None:
+        return comparison.cells[0]
+    for cell in comparison.cells:
+        if cell.label == baseline:
+            return cell
+    raise ScenarioSpecError(
+        f"--baseline {baseline!r}: no such cell "
+        f"(cells: {', '.join(comparison.labels)})"
+    )
+
+
+def render_comparison(comparison: Comparison, baseline: Optional[str] = None) -> str:
+    """The full terminal report: overview, metrics, checks, diffs, notes."""
+    sections = [overview_table(comparison), "", "headline metrics:", metrics_table(comparison)]
+    checks = checks_table(comparison)
+    if checks:
+        sections += ["", "checks:", checks]
+    if len(comparison.cells) > 1:
+        base = _resolve_baseline(comparison, baseline)
+        sections += ["", f"deltas vs baseline {base.label!r}:", diff_table(comparison, base)]
+    for note in comparison.notes:
+        sections += ["", f"note: {note}"]
+    return "\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# gates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """One (cell, metric) gate evaluation."""
+
+    cell: str
+    metric: str
+    threshold: float
+    passed: bool
+    detail: str
+
+    def line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"gate {self.metric} [{self.cell}]: {status} ({self.detail})"
+
+
+def parse_gate_arg(argument: str) -> Tuple[str, float]:
+    """Parse one ``--gate METRIC=THRESHOLD`` argument."""
+    metric, separator, threshold_text = argument.rpartition("=")
+    if not separator or not metric:
+        raise ScenarioSpecError(
+            f"--gate {argument!r}: expected METRIC=THRESHOLD "
+            "(e.g. --gate write_p99_ms[rebalance]=0.25 or --gate ops_per_sec=-0.10)"
+        )
+    try:
+        threshold = float(threshold_text)
+    except ValueError:
+        raise ScenarioSpecError(
+            f"--gate {argument!r}: threshold {threshold_text!r} is not a number "
+            "(a signed relative delta, e.g. 0.25 or -0.10)"
+        ) from None
+    return metric, threshold
+
+
+def evaluate_gates(
+    comparison: Comparison,
+    gates: Dict[str, float],
+    baseline: Optional[str] = None,
+) -> List[GateResult]:
+    """Every non-baseline cell against every gate, in cell-then-gate order."""
+    if len(comparison.cells) < 2:
+        raise ScenarioSpecError(
+            "gates need at least two recordings (a baseline and a candidate)"
+        )
+    base = _resolve_baseline(comparison, baseline)
+    results: List[GateResult] = []
+    for cell in comparison.cells:
+        if cell is base:
+            continue
+        for metric, threshold in gates.items():
+            base_value = base.metrics.get(metric)
+            value = cell.metrics.get(metric)
+            if base_value is None or value is None:
+                missing = base.label if base_value is None else cell.label
+                results.append(
+                    GateResult(
+                        cell.label,
+                        metric,
+                        threshold,
+                        False,
+                        f"metric not recorded by {missing!r} "
+                        f"(known metrics: {', '.join(comparison.metric_keys())})",
+                    )
+                )
+                continue
+            delta = _relative_delta(base_value, value)
+            assert delta is not None
+            if threshold >= 0:
+                passed = delta <= threshold
+                bound = f"<= {_fmt_delta(threshold)}"
+            else:
+                passed = delta >= threshold
+                bound = f">= {_fmt_delta(threshold)}"
+            results.append(
+                GateResult(
+                    cell.label,
+                    metric,
+                    threshold,
+                    passed,
+                    f"{_fmt(base_value)} -> {_fmt(value)}, "
+                    f"delta {_fmt_delta(delta)} (need {bound})",
+                )
+            )
+    return results

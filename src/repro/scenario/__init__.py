@@ -43,6 +43,7 @@ from .spec import (
     ScenarioSpec,
     ScenarioSpecError,
     SecondaryIndexSection,
+    SweepSection,
     TPCHSection,
     TraceSection,
     WorkloadPhaseSpec,
@@ -64,6 +65,7 @@ __all__ = [
     "ScenarioSpecError",
     "SecondaryIndexSection",
     "StepOutcome",
+    "SweepSection",
     "TPCHSection",
     "TraceSection",
     "WorkloadPhaseSpec",

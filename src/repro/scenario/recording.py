@@ -58,6 +58,10 @@ def recording_payload(result: ScenarioResult) -> Dict[str, Any]:
     # readers (and untraced recordings) working, so the version stays 1.
     if result.trace is not None:
         payload["trace"] = result.trace
+    # Rebalance totals (count / seconds / records / bytes / buckets) feed the
+    # sweep manifest and `compare` tables; same absence-tolerated contract.
+    if result.rebalances:
+        payload["rebalances"] = dict(result.rebalances)
     return payload
 
 

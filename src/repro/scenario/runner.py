@@ -66,6 +66,11 @@ class ScenarioResult:
     metrics_report: str = ""
     snapshot: Any = None  # MetricsSnapshot
     describe: Dict[str, Any] = field(default_factory=dict)
+    #: Totals accumulated from every ``rebalance.complete`` event of the run
+    #: (autopilot-triggered and explicit steps alike): ``count``,
+    #: ``simulated_seconds``, ``records_moved``, ``bytes_shipped``,
+    #: ``buckets_moved``.  Empty when the run never rebalanced.
+    rebalances: Dict[str, float] = field(default_factory=dict)
     #: Trace payload (spans + timeline series) when the spec enabled a
     #: ``[trace]`` section; ``None`` for untraced runs.
     trace: Optional[Dict[str, Any]] = None
@@ -129,6 +134,16 @@ class ScenarioResult:
             lines.append(
                 format_table(["phase", "write p99 (ms)", "read p99 (ms)"], phase_rows)
             )
+        if self.rebalances:
+            from ..common.units import fmt_bytes, fmt_duration
+
+            lines.append("")
+            lines.append(
+                f"rebalance totals: {int(self.rebalances.get('count', 0))} completed, "
+                f"{int(self.rebalances.get('records_moved', 0))} records / "
+                f"{fmt_bytes(self.rebalances.get('bytes_shipped', 0))} shipped in "
+                f"{fmt_duration(self.rebalances.get('simulated_seconds', 0.0))}"
+            )
         if self.checks:
             lines.append("")
             for check in self.checks:
@@ -170,6 +185,21 @@ def run_scenario(
     )
     try:
         result.nodes_before = db.num_nodes
+
+        def _on_rebalance_complete(event: Any) -> None:
+            report = event["report"]
+            totals = result.rebalances
+            totals["count"] = totals.get("count", 0) + 1
+            totals["simulated_seconds"] = (
+                totals.get("simulated_seconds", 0.0) + report.simulated_seconds
+            )
+            totals["records_moved"] = totals.get("records_moved", 0) + report.total_records_moved
+            totals["bytes_shipped"] = totals.get("bytes_shipped", 0) + report.total_bytes_shipped
+            totals["buckets_moved"] = totals.get("buckets_moved", 0) + sum(
+                dataset.buckets_moved for dataset in report.dataset_reports
+            )
+
+        db.on("rebalance.complete", _on_rebalance_complete)
 
         trace_session = None
         if spec.trace is not None and spec.trace.enabled:
@@ -409,6 +439,29 @@ def _evaluate_checks(
                     f"{steady * 1e3:.3f} ms steady",
                 )
             )
+    for phase in (PHASE_STEADY, PHASE_REBALANCE):
+        budget_ms = checks.write_p99_budget_ms.get(phase)
+        if budget_ms is None:
+            continue
+        observed = result.write_p99_seconds.get(phase)
+        if observed is None:
+            # A budget over a phase that recorded no writes fails loudly: a
+            # silent workload is not evidence the SLO held.
+            result.checks.append(
+                CheckResult(
+                    f"write_p99_budget_ms.{phase}",
+                    False,
+                    f"no write-latency population for the {phase} phase",
+                )
+            )
+            continue
+        result.checks.append(
+            CheckResult(
+                f"write_p99_budget_ms.{phase}",
+                observed * 1e3 <= budget_ms,
+                f"write p99 {observed * 1e3:.3f} ms vs budget {budget_ms:.3f} ms",
+            )
+        )
     if checks.datasets_unchanged_after_steps:
         changed = {
             name: (before, counts_after_steps.get(name))

@@ -46,6 +46,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSpecError",
     "SecondaryIndexSection",
+    "SweepSection",
     "TPCHSection",
     "TraceSection",
     "WorkloadPhaseSpec",
@@ -751,6 +752,137 @@ class TraceSection:
         return mapping
 
 
+@dataclass(frozen=True)
+class SweepSection:
+    """``[sweep]``: a parameter grid for ``python -m repro sweep``.
+
+    Each key of ``[sweep.axes]`` is an *axis*: a shorthand alias
+    (``strategy``, ``seed``, ``nodes``, ``workload_scale``, ``policy``) or a
+    dotted path into the spec's canonical mapping form
+    (``workload.initial_records``, ``autopilot.options.max_skew``,
+    ``steps.0.target_nodes``), mapped to the list of values to try.  The
+    sweep runs one cell per point of the cartesian product, in declared axis
+    order, each cell being the base spec with that cell's overrides applied
+    and the ``[sweep]`` section stripped — so every cell recording replays
+    like any single-scenario recording.
+
+    ``run``/``replay`` ignore the section entirely: a spec with a ``[sweep]``
+    table still runs as the base scenario, which keeps one file usable both
+    as a single run and as a grid.
+    """
+
+    #: Ordered ``(axis, values)`` pairs — the declared grid.
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    #: Default worker-process count for the executor (CLI ``--jobs`` wins).
+    jobs: int = 1
+
+    _KEYS = ("axes", "jobs")
+
+    #: Shorthand axis names -> dotted canonical-mapping paths.
+    AXIS_ALIASES = {
+        "strategy": "cluster.strategy",
+        "seed": "cluster.seed",
+        "nodes": "cluster.nodes",
+        "workload_scale": "cluster.workload_scale",
+        "policy": "autopilot.policy",
+    }
+
+    #: Sections a dotted axis path may start with.
+    _PATH_ROOTS = (
+        "cluster",
+        "workload",
+        "autopilot",
+        "tpch",
+        "trace",
+        "steps",
+        "checks",
+        "datasets",
+    )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any], where: str = "sweep") -> "SweepSection":
+        _check_keys(mapping, where, cls._KEYS)
+        axes_raw = _require_mapping(mapping.get("axes", {}), f"{where}.axes")
+        axes: List[Tuple[str, Tuple[Any, ...]]] = []
+        for axis, values in axes_raw.items():
+            axis_where = f"{where}.axes.{axis}"
+            cls.validate_axis_name(axis, axis_where)
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise ScenarioSpecError(
+                    f"{axis_where}: expected an array of values, got {type(values).__name__}"
+                )
+            if not values:
+                raise ScenarioSpecError(f"{axis_where}: an axis needs at least one value")
+            for position, value in enumerate(values):
+                if not isinstance(value, (str, int, float, bool)):
+                    raise ScenarioSpecError(
+                        f"{axis_where}[{position}]: axis values must be scalars "
+                        f"(string/int/float/bool), got {type(value).__name__}"
+                    )
+            if len(set(map(repr, values))) != len(values):
+                raise ScenarioSpecError(f"{axis_where}: axis values must be unique")
+            axes.append((axis, tuple(values)))
+        jobs = _get_typed(mapping, "jobs", int, where, 1)
+        if jobs < 1:
+            raise ScenarioSpecError(f"{where}.jobs: must be at least 1")
+        section = cls(axes=tuple(axes), jobs=jobs)
+        section._validate_values()
+        return section
+
+    @classmethod
+    def validate_axis_name(cls, axis: str, where: str) -> str:
+        """Resolve ``axis`` to its dotted path; raises on unknown names."""
+        if axis in cls.AXIS_ALIASES:
+            return cls.AXIS_ALIASES[axis]
+        root = axis.split(".", 1)[0]
+        if "." in axis and root in cls._PATH_ROOTS:
+            return axis
+        raise ScenarioSpecError(
+            f"{where}: unknown axis {axis!r}; use an alias "
+            f"({', '.join(sorted(cls.AXIS_ALIASES))}) or a dotted spec path "
+            f"starting with one of: {', '.join(cls._PATH_ROOTS)}"
+        )
+
+    def _validate_values(self) -> None:
+        """Registry-backed eager checks for the common axes."""
+        for axis, values in self.axes:
+            path = self.validate_axis_name(axis, f"sweep.axes.{axis}")
+            if path == "cluster.strategy":
+                from ..api.registry import available_strategies, strategy_by_name
+
+                for value in values:
+                    try:
+                        strategy_by_name(str(value))
+                    except ConfigError as exc:
+                        raise ScenarioSpecError(
+                            f"sweep.axes.{axis}: unknown strategy {value!r} "
+                            f"(registered strategies: {', '.join(available_strategies())})"
+                        ) from exc
+            elif path == "cluster.seed":
+                for value in values:
+                    if isinstance(value, bool) or not isinstance(value, int):
+                        raise ScenarioSpecError(
+                            f"sweep.axes.{axis}: seeds must be integers, got {value!r}"
+                        )
+            elif path == "autopilot.policy":
+                from ..control import available_policies
+
+                for value in values:
+                    if value not in available_policies():
+                        raise ScenarioSpecError(
+                            f"sweep.axes.{axis}: unknown policy {value!r} "
+                            f"(registered policies: {', '.join(available_policies())})"
+                        )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        mapping: Dict[str, Any] = {}
+        if self.axes:
+            mapping["axes"] = {axis: list(values) for axis, values in self.axes}
+        if self.jobs != 1:
+            mapping["jobs"] = self.jobs
+        return mapping
+
+
 # ---------------------------------------------------------------------------
 # steps
 # ---------------------------------------------------------------------------
@@ -895,6 +1027,11 @@ class ChecksSection:
     rebalance_write_p99_gte_steady: bool = False
     datasets_unchanged_after_steps: bool = False
     queries_identical_across_rebalance: bool = False
+    #: Per-phase write-p99 SLO budgets in milliseconds, e.g.
+    #: ``write_p99_budget_ms = {steady = 5.0, rebalance = 25.0}``.  One check
+    #: per phase: the phase's write p99 must not exceed its budget (a phase
+    #: that recorded no writes fails — a silent workload is not within SLO).
+    write_p99_budget_ms: Mapping[str, float] = field(default_factory=dict)
 
     _KEYS = (
         "min_autopilot_rebalances",
@@ -903,11 +1040,27 @@ class ChecksSection:
         "rebalance_write_p99_gte_steady",
         "datasets_unchanged_after_steps",
         "queries_identical_across_rebalance",
+        "write_p99_budget_ms",
     )
+
+    #: Phases a latency budget can be stated over.
+    _BUDGET_PHASES = ("steady", "rebalance")
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any], where: str = "checks") -> "ChecksSection":
         _check_keys(mapping, where, cls._KEYS)
+        budgets_raw = _require_mapping(
+            mapping.get("write_p99_budget_ms", {}), f"{where}.write_p99_budget_ms"
+        )
+        _check_keys(budgets_raw, f"{where}.write_p99_budget_ms", cls._BUDGET_PHASES)
+        budgets: Dict[str, float] = {}
+        for phase, budget in budgets_raw.items():
+            if isinstance(budget, bool) or not isinstance(budget, (int, float)) or budget <= 0:
+                raise ScenarioSpecError(
+                    f"{where}.write_p99_budget_ms.{phase}: budgets are positive "
+                    f"milliseconds, got {budget!r}"
+                )
+            budgets[phase] = float(budget)
         return cls(
             min_autopilot_rebalances=_get_typed(mapping, "min_autopilot_rebalances", int, where),
             expect_nodes=_get_typed(mapping, "expect_nodes", int, where),
@@ -921,15 +1074,19 @@ class ChecksSection:
             queries_identical_across_rebalance=_get_typed(
                 mapping, "queries_identical_across_rebalance", bool, where, False
             ),
+            write_p99_budget_ms=budgets,
         )
 
     def to_mapping(self) -> Dict[str, Any]:
         defaults = ChecksSection()
-        return {
+        mapping = {
             key: getattr(self, key)
             for key in self._KEYS
-            if getattr(self, key) != getattr(defaults, key)
+            if key != "write_p99_budget_ms" and getattr(self, key) != getattr(defaults, key)
         }
+        if self.write_p99_budget_ms:
+            mapping["write_p99_budget_ms"] = dict(self.write_p99_budget_ms)
+        return mapping
 
 
 # ---------------------------------------------------------------------------
@@ -946,6 +1103,7 @@ _TOP_LEVEL_KEYS = (
     "trace",
     "steps",
     "checks",
+    "sweep",
 )
 
 
@@ -963,6 +1121,7 @@ class ScenarioSpec:
     trace: Optional[TraceSection] = None
     steps: Tuple[Step, ...] = ()
     checks: ChecksSection = field(default_factory=ChecksSection)
+    sweep: Optional[SweepSection] = None
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "ScenarioSpec":
@@ -1025,6 +1184,9 @@ class ScenarioSpec:
             else None,
             steps=steps,
             checks=ChecksSection.from_mapping(_require_mapping(mapping.get("checks", {}), "checks")),
+            sweep=SweepSection.from_mapping(_require_mapping(mapping["sweep"], "sweep"))
+            if "sweep" in mapping
+            else None,
         )
         spec._validate_cross_section()
         return spec
@@ -1128,6 +1290,8 @@ class ScenarioSpec:
         checks = self.checks.to_mapping()
         if checks:
             mapping["checks"] = checks
+        if self.sweep is not None:
+            mapping["sweep"] = self.sweep.to_mapping()
         return mapping
 
     def with_overrides(

@@ -27,6 +27,7 @@ from .export import (
     chrome_trace_payload,
     render_gantt,
     render_span_tree,
+    timeline_csv,
 )
 from .session import TRACE_PAYLOAD_VERSION, TraceSession
 from .spans import Span, Tracer
@@ -44,4 +45,5 @@ __all__ = [
     "chrome_trace_payload",
     "render_gantt",
     "render_span_tree",
+    "timeline_csv",
 ]

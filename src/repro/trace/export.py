@@ -28,6 +28,7 @@ __all__ = [
     "chrome_trace_payload",
     "render_gantt",
     "render_span_tree",
+    "timeline_csv",
 ]
 
 #: Category -> Perfetto thread id (tracks appear in this order).
@@ -115,6 +116,41 @@ def chrome_trace_payload(trace: Mapping[str, Any]) -> Dict[str, Any]:
 def chrome_trace_json(trace: Mapping[str, Any]) -> str:
     """The Chrome trace document as deterministic (byte-stable) JSON."""
     return json.dumps(chrome_trace_payload(trace), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def timeline_csv(trace: Mapping[str, Any]) -> str:
+    """The timeline series as wide CSV for spreadsheet analysis.
+
+    One column per series (sorted by name) plus a leading
+    ``simulated_seconds`` column; one row per sample instant (the sorted
+    union of every series' times — a series that started later, e.g. a node
+    provisioned mid-run, has empty cells before its first sample).  Numbers
+    serialise through :func:`json.dumps` — the exact formatting rule of the
+    Chrome export — so the same payload yields byte-identical CSV on every
+    run and every ``PYTHONHASHSEED``.  Lines end with ``\\n``.
+    """
+    series_list = sorted(trace.get("series", []), key=lambda series: series["name"])
+    names = [series["name"] for series in series_list]
+    by_time: Dict[float, Dict[str, float]] = {}
+    for series in series_list:
+        for t, value in zip(series["times"], series["values"], strict=True):
+            by_time.setdefault(float(t), {})[series["name"]] = value
+    lines = [",".join(["simulated_seconds"] + [_csv_field(name) for name in names])]
+    for t in sorted(by_time):
+        row = by_time[t]
+        cells = [json.dumps(t)]
+        for name in names:
+            value = row.get(name)
+            cells.append("" if value is None else json.dumps(value))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_field(text: str) -> str:
+    """RFC-4180 quoting for header fields (series names may grow commas)."""
+    if any(ch in text for ch in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
 
 
 # ------------------------------------------------------------------ terminal

@@ -1,0 +1,157 @@
+"""The ``sweep`` and ``compare`` subcommands end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SWEEP_SPEC = """\
+[scenario]
+name = "cli-sweep"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+seed = 13
+[cluster.lsm]
+memory_component_bytes = "32 KiB"
+[cluster.bucketing]
+max_bucket_bytes = "48 KiB"
+
+[trace]
+
+[workload]
+initial_records = 100
+mix = "A"
+
+[[workload.phases]]
+name = "steady"
+ops = 30
+
+[[workload.phases]]
+name = "shrink"
+ops = 30
+rebalance = { remove = 1 }
+
+[checks]
+expect_nodes = 2
+write_p99_budget_ms = { steady = 5000.0 }
+
+[sweep.axes]
+strategy = ["dynahash", "statichash"]
+"""
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("spec") / "cli_sweep.toml"
+    path.write_text(SWEEP_SPEC)
+    return path
+
+
+@pytest.fixture(scope="module")
+def sweep_out(tmp_path_factory, spec_path):
+    """One sweep run shared by the compare tests (module-scoped: it simulates)."""
+    out_dir = tmp_path_factory.mktemp("out")
+    assert main(["sweep", str(spec_path), "--out-dir", str(out_dir)]) == 0
+    return out_dir
+
+
+class TestSweep:
+    def test_runs_the_grid_and_writes_the_manifest(self, sweep_out, capsys):
+        manifest_path = sweep_out / "sweep.manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        assert [cell["id"] for cell in manifest["cells"]] == [
+            "strategy=dynahash",
+            "strategy=statichash",
+        ]
+        for cell in manifest["cells"]:
+            assert (sweep_out / cell["recording"]).exists()
+
+    def test_banner_progress_and_next_step_hint(self, spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(["sweep", str(spec_path), "--axis", "strategy=dynahash",
+                     "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep of scenario 'cli-sweep': strategy[1] = 1 cell(s), jobs=1" in out
+        assert "cell strategy=dynahash: OK" in out
+        assert "sweep OK: 1/1 cell(s) passed" in out
+        assert "compare with: python -m repro compare" in out
+
+    def test_failing_cell_fails_the_sweep(self, spec_path, tmp_path, capsys):
+        text = SWEEP_SPEC.replace("expect_nodes = 2", "expect_nodes = 9")
+        bad = tmp_path / "bad.toml"
+        bad.write_text(text)
+        out_dir = tmp_path / "sweep"
+        assert main(["sweep", str(bad), "--axis", "strategy=dynahash",
+                     "--out-dir", str(out_dir), "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "cell strategy=dynahash: FAILED" in out  # failures print even with -q
+        assert "sweep FAILED: 0/1 cell(s) passed" in out
+
+    def test_jobs_below_one_exits_2(self, spec_path, tmp_path, capsys):
+        assert main(["sweep", str(spec_path), "--jobs", "0",
+                     "--out-dir", str(tmp_path / "x")]) == 2
+        assert "--jobs must be at least 1" in capsys.readouterr().err
+
+    def test_unknown_axis_exits_2_with_hint(self, spec_path, tmp_path, capsys):
+        assert main(["sweep", str(spec_path), "--axis", "bogus=1",
+                     "--out-dir", str(tmp_path / "x")]) == 2
+        assert "unknown axis" in capsys.readouterr().err
+
+    def test_spec_without_axes_exits_2(self, tmp_path, capsys):
+        no_axes = tmp_path / "noaxes.toml"
+        no_axes.write_text(SWEEP_SPEC.replace(
+            '[sweep.axes]\nstrategy = ["dynahash", "statichash"]\n', ""
+        ))
+        assert main(["sweep", str(no_axes), "--out-dir", str(tmp_path / "x")]) == 2
+        assert "no axes" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_manifest_renders_the_head_to_head(self, sweep_out, capsys):
+        assert main(["compare", str(sweep_out / "sweep.manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "headline metrics:" in out
+        assert "deltas vs baseline 'strategy=dynahash':" in out
+        assert "write_p99_budget_ms.steady" in out
+        assert "rebalance.records_moved" in out
+
+    def test_explicit_recordings_compare_too(self, sweep_out, capsys):
+        recordings = sorted(sweep_out.glob("*.recording.json"))
+        assert main(["compare", *map(str, recordings)]) == 0
+        assert "deltas vs baseline" in capsys.readouterr().out
+
+    def test_passing_gates_exit_0(self, sweep_out, capsys):
+        assert main(["compare", str(sweep_out / "sweep.manifest.json"),
+                     "--gate", "total_ops=0.0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "gate total_ops [strategy=statichash]: PASS" in out
+        assert "gates: 1/1 passed" in out
+
+    def test_breached_gate_exits_1(self, sweep_out, capsys):
+        assert main(["compare", str(sweep_out / "sweep.manifest.json"),
+                     "--gate", "no_such_metric=0.1", "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "gates: 0/1 passed" in out
+
+    def test_html_dashboard_is_written(self, sweep_out, tmp_path, capsys):
+        html_path = tmp_path / "dash.html"
+        assert main(["compare", str(sweep_out / "sweep.manifest.json"),
+                     "--html", str(html_path), "--quiet"]) == 0
+        assert f"dashboard written: {html_path}" in capsys.readouterr().out
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+
+    def test_single_recording_notes_the_degradation(self, sweep_out, capsys):
+        recording = sorted(sweep_out.glob("*.recording.json"))[0]
+        assert main(["compare", str(recording)]) == 0
+        out = capsys.readouterr().out
+        assert "single recording" in out
+        assert "deltas vs baseline" not in out
+
+    def test_missing_source_exits_2(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err

@@ -130,3 +130,28 @@ class TestReplayTraceDiff:
         out = capsys.readouterr().out
         assert "DIVERGED" in out
         assert "trace.spans[0]" in out
+
+
+class TestTimelineCsvFlag:
+    def test_timeline_csv_export(self, recording_path, tmp_path, capsys):
+        csv_path = tmp_path / "timeline.csv"
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", str(recording_path), "--out", str(out_path),
+                     "--timeline-csv", str(csv_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert f"timeline CSV written: {csv_path}" in stdout
+        lines = csv_path.read_text().splitlines()
+        header = lines[0].split(",")
+        assert header[0] == "simulated_seconds"
+        assert header[1:] == sorted(header[1:])  # one sorted column per series
+        assert any(name.startswith("node.bytes.") for name in header)
+        assert len(lines) > 1
+
+    def test_timeline_csv_is_byte_stable(self, recording_path, tmp_path):
+        first = tmp_path / "a.csv"
+        second = tmp_path / "b.csv"
+        for path in (first, second):
+            assert main(["trace", str(recording_path), "-q",
+                         "--out", str(tmp_path / "chrome.json"),
+                         "--timeline-csv", str(path)]) == 0
+        assert first.read_bytes() == second.read_bytes()

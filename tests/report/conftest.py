@@ -1,0 +1,69 @@
+"""Shared sweep fixtures: one tiny traced grid, run once per test session."""
+
+import pytest
+
+from repro.report import load_comparison, run_sweep
+from repro.report.executor import MANIFEST_NAME
+from repro.scenario import parse_scenario
+
+BASE = """
+[scenario]
+name = "report-smoke"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+seed = 11
+[cluster.lsm]
+memory_component_bytes = "32 KiB"
+[cluster.bucketing]
+max_bucket_bytes = "48 KiB"
+
+[trace]
+
+[workload]
+initial_records = 120
+mix = "A"
+
+[[workload.phases]]
+name = "steady"
+ops = 40
+
+[[workload.phases]]
+name = "shrink"
+ops = 40
+rebalance = { remove = 1 }
+
+[checks]
+expect_nodes = 2
+write_p99_budget_ms = { steady = 5000.0, rebalance = 5000.0 }
+"""
+
+AXES = (("strategy", ("dynahash", "statichash")),)
+
+
+@pytest.fixture(scope="session")
+def base_spec():
+    return parse_scenario(BASE, "toml", "<report-tests>")
+
+
+@pytest.fixture(scope="session")
+def axes():
+    return AXES
+
+
+@pytest.fixture(scope="session")
+def sweep_dir(tmp_path_factory, base_spec, axes):
+    out = tmp_path_factory.mktemp("sweep-serial")
+    run_sweep(base_spec, axes, out, jobs=1)
+    return out
+
+
+@pytest.fixture(scope="session")
+def manifest_path(sweep_dir):
+    return sweep_dir / MANIFEST_NAME
+
+
+@pytest.fixture
+def comparison(manifest_path):
+    return load_comparison([manifest_path])

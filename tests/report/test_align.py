@@ -1,0 +1,184 @@
+"""Loading comparisons, headline metrics, and simulated-time alignment.
+
+Covers the degradation contract: single recordings, missing trace payloads,
+mismatched scenarios, disjoint time ranges, and version mismatches all either
+compare with a loud note or fail with the offending path in the error.
+"""
+
+import json
+
+import pytest
+
+from repro.report import (
+    CellView,
+    Comparison,
+    align_series,
+    headline_metrics,
+    load_comparison,
+)
+from repro.scenario import ScenarioSpecError
+
+
+def recording_paths(sweep_dir):
+    return sorted(sweep_dir.glob("*.recording.json"))
+
+
+def tampered_copy(sweep_dir, tmp_path, name, mutate):
+    """A recording with `mutate(document)` applied, written under tmp_path."""
+    document = json.loads(recording_paths(sweep_dir)[0].read_text())
+    mutate(document)
+    path = tmp_path / name
+    path.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+class TestHeadlineMetrics:
+    def test_real_recording_metrics(self, comparison):
+        for cell in comparison.cells:
+            metrics = cell.metrics
+            assert metrics["total_ops"] == 80.0
+            assert metrics["simulated_seconds"] > 0
+            assert metrics["ops_per_sec"] == pytest.approx(
+                metrics["total_ops"] / metrics["simulated_seconds"]
+            )
+            assert metrics["write_p99_ms[steady]"] > 0
+            assert metrics["write_p99_ms[rebalance]"] > 0
+            assert metrics["rebalance.count"] == 1.0
+            assert metrics["rebalance.records_moved"] > 0
+            assert metrics["rebalance.bytes_shipped"] > 0
+            assert metrics["checks.passed"] == metrics["checks.total"]
+
+    def test_absent_populations_are_omitted_not_zeroed(self):
+        metrics = headline_metrics({"total_ops": 0, "simulated_seconds": 0.0})
+        assert metrics == {"total_ops": 0.0, "simulated_seconds": 0.0}
+
+
+class TestLoadComparison:
+    def test_from_manifest(self, comparison, manifest_path):
+        assert comparison.labels == ["strategy=dynahash", "strategy=statichash"]
+        assert comparison.manifest == str(manifest_path)
+        assert comparison.cells[0].overrides == {"strategy": "dynahash"}
+        assert comparison.cells[0].strategy == "dynahash"
+        assert comparison.notes == []
+
+    def test_from_recording_paths_labels_by_stem(self, sweep_dir):
+        comparison = load_comparison(recording_paths(sweep_dir))
+        assert all(not label.endswith(".recording") for label in comparison.labels)
+        assert len(comparison.cells) == 2
+        assert comparison.manifest is None
+
+    def test_duplicate_stems_deduplicate(self, sweep_dir):
+        path = recording_paths(sweep_dir)[0]
+        comparison = load_comparison([path, path])
+        assert comparison.labels[1] == comparison.labels[0] + "#2"
+
+    def test_single_recording_notes_nothing_to_diff(self, sweep_dir):
+        comparison = load_comparison([recording_paths(sweep_dir)[0]])
+        assert any("single recording" in note for note in comparison.notes)
+
+    def test_missing_trace_payload_notes_the_cells(self, sweep_dir, tmp_path):
+        untraced = tampered_copy(
+            sweep_dir, tmp_path, "untraced.recording.json", lambda d: d.pop("trace")
+        )
+        comparison = load_comparison([recording_paths(sweep_dir)[0], untraced])
+        assert comparison.cells[1].trace is None
+        assert any("no trace payload in: untraced" in note for note in comparison.notes)
+        # The traced cell's series still align; the untraced cell is omitted.
+        _, aligned = align_series(comparison, comparison.series_names()[0])
+        assert list(aligned) == [comparison.cells[0].label]
+
+    def test_mismatched_scenarios_note_not_error(self, sweep_dir, tmp_path):
+        def rename(document):
+            document["scenario"]["scenario"]["name"] = "other-scenario"
+
+        other = tampered_copy(sweep_dir, tmp_path, "other.recording.json", rename)
+        comparison = load_comparison([recording_paths(sweep_dir)[0], other])
+        assert any("different scenarios" in note for note in comparison.notes)
+
+    def test_recording_version_mismatch_names_the_path(self, sweep_dir, tmp_path):
+        def bump(document):
+            document["version"] = 99
+
+        stale = tampered_copy(sweep_dir, tmp_path, "stale.recording.json", bump)
+        with pytest.raises(ScenarioSpecError, match="unsupported recording version 99"):
+            load_comparison([stale])
+
+    def test_manifest_version_mismatch_fails_with_the_manifest_error(
+        self, manifest_path, tmp_path
+    ):
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 2
+        path = tmp_path / "sweep.manifest.json"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ScenarioSpecError, match="unsupported manifest version 2"):
+            load_comparison([path])
+
+    def test_manifest_without_cells_fails(self, manifest_path, tmp_path):
+        manifest = json.loads(manifest_path.read_text())
+        manifest["cells"] = []
+        path = tmp_path / "sweep.manifest.json"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ScenarioSpecError, match="lists no cells"):
+            load_comparison([path])
+
+    def test_no_sources_is_an_error(self):
+        with pytest.raises(ScenarioSpecError, match="no recordings"):
+            load_comparison([])
+
+
+def synthetic(series_by_label):
+    """A Comparison whose cells carry only timeline series."""
+    cells = [
+        CellView(
+            label=label,
+            document={
+                "trace": {
+                    "series": [
+                        {"name": name, "times": times, "values": values}
+                        for name, (times, values) in series.items()
+                    ]
+                }
+            },
+        )
+        for label, series in series_by_label.items()
+    ]
+    return Comparison(cells=cells)
+
+
+class TestAlignSeries:
+    def test_union_grid_with_step_resampling(self):
+        comparison = synthetic(
+            {
+                "a": {"s": ([0.0, 2.0], [1.0, 3.0])},
+                "b": {"s": ([1.0, 2.0, 4.0], [10.0, 20.0, 40.0])},
+            }
+        )
+        grid, aligned = align_series(comparison, "s")
+        assert grid == [0.0, 1.0, 2.0, 4.0]
+        assert aligned["a"] == [1.0, 1.0, 3.0, 3.0]
+        assert aligned["b"] == [None, 10.0, 20.0, 40.0]
+
+    def test_disjoint_time_ranges_still_align(self):
+        comparison = synthetic(
+            {
+                "early": {"s": ([0.0, 1.0], [1.0, 2.0])},
+                "late": {"s": ([5.0, 6.0], [9.0, 8.0])},
+            }
+        )
+        grid, aligned = align_series(comparison, "s")
+        assert grid == [0.0, 1.0, 5.0, 6.0]
+        assert aligned["early"] == [1.0, 2.0, 2.0, 2.0]
+        assert aligned["late"] == [None, None, 9.0, 8.0]
+
+    def test_cells_without_the_series_are_omitted(self):
+        comparison = synthetic(
+            {"has": {"s": ([0.0], [1.0])}, "lacks": {"t": ([0.0], [1.0])}}
+        )
+        _, aligned = align_series(comparison, "s")
+        assert list(aligned) == ["has"]
+
+    def test_series_names_are_the_sorted_union(self):
+        comparison = synthetic(
+            {"a": {"z": ([0.0], [1.0]), "m": ([0.0], [1.0])}, "b": {"a": ([0.0], [1.0])}}
+        )
+        assert comparison.series_names() == ["a", "m", "z"]

@@ -1,0 +1,83 @@
+"""The HTML dashboard: self-contained, byte-stable, hash-seed independent."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.report import CellView, Comparison, load_comparison, render_dashboard
+
+
+class TestDashboard:
+    def test_document_shape(self, comparison):
+        html = render_dashboard(comparison)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        assert "strategy=dynahash" in html and "strategy=statichash" in html
+        assert "<svg" in html  # sparklines and gantt strips
+        assert "write_p99_ms[rebalance]" in html
+        assert "data-sort" in html and "<script>" in html  # sortable cells table
+
+    def test_self_contained_no_external_references(self, comparison):
+        html = render_dashboard(comparison)
+        for fragment in ("http://", "https://", "src=", "<link", "@import", "url("):
+            assert fragment not in html, fragment
+
+    def test_byte_stable_across_renders_and_loads(self, manifest_path, comparison):
+        again = load_comparison([manifest_path])
+        assert render_dashboard(comparison) == render_dashboard(comparison)
+        assert render_dashboard(comparison) == render_dashboard(again)
+
+    def test_untraced_comparison_still_renders(self, comparison):
+        for cell in comparison.cells:
+            cell.document.pop("trace")
+        html = render_dashboard(comparison)
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_series_overflow_is_announced_not_silent(self):
+        cells = [
+            CellView(
+                label="big",
+                document={
+                    "scenario": {"scenario": {"name": "t"}},
+                    "trace": {
+                        "series": [
+                            {"name": f"series.{index:02d}", "times": [0.0], "values": [1.0]}
+                            for index in range(20)
+                        ],
+                        "spans": [],
+                    },
+                },
+            )
+        ]
+        html = render_dashboard(Comparison(cells=cells))
+        assert "+4 more series not shown" in html
+        assert "series.19" in html  # the hidden names are listed
+
+
+class TestHashSeedIndependence:
+    def test_compare_and_dashboard_are_identical_across_hash_seeds(self, manifest_path):
+        script = (
+            "import sys\n"
+            "from repro.report import load_comparison, render_comparison, render_dashboard\n"
+            "comparison = load_comparison([sys.argv[1]])\n"
+            "sys.stdout.write(render_dashboard(comparison))\n"
+            "sys.stdout.write(render_comparison(comparison))\n"
+        )
+        src = Path(repro.__file__).resolve().parents[1]
+        outputs = []
+        for seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(manifest_path)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert "<!DOCTYPE html>" in outputs[0]

@@ -1,0 +1,134 @@
+"""Comparison tables and the relative-delta regression gates."""
+
+import pytest
+
+from repro.report import (
+    CellView,
+    Comparison,
+    GateResult,
+    evaluate_gates,
+    parse_gate_arg,
+    render_comparison,
+)
+from repro.scenario import ScenarioSpecError
+
+
+def make_cell(label, metrics, checks=(), strategy="dynahash", seed=7):
+    document = {
+        "scenario": {"scenario": {"name": "t"}, "cluster": {"strategy": strategy}},
+        "seed": seed,
+        "nodes": {"before": 2, "after": 3},
+        "checks": [{"name": name, "passed": passed, "detail": ""} for name, passed in checks],
+    }
+    return CellView(label=label, document=document, metrics=dict(metrics))
+
+
+@pytest.fixture
+def pair():
+    return Comparison(
+        cells=[
+            make_cell("base", {"ops_per_sec": 100.0, "moved": 10.0}, checks=(("c1", True),)),
+            make_cell(
+                "cand",
+                {"ops_per_sec": 90.0, "moved": 20.0, "extra": 1.0},
+                checks=(("c1", False), ("c2", True)),
+                strategy="statichash",
+            ),
+        ]
+    )
+
+
+class TestRenderComparison:
+    def test_sections_and_values(self, pair):
+        text = render_comparison(pair)
+        assert "headline metrics:" in text
+        assert "deltas vs baseline 'base':" in text
+        assert "statichash" in text
+        assert "+100.0%" in text  # moved 10 -> 20
+        assert "-10.0%" in text  # ops_per_sec 100 -> 90
+        # 'extra' is absent from the baseline: shown as '-' with no delta.
+        assert "extra" in text
+
+    def test_checks_table_unions_names(self, pair):
+        text = render_comparison(pair)
+        assert "checks:" in text
+        lines = [line for line in text.splitlines() if line.startswith("c2")]
+        assert lines and "-" in lines[0] and "PASS" in lines[0]
+
+    def test_single_cell_has_no_diff_section(self):
+        comparison = Comparison(cells=[make_cell("only", {"ops_per_sec": 1.0})])
+        text = render_comparison(comparison)
+        assert "deltas vs baseline" not in text
+
+    def test_notes_are_appended(self, pair):
+        pair.notes.append("some warning")
+        assert "note: some warning" in render_comparison(pair)
+
+    def test_rendering_is_deterministic(self, pair):
+        assert render_comparison(pair) == render_comparison(pair)
+
+    def test_unknown_baseline_lists_cells(self, pair):
+        with pytest.raises(ScenarioSpecError, match="base, cand"):
+            render_comparison(pair, baseline="nope")
+
+    def test_real_comparison_renders(self, comparison):
+        text = render_comparison(comparison)
+        assert "strategy=dynahash" in text and "strategy=statichash" in text
+        assert "write_p99_ms[rebalance]" in text
+        assert "write_p99_budget_ms.steady" in text
+        assert "3->2" in text  # nodes before -> after
+
+
+class TestParseGateArg:
+    def test_metric_and_threshold(self):
+        assert parse_gate_arg("write_p99_ms[rebalance]=0.25") == (
+            "write_p99_ms[rebalance]",
+            0.25,
+        )
+        assert parse_gate_arg("ops_per_sec=-0.10") == ("ops_per_sec", -0.10)
+
+    def test_missing_equals(self):
+        with pytest.raises(ScenarioSpecError, match="METRIC=THRESHOLD"):
+            parse_gate_arg("ops_per_sec")
+
+    def test_non_numeric_threshold(self):
+        with pytest.raises(ScenarioSpecError, match="not a number"):
+            parse_gate_arg("ops_per_sec=fast")
+
+
+class TestEvaluateGates:
+    def test_growth_cap_passes_and_fails(self, pair):
+        grew = evaluate_gates(pair, {"moved": 0.5})  # +100% > +50% -> FAIL
+        assert [g.passed for g in grew] == [False]
+        assert "need <= +50.0%" in grew[0].detail
+        assert evaluate_gates(pair, {"moved": 2.0})[0].passed  # +100% <= +200%
+
+    def test_drop_cap_passes_and_fails(self, pair):
+        held = evaluate_gates(pair, {"ops_per_sec": -0.25})  # -10% >= -25% -> PASS
+        assert held[0].passed
+        dropped = evaluate_gates(pair, {"ops_per_sec": -0.05})
+        assert not dropped[0].passed
+        assert "need >= -5.0%" in dropped[0].detail
+
+    def test_missing_metric_fails_loudly(self, pair):
+        results = evaluate_gates(pair, {"nope": 0.1})
+        assert not results[0].passed
+        assert "not recorded" in results[0].detail
+        assert "ops_per_sec" in results[0].detail  # lists the known metrics
+        # Missing on the *baseline* side names the baseline cell.
+        extra = evaluate_gates(pair, {"extra": 0.1})
+        assert not extra[0].passed and "'base'" in extra[0].detail
+
+    def test_baseline_selection(self, pair):
+        results = evaluate_gates(pair, {"moved": 0.0}, baseline="cand")
+        assert [g.cell for g in results] == ["base"]
+        assert results[0].passed  # 20 -> 10 is a drop; the cap is on growth
+
+    def test_single_cell_is_an_error(self):
+        comparison = Comparison(cells=[make_cell("only", {})])
+        with pytest.raises(ScenarioSpecError, match="at least two"):
+            evaluate_gates(comparison, {"x": 0.1})
+
+    def test_line_format(self):
+        result = GateResult("cand", "ops_per_sec", -0.1, False, "why")
+        assert result.line() == "gate ops_per_sec [cand]: FAIL (why)"

@@ -1,0 +1,100 @@
+"""Per-phase write-p99 budgets and the rebalance movement totals."""
+
+import pytest
+
+from repro.scenario import parse_scenario, recording_payload, run_scenario
+
+BUDGETED = """
+[scenario]
+name = "budgeted"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+seed = 9
+[cluster.lsm]
+memory_component_bytes = "32 KiB"
+[cluster.bucketing]
+max_bucket_bytes = "48 KiB"
+
+[workload]
+initial_records = 120
+mix = "A"
+
+[[workload.phases]]
+name = "steady"
+ops = 40
+
+[[workload.phases]]
+name = "shrink"
+ops = 40
+rebalance = { remove = 1 }
+
+[checks]
+write_p99_budget_ms = { steady = 5000.0, rebalance = 5000.0 }
+"""
+
+
+@pytest.fixture(scope="module")
+def budgeted_result():
+    return run_scenario(parse_scenario(BUDGETED))
+
+
+class TestWriteP99Budget:
+    def test_generous_budgets_pass_per_phase(self, budgeted_result):
+        by_name = {check.name: check for check in budgeted_result.checks}
+        for phase in ("steady", "rebalance"):
+            check = by_name[f"write_p99_budget_ms.{phase}"]
+            assert check.passed, check.detail
+            assert "ms vs budget" in check.detail
+
+    def test_tiny_budget_fails_with_the_observed_value(self):
+        text = BUDGETED.replace(
+            "write_p99_budget_ms = { steady = 5000.0, rebalance = 5000.0 }",
+            "write_p99_budget_ms = { steady = 0.0000001 }",
+        )
+        result = run_scenario(parse_scenario(text))
+        check = next(c for c in result.checks if c.name == "write_p99_budget_ms.steady")
+        assert not check.passed
+        assert "vs budget 0.000 ms" in check.detail
+        assert not result.passed
+
+    def test_budget_without_a_population_fails_loudly(self):
+        # A rebalance-phase budget on a scenario that never rebalances:
+        # absent evidence is a failure, not a pass.
+        text = BUDGETED.replace('rebalance = { remove = 1 }\n', "").replace(
+            "write_p99_budget_ms = { steady = 5000.0, rebalance = 5000.0 }",
+            "write_p99_budget_ms = { rebalance = 5.0 }",
+        )
+        result = run_scenario(parse_scenario(text))
+        check = next(c for c in result.checks if c.name == "write_p99_budget_ms.rebalance")
+        assert not check.passed
+        assert "no write-latency population for the rebalance phase" in check.detail
+
+    def test_budget_outcome_renders(self, budgeted_result):
+        assert "write_p99_budget_ms.steady" in budgeted_result.render()
+
+
+class TestRebalanceTotals:
+    def test_result_accumulates_movement(self, budgeted_result):
+        totals = budgeted_result.rebalances
+        assert totals["count"] == 1
+        assert totals["simulated_seconds"] > 0
+        assert totals["records_moved"] > 0
+        assert totals["bytes_shipped"] > 0
+        assert totals["buckets_moved"] > 0
+
+    def test_totals_reach_the_recording_and_render(self, budgeted_result):
+        payload = recording_payload(budgeted_result)
+        assert payload["rebalances"] == dict(budgeted_result.rebalances)
+        assert "rebalance totals:" in budgeted_result.render()
+
+    def test_no_rebalance_means_no_totals_key(self):
+        text = BUDGETED.replace('rebalance = { remove = 1 }\n', "").replace(
+            "write_p99_budget_ms = { steady = 5000.0, rebalance = 5000.0 }",
+            "write_p99_budget_ms = { steady = 5000.0 }",
+        )
+        result = run_scenario(parse_scenario(text))
+        assert result.rebalances == {}
+        assert "rebalances" not in recording_payload(result)
+        assert "rebalance totals:" not in result.render()

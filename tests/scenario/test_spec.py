@@ -425,3 +425,90 @@ class TestBytesAndOverrides:
         assert smoke.workload.phases[0].ops == 40
         assert smoke.workload.initial_records == 100
         assert smoke.tpch.scale_factor <= 0.0004
+
+
+class TestSweepSection:
+    SWEPT = MINIMAL + """
+[sweep]
+jobs = 2
+[sweep.axes]
+strategy = ["dynahash", "statichash"]
+seed = [1, 2]
+"""
+
+    def test_parses_ordered_axes_and_jobs(self):
+        spec = spec_from(self.SWEPT)
+        assert spec.sweep is not None
+        assert spec.sweep.axes == (
+            ("strategy", ("dynahash", "statichash")),
+            ("seed", (1, 2)),
+        )
+        assert spec.sweep.jobs == 2
+
+    def test_round_trips_through_the_mapping(self):
+        spec = spec_from(self.SWEPT)
+        assert ScenarioSpec.from_mapping(spec.to_mapping()) == spec
+        assert spec.to_mapping()["sweep"]["jobs"] == 2
+
+    def test_absent_section_means_no_sweep(self):
+        assert spec_from(MINIMAL).sweep is None
+        assert "sweep" not in spec_from(MINIMAL).to_mapping()
+
+    def test_unknown_axis_names_the_aliases_and_roots(self):
+        text = MINIMAL + "[sweep.axes]\nbogus = [1]\n"
+        with pytest.raises(ScenarioSpecError) as excinfo:
+            spec_from(text)
+        assert "sweep.axes.bogus" in str(excinfo.value)
+        assert "workload_scale" in str(excinfo.value)
+
+    def test_unknown_strategy_value_lists_the_registry(self):
+        text = MINIMAL + '[sweep.axes]\nstrategy = ["nosuch"]\n'
+        with pytest.raises(ScenarioSpecError, match="unknown strategy 'nosuch'"):
+            spec_from(text)
+
+    def test_non_integer_seed_value(self):
+        text = MINIMAL + "[sweep.axes]\nseed = [1.5]\n"
+        with pytest.raises(ScenarioSpecError, match="seeds must be integers"):
+            spec_from(text)
+
+    def test_empty_axis(self):
+        text = MINIMAL + "[sweep.axes]\nseed = []\n"
+        with pytest.raises(ScenarioSpecError, match="at least one value"):
+            spec_from(text)
+
+    def test_duplicate_axis_values(self):
+        text = MINIMAL + "[sweep.axes]\nseed = [3, 3]\n"
+        with pytest.raises(ScenarioSpecError, match="unique"):
+            spec_from(text)
+
+    def test_jobs_below_one(self):
+        text = MINIMAL + "[sweep]\njobs = 0\n"
+        with pytest.raises(ScenarioSpecError, match=r"sweep\.jobs"):
+            spec_from(text)
+
+
+class TestWriteP99BudgetSpec:
+    def test_parses_per_phase_budgets(self):
+        text = MINIMAL + "[checks]\nwrite_p99_budget_ms = { steady = 5.0, rebalance = 25.0 }\n"
+        spec = spec_from(text)
+        assert spec.checks.write_p99_budget_ms == {"steady": 5.0, "rebalance": 25.0}
+        assert ScenarioSpec.from_mapping(spec.to_mapping()) == spec
+
+    def test_empty_budgets_stay_out_of_the_mapping(self):
+        spec = spec_from(MINIMAL)
+        assert "write_p99_budget_ms" not in spec.checks.to_mapping()
+
+    def test_unknown_phase(self):
+        text = MINIMAL + "[checks]\nwrite_p99_budget_ms = { warmup = 5.0 }\n"
+        with pytest.raises(ScenarioSpecError, match="warmup"):
+            spec_from(text)
+
+    def test_non_positive_budget(self):
+        text = MINIMAL + "[checks]\nwrite_p99_budget_ms = { steady = 0.0 }\n"
+        with pytest.raises(ScenarioSpecError, match="positive milliseconds"):
+            spec_from(text)
+
+    def test_boolean_budget_rejected(self):
+        text = MINIMAL + "[checks]\nwrite_p99_budget_ms = { steady = true }\n"
+        with pytest.raises(ScenarioSpecError, match="positive milliseconds"):
+            spec_from(text)

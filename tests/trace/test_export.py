@@ -2,7 +2,13 @@
 
 import json
 
-from repro.trace import chrome_trace_json, chrome_trace_payload, render_gantt, render_span_tree
+from repro.trace import (
+    chrome_trace_json,
+    chrome_trace_payload,
+    render_gantt,
+    render_span_tree,
+    timeline_csv,
+)
 
 PAYLOAD = {
     "version": 1,
@@ -148,3 +154,47 @@ class TestTerminalRenderings:
 
     def test_gantt_empty(self):
         assert render_gantt({"spans": []}) == "(no phase spans)"
+
+
+class TestTimelineCsv:
+    SERIES = {
+        "series": [
+            # Deliberately out of name order: the export sorts by name.
+            {"name": "z.late", "times": [1.0, 2.0], "values": [10.0, 20.0]},
+            {"name": "a.early", "times": [0.0, 2.0], "values": [1.5, 2.5]},
+        ]
+    }
+
+    def test_wide_shape_with_sorted_columns(self):
+        csv = timeline_csv(self.SERIES)
+        lines = csv.splitlines()
+        assert lines[0] == "simulated_seconds,a.early,z.late"
+        # Union of sample instants; a series has empty cells before its first
+        # sample (e.g. a node provisioned mid-run).
+        assert lines[1] == "0.0,1.5,"
+        assert lines[2] == "1.0,,10.0"
+        assert lines[3] == "2.0,2.5,20.0"
+        assert csv.endswith("\n")
+
+    def test_byte_stable_and_order_independent(self):
+        reversed_series = {"series": list(reversed(self.SERIES["series"]))}
+        assert timeline_csv(self.SERIES) == timeline_csv(self.SERIES)
+        assert timeline_csv(self.SERIES) == timeline_csv(reversed_series)
+
+    def test_numbers_format_like_the_chrome_export(self):
+        payload = {"series": [{"name": "s", "times": [0.125], "values": [1e-07]}]}
+        line = timeline_csv(payload).splitlines()[1]
+        assert line == f"{json.dumps(0.125)},{json.dumps(1e-07)}"
+
+    def test_header_fields_are_rfc4180_quoted(self):
+        payload = {"series": [{"name": 'a,b"c', "times": [0.0], "values": [1.0]}]}
+        assert timeline_csv(payload).splitlines()[0] == 'simulated_seconds,"a,b""c"'
+
+    def test_empty_trace_is_just_the_header(self):
+        assert timeline_csv({}) == "simulated_seconds\n"
+
+    def test_real_payload_round_trips_columns(self):
+        csv = timeline_csv(PAYLOAD)
+        lines = csv.splitlines()
+        assert lines[0] == "simulated_seconds,node.bytes.nc0"
+        assert lines[1:] == ["0.0,100.0", "1.0,250.0"]
