@@ -34,7 +34,7 @@ from ..cluster.controller import SimulatedCluster
 from ..cluster.dataset import SecondaryIndexSpec
 from ..cluster.reports import ClusterRebalanceReport, QueryReport
 from ..common.config import ClusterConfig
-from ..common.errors import ClusterError, ConfigError
+from ..common.errors import ClusterError, ConfigError, FaultInjected
 from ..common.events import Event, EventBus, Subscription
 from ..metrics import MetricsRegistry
 from ..query.executor import ClusterQueryExecutor, QuerySpec
@@ -235,6 +235,7 @@ class Database:
         remove: Optional[int] = None,
         concurrent_rows: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
         fault_sites: Optional[Iterable[str]] = None,
+        arm_chaos: bool = True,
     ) -> ClusterRebalanceReport:
         """Resize the cluster with the configured strategy.
 
@@ -248,6 +249,12 @@ class Database:
         injection requires a directory-routing strategy — the ``"hashing"``
         baseline has no protocol sites and rejects it with
         :class:`~repro.common.errors.ConfigError`.
+
+        When a chaos engine is installed (:meth:`enable_chaos`), every crash
+        plan the simulated clock has passed arms its site here too, merged
+        with any explicit ``fault_sites``; ``arm_chaos=False`` opts a caller
+        out (the autopilot uses it so scheduled crashes target explicit
+        rebalances, not policy-triggered ones).
         """
         self._check_open()
         chosen = [value for value in (target_nodes, add, remove) if value is not None]
@@ -255,10 +262,19 @@ class Database:
             raise ConfigError("pass exactly one of target_nodes=, add=, remove=")
         if target_nodes is None:
             target_nodes = self.num_nodes + (add or 0) - (remove or 0)
-        injector = FaultInjector(list(fault_sites)) if fault_sites else None
-        return self._cluster.rebalance_to(
-            target_nodes, concurrent_rows=concurrent_rows, fault_injector=injector
-        )
+        sites = list(fault_sites) if fault_sites else []
+        chaos = self._cluster.chaos
+        if chaos is not None and arm_chaos:
+            sites.extend(chaos.due_crash_sites())
+        injector = FaultInjector(sites) if sites else None
+        try:
+            return self._cluster.rebalance_to(
+                target_nodes, concurrent_rows=concurrent_rows, fault_injector=injector
+            )
+        except FaultInjected as fault:
+            if chaos is not None:
+                chaos.on_fault(fault.site)
+            raise
 
     def add_nodes(self, count: int = 1) -> ClusterRebalanceReport:
         return self.rebalance(add=count)
@@ -335,6 +351,40 @@ class Database:
         """The attached tracing session, if :meth:`start_trace` was called."""
         return self._trace
 
+    # ------------------------------------------------------------------ chaos
+
+    def enable_chaos(self, *, seed: Optional[int] = None, **plan: Any) -> Any:
+        """Install a deterministic chaos engine on this session's cluster.
+
+        ``plan`` takes the :class:`repro.chaos.ChaosEngine` schedule keywords
+        (``stragglers``, ``partitions``, ``crashes``, ``backpressure``,
+        ``bursts``, ``retry``, ``random_stragglers``,
+        ``straggler_horizon_seconds``); ``seed`` defaults to the cluster
+        config's seed and feeds the dedicated ``chaos:<seed>`` RNG stream.
+        One engine per session — enabling again replaces the schedule.  The
+        hot paths probe ``cluster.chaos is not None`` once per call, so a
+        session that never enables chaos is bit-identical to one on a build
+        without it.
+        """
+        self._check_open()
+        from ..chaos import ChaosEngine
+
+        engine = ChaosEngine(
+            clock=self._metrics.clock,
+            cost=self._cluster.cost,
+            events=self._cluster.events,
+            seed=self.config.seed if seed is None else seed,
+            node_ids=[node.node_id for node in self._cluster.nodes],
+            **plan,
+        )
+        self._cluster.chaos = engine
+        return engine
+
+    @property
+    def chaos_engine(self) -> Optional[Any]:
+        """The installed chaos engine, if :meth:`enable_chaos` was called."""
+        return self._cluster.chaos
+
     def recover(self) -> List[RecoveryOutcome]:
         """Run rebalance recovery as a restarted coordinator would."""
         self._check_open()
@@ -343,6 +393,10 @@ class Database:
             "recovery.complete",
             outcomes=[(o.rebalance_id, o.dataset, o.action) for o in outcomes],
         )
+        if self._cluster.chaos is not None:
+            # Recovery round trips cost simulated time only under chaos, so
+            # non-chaos runs keep their recorded clocks bit for bit.
+            self._cluster.chaos.charge_recovery(outcomes)
         return outcomes
 
     # ----------------------------------------------------------------- query

@@ -235,6 +235,11 @@ class Dataset:
             + (opened * self.database.config.lsm.page_bytes)
             / cost.config.disk_read_bytes_per_sec
         )
+        chaos = self.database.cluster.chaos
+        if chaos is not None:
+            # Burst windows stretch the client's service time; partition
+            # windows add the retry path's miss/backoff penalty on top.
+            latency = latency * chaos.client_factor() + chaos.routing_penalty(runtime, key)
         self._emit_op("read", latency, found=record is not None)
         return record
 
@@ -258,6 +263,7 @@ class Dataset:
         page_bytes = self.database.config.lsm.page_bytes
         disk_rate = cost.config.disk_read_bytes_per_sec
         heat = self.database.cluster.heat
+        chaos = self.database.cluster.chaos
         records: List[Optional[Dict[str, Any]]] = []
         latencies: List[float] = []
         for key in keys:
@@ -269,9 +275,12 @@ class Dataset:
             opened = partition.components_opened_total() - opened_before
             # Same float-operation order as get(): the batched and looped
             # paths must produce bit-identical latency samples.
-            latencies.append(
-                rpc + component_open_time(opened) + (opened * page_bytes) / disk_rate
-            )
+            latency = rpc + component_open_time(opened) + (opened * page_bytes) / disk_rate
+            if chaos is not None:
+                latency = latency * chaos.client_factor() + chaos.routing_penalty(
+                    runtime, key
+                )
+            latencies.append(latency)
             records.append(record)
         self._emit_op_batch("read", latencies)
         return records

@@ -1,0 +1,28 @@
+"""Deterministic chaos: declared faults, measured degradation.
+
+The public surface of the fault-injection subsystem behind a scenario's
+``[chaos]`` section.  A :class:`ChaosEngine` schedules straggler windows,
+CC↔NC partitions, mid-rehash crash plans, and load distortions on the
+simulated clock, all drawn from a dedicated seeded RNG stream; the client
+retry path it powers turns the resulting misses and timeouts into graceful,
+counted degradation.  See ``docs/CHAOS.md`` for the fault taxonomy and the
+determinism guarantees.
+"""
+
+from .engine import (
+    ChaosEngine,
+    CrashPlan,
+    LoadWindow,
+    PartitionWindow,
+    RetryPolicy,
+    StragglerWindow,
+)
+
+__all__ = [
+    "ChaosEngine",
+    "CrashPlan",
+    "LoadWindow",
+    "PartitionWindow",
+    "RetryPolicy",
+    "StragglerWindow",
+]

@@ -67,6 +67,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..scenario import (
     ScenarioSpecError,
+    diff_chaos,
     diff_snapshots,
     diff_traces,
     load_recording,
@@ -496,6 +497,9 @@ _HEADLINE_COUNTERS = (
     "rebalance.completed",
     "autopilot.decision",
     "autopilot.rebalance.complete",
+    "chaos.crash",
+    "retry.routing_miss",
+    "retry.backoff",
 )
 
 
@@ -551,6 +555,30 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"{trace.get('interval_seconds')}s simulated "
             f"(render with `python -m repro trace {args.recording}`)"
         )
+
+    chaos = document.get("chaos")
+    if chaos is not None:
+        print("\ninjected chaos events (simulated clock):")
+        chaos_rows = [
+            [
+                f"{event.get('at', 0.0):.3f}s",
+                event.get("event", "?"),
+                ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(event.items())
+                    if key not in ("event", "at")
+                ),
+            ]
+            for event in chaos.get("events", [])
+        ]
+        print(format_table(["at", "event", "details"], chaos_rows))
+        faulted_site = chaos.get("faulted_site")
+        if faulted_site is not None:
+            line = f"chaos crash interrupted a rebalance at site {faulted_site!r}"
+            recovery = chaos.get("recovery_seconds")
+            if recovery is not None:
+                line += f"; recovered in {recovery:.3f} simulated seconds"
+            print(line)
 
     counter_rows = [
         [name, int(value)]
@@ -611,6 +639,14 @@ def _inspect_summary(
             "series": sorted(series["name"] for series in trace.get("series", [])),
             "interval_seconds": trace.get("interval_seconds"),
         }
+    chaos = document.get("chaos")
+    chaos_summary = None
+    if chaos is not None:
+        chaos_summary = {
+            "events": chaos.get("events", []),
+            "faulted_site": chaos.get("faulted_site"),
+            "recovery_seconds": chaos.get("recovery_seconds"),
+        }
     return {
         "scenario": scenario.get("name"),
         "seed": document.get("seed"),
@@ -626,6 +662,7 @@ def _inspect_summary(
         },
         "histograms": histograms,
         "trace": trace_summary,
+        "chaos": chaos_summary,
     }
 
 
@@ -855,14 +892,25 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     result = run_scenario(spec, seed=seed)
     differences = diff_snapshots(recorded, result.snapshot)
     differences.extend(diff_traces(document.get("trace"), result.trace))
+    replayed_chaos = None
+    if result.chaos_events:
+        replayed_chaos = {
+            "events": [dict(event) for event in result.chaos_events],
+            "faulted_site": result.faulted_site,
+            "recovery_seconds": result.recovery_seconds,
+        }
+    differences.extend(diff_chaos(document.get("chaos"), replayed_chaos))
     if differences:
         print(f"replay DIVERGED: {len(differences)} difference(s) vs {args.recording}")
         for line in differences:
             print(f"  {line}")
         return 1
     traced = document.get("trace") is not None
+    extras = " and trace" if traced else ""
+    if document.get("chaos") is not None:
+        extras += " and chaos log"
     print(
-        f"replay OK: snapshot{' and trace' if traced else ''} identical to "
+        f"replay OK: snapshot{extras} identical to "
         f"{Path(args.recording).name} "
         f"({len(recorded.counters)} counters, {len(recorded.histograms)} histograms, "
         f"{recorded.simulated_seconds:.3f} simulated seconds)"

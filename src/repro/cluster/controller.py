@@ -149,6 +149,12 @@ class SimulatedCluster:
         #: load per verb.  Typed loosely because the trace layer sits above
         #: this package.
         self.heat: Optional[Any] = None
+        #: Optional fault-injection engine (a ``repro.chaos.ChaosEngine``),
+        #: installed by :meth:`repro.api.Database.enable_chaos` when a
+        #: scenario declares a ``[chaos]`` section.  Same pay-for-use bargain
+        #: as :attr:`heat`: hot paths probe ``is not None`` once, so runs
+        #: without chaos stay bit-identical to builds that predate it.
+        self.chaos: Optional[Any] = None
         self.cost = CostModel(self.config.cost, workload_scale=workload_scale)
         self.cc = ClusterController()
         self.nodes: List[NodeController] = []

@@ -141,7 +141,14 @@ class DataFeed:
             len(partitions[pid].primary.split_history) - splits_before[pid]
             for pid in partitions
         )
+        chaos = self.cluster.chaos
+        if chaos is not None:
+            per_node_seconds = dict(chaos.scale_node_seconds(per_node_seconds))
         simulated_seconds = cost.slowest(per_node_seconds) + cost.rpc_time(2)
+        if chaos is not None:
+            # Backpressure stretches the feed itself; a client burst contends
+            # for the same links, so both distortions land on the ingest time.
+            simulated_seconds *= chaos.ingest_factor() * chaos.client_factor()
         report = IngestReport(
             dataset=self.dataset_name,
             records=total_records,

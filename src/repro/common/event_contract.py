@@ -300,6 +300,75 @@ EVENT_FAMILIES: Tuple[EventFamily, ...] = (
         ),
     ),
     EventFamily(
+        key="chaos",
+        title="`chaos.*` / `retry.*` — fault injection and the client retry path",
+        intro=(
+            "Emitted only when a scenario declares a `[chaos]` section "
+            "(`repro.chaos`): every fault the engine injects narrates itself "
+            "on the bus, and the client retry path reports each routing miss "
+            "and backoff it absorbs. All chaos draws come from the dedicated "
+            "`chaos:<seed>` RNG stream, so these events replay bit for bit. "
+            "The metrics registry counts each `chaos.*` event under its full "
+            "name and each `retry.*` event both under its full name and "
+            "per-phase (`retry.routing_miss.rebalance`), which is what the "
+            "`max_routing_miss_rate` check and the compare headline metrics "
+            "read."
+        ),
+        events=(
+            EventSpec(
+                "chaos.straggler",
+                required=("node", "multiplier", "start", "duration"),
+                description=(
+                    "a straggler window first slowed the named node; its "
+                    "latency share scales by `multiplier` for the window"
+                ),
+            ),
+            EventSpec(
+                "chaos.partition",
+                required=("start", "duration"),
+                optional=("datasets",),
+                description=(
+                    "a CC↔NC partition window first froze the client's "
+                    "directory view; routing may land on moved buckets"
+                ),
+            ),
+            EventSpec(
+                "chaos.crash",
+                required=("site", "at"),
+                description=(
+                    "a scheduled crash armed the named `FAULT_SITES` site for "
+                    "the next explicit rebalance"
+                ),
+            ),
+            EventSpec(
+                "chaos.backpressure",
+                required=("factor", "start", "duration"),
+                description="a backpressure window first stretched feed ingest by `factor`",
+            ),
+            EventSpec(
+                "chaos.burst",
+                required=("factor", "start", "duration"),
+                description="a burst window first stretched client op latency by `factor`",
+            ),
+            EventSpec(
+                "retry.routing_miss",
+                required=("dataset", "stale_partition", "live_partition"),
+                description=(
+                    "a stale-directory read landed on the wrong partition; "
+                    "the client refreshed its view and re-routed"
+                ),
+            ),
+            EventSpec(
+                "retry.backoff",
+                required=("dataset", "attempt", "delay_seconds"),
+                description=(
+                    "a simulated RPC timeout triggered one capped-exponential "
+                    "backoff attempt"
+                ),
+            ),
+        ),
+    ),
+    EventFamily(
         key="lifecycle",
         title="Ingest, datasets, topology, session",
         intro=(

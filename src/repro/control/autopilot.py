@@ -301,7 +301,9 @@ class Autopilot:
             target_nodes=record.target_nodes,
             reason=record.reason,
         )
-        report = self.db.rebalance(target_nodes=record.target_nodes)
+        # Policy-triggered rebalances are exempt from chaos crash plans:
+        # scheduled kills target the scenario's explicit rebalance steps.
+        report = self.db.rebalance(target_nodes=record.target_nodes, arm_chaos=False)
         self.rebalance_reports.append(report)
         # Cooldown starts when the rebalance *finishes* (the metrics clock
         # advanced past its duration while it ran).

@@ -74,6 +74,11 @@ class ClusterObservation:
     #: (empty otherwise), so policies consuming heat must tolerate absence.
     bucket_read_heat: Tuple[Tuple[str, str, int], ...] = ()
     bucket_write_heat: Tuple[Tuple[str, str, int], ...] = ()
+    #: ``(node_id, multiplier)`` pairs for nodes currently inside an active
+    #: chaos straggler window.  Populated only while a chaos engine is
+    #: installed on the cluster (empty otherwise) — like heat, policies that
+    #: consume it must tolerate absence.
+    straggler_nodes: Tuple[Tuple[str, float], ...] = ()
 
     @classmethod
     def capture(cls, db: "Database") -> "ClusterObservation":
@@ -112,6 +117,9 @@ class ClusterObservation:
             dataset_names=tuple(cluster.dataset_names()),
             bucket_read_heat=heat.read_heat() if heat is not None else (),
             bucket_write_heat=heat.write_heat() if heat is not None else (),
+            straggler_nodes=(
+                cluster.chaos.active_stragglers() if cluster.chaos is not None else ()
+            ),
         )
 
     # ------------------------------------------------------------ conveniences

@@ -147,6 +147,8 @@ class MetricsRegistry:
             bus.on("dataset.create", self._on_dataset_create),
             bus.on("dataset.drop", self._on_dataset_drop),
             bus.on("autopilot.*", self._on_autopilot),
+            bus.on("chaos.*", self._on_chaos),
+            bus.on("retry.*", self._on_retry),
         ]
         return self
 
@@ -309,6 +311,19 @@ class MetricsRegistry:
             self.gauge("autopilot.active").set(1)
         elif event.name == "autopilot.stop":
             self.gauge("autopilot.active").set(0)
+
+    def _on_chaos(self, event: Event) -> None:
+        """Count every injected ``chaos.*`` fault by its full name.  These
+        events only fire when a chaos engine is installed, so the standing
+        subscription cannot perturb non-chaos snapshots."""
+        self.counter(event.name).increment()
+
+    def _on_retry(self, event: Event) -> None:
+        """Count ``retry.*`` events by full name *and* per cluster phase
+        (``retry.routing_miss.rebalance``), mirroring the ``ops.{op}.{phase}``
+        idiom — a miss absorbed mid-rehash is the paper-relevant case."""
+        self.counter(event.name).increment()
+        self.counter(f"{event.name}.{self.phase}").increment()
 
     # ---------------------------------------------------------------- queries
 

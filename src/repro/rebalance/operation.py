@@ -272,6 +272,9 @@ class RebalanceOperation:
         per_node_seconds = {
             node: cost.disk_write_time(num_bytes) for node, num_bytes in flush_bytes_by_node.items()
         }
+        chaos = getattr(self.cluster, "chaos", None)
+        if chaos is not None:
+            per_node_seconds = dict(chaos.scale_node_seconds(per_node_seconds))
         rpc_seconds = cost.rpc_time(2 * max(1, self.cluster.num_nodes))
         return cost.slowest(per_node_seconds) + rpc_seconds
 
@@ -386,6 +389,9 @@ class RebalanceOperation:
             for node, num_bytes in work.received_bytes_by_node.items():
                 add(node, replication_network / max(1, len(work.received_bytes_by_node)))
 
+        chaos = getattr(self.cluster, "chaos", None)
+        if chaos is not None:
+            per_node = dict(chaos.scale_node_seconds(per_node))
         report.per_node_seconds = dict(per_node)
         return cost.slowest(per_node) + cost.rpc_time(self.cluster.num_nodes)
 
@@ -418,9 +424,15 @@ class RebalanceOperation:
                 raise
             raise
 
-        blocked_seconds = cost.slowest(
-            {node: cost.disk_write_time(b) for node, b in prepare_flush_by_node.items()}
-        ) + cost.rpc_time(2 * max(1, self.cluster.num_nodes))
+        prepare_seconds_by_node = {
+            node: cost.disk_write_time(b) for node, b in prepare_flush_by_node.items()
+        }
+        chaos = getattr(self.cluster, "chaos", None)
+        if chaos is not None:
+            prepare_seconds_by_node = dict(chaos.scale_node_seconds(prepare_seconds_by_node))
+        blocked_seconds = cost.slowest(prepare_seconds_by_node) + cost.rpc_time(
+            2 * max(1, self.cluster.num_nodes)
+        )
 
         # Commit point: force the COMMIT record.
         cc.metadata_wal.append(

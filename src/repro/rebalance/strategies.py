@@ -375,6 +375,9 @@ class GlobalHashingStrategy(RebalancingStrategy):
         report.bytes_shipped = int(sum(shipped_by_node.values()))
         report.bytes_loaded = loaded_bytes_total
         report.concurrent_writes_applied = len(concurrent_rows)
+        chaos = getattr(cluster, "chaos", None)
+        if chaos is not None:
+            per_node = dict(chaos.scale_node_seconds(per_node))
         report.per_node_seconds = per_node
         report.simulated_seconds = cost.slowest(per_node) + cost.rpc_time(
             2 * max(1, cluster.num_nodes)

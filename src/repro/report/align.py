@@ -172,6 +172,16 @@ def headline_metrics(document: Dict[str, Any]) -> Dict[str, float]:
         metrics["autopilot.decisions"] = float(counters["autopilot.decision"])
     if "autopilot.rebalance.complete" in counters:
         metrics["autopilot.rebalances"] = float(counters["autopilot.rebalance.complete"])
+    # Chaos runs surface the retry path so `compare --gate` can cap regressions
+    # in miss/backoff counts; chaos-free recordings omit the keys entirely.
+    if document.get("chaos") is not None:
+        metrics["chaos.crashes"] = float(counters.get("chaos.crash", 0))
+        metrics["retry.routing_miss"] = float(counters.get("retry.routing_miss", 0))
+        metrics["retry.backoff"] = float(counters.get("retry.backoff", 0))
+        if total_ops:
+            metrics["routing_miss_rate"] = (
+                float(counters.get("retry.routing_miss", 0)) / total_ops
+            )
     checks = document.get("checks", [])
     if checks:
         metrics["checks.passed"] = float(sum(1 for c in checks if c.get("passed")))

@@ -23,6 +23,7 @@ reproduces it bit for bit (``python -m repro replay``).
 
 from .loader import load_scenario, parse_scenario
 from .recording import (
+    diff_chaos,
     diff_snapshots,
     diff_traces,
     load_recording,
@@ -34,6 +35,7 @@ from .recording import (
 from .runner import CheckResult, ScenarioResult, StepOutcome, run_scenario
 from .spec import (
     AutopilotSection,
+    ChaosSection,
     ChecksSection,
     ClusterSection,
     DatasetSection,
@@ -53,6 +55,7 @@ from .spec import (
 
 __all__ = [
     "AutopilotSection",
+    "ChaosSection",
     "CheckResult",
     "ChecksSection",
     "ClusterSection",
@@ -70,6 +73,7 @@ __all__ = [
     "TraceSection",
     "WorkloadPhaseSpec",
     "WorkloadSection",
+    "diff_chaos",
     "diff_snapshots",
     "diff_traces",
     "load_recording",

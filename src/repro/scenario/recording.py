@@ -26,6 +26,7 @@ from .runner import ScenarioResult
 from .spec import ScenarioSpec, ScenarioSpecError
 
 __all__ = [
+    "diff_chaos",
     "diff_snapshots",
     "diff_traces",
     "load_recording",
@@ -62,6 +63,15 @@ def recording_payload(result: ScenarioResult) -> Dict[str, Any]:
     # sweep manifest and `compare` tables; same absence-tolerated contract.
     if result.rebalances:
         payload["rebalances"] = dict(result.rebalances)
+    # Chaos runs embed the injected-event log (and the faulted site of an
+    # interrupted rebalance) so `inspect` can print it and `replay` can diff
+    # it; same absence-tolerated contract as `trace`.
+    if result.chaos_events:
+        payload["chaos"] = {
+            "events": [dict(event) for event in result.chaos_events],
+            "faulted_site": result.faulted_site,
+            "recovery_seconds": result.recovery_seconds,
+        }
     return payload
 
 
@@ -171,6 +181,48 @@ def diff_traces(recorded: Any, replayed: Any) -> List[str]:
         # Canonical forms differ but no category above caught it (e.g. an
         # unknown key) — still report the divergence rather than hide it.
         differences.append("trace: payloads differ")
+    return differences
+
+
+def diff_chaos(recorded: Any, replayed: Any) -> List[str]:
+    """Differences between two chaos payloads (empty = identical).
+
+    Compared through canonical JSON like :func:`diff_traces`; ``None`` on
+    both sides (chaos-free runs) compares equal.
+    """
+    if recorded is None and replayed is None:
+        return []
+    if recorded is None or replayed is None:
+        missing = "recording" if recorded is None else "replay"
+        return [f"chaos: missing from the {missing}"]
+    recorded = json.loads(json.dumps(recorded, sort_keys=True))
+    replayed = json.loads(json.dumps(replayed, sort_keys=True))
+    if recorded == replayed:
+        return []
+    differences = []
+    for key in ("faulted_site", "recovery_seconds"):
+        if recorded.get(key) != replayed.get(key):
+            differences.append(
+                f"chaos.{key}: recorded {recorded.get(key)!r}, replayed {replayed.get(key)!r}"
+            )
+    recorded_events = recorded.get("events", [])
+    replayed_events = replayed.get("events", [])
+    if len(recorded_events) != len(replayed_events):
+        differences.append(
+            f"chaos.events: recorded {len(recorded_events)} event(s), "
+            f"replayed {len(replayed_events)}"
+        )
+    else:
+        for index, (left, right) in enumerate(
+            zip(recorded_events, replayed_events, strict=True)
+        ):
+            if left != right:
+                differences.append(
+                    f"chaos.events[{index}]: recorded {_compact(left)}, "
+                    f"replayed {_compact(right)}"
+                )
+    if not differences:
+        differences.append("chaos: payloads differ")
     return differences
 
 

@@ -74,6 +74,16 @@ class ScenarioResult:
     #: Trace payload (spans + timeline series) when the spec enabled a
     #: ``[trace]`` section; ``None`` for untraced runs.
     trace: Optional[Dict[str, Any]] = None
+    #: Every ``chaos.*`` event the run's chaos engine emitted, in emission
+    #: order: ``{"event", "at", **payload}`` dicts.  Empty without a
+    #: ``[chaos]`` section; embedded in recordings and diffed by ``replay``.
+    chaos_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Protocol site of the last chaos-injected crash that interrupted a
+    #: step rebalance (``None`` when no crash fired).
+    faulted_site: Optional[str] = None
+    #: Simulated seconds from the last chaos crash to the recovery pass that
+    #: repaired it (``None`` when nothing crashed or nothing recovered).
+    recovery_seconds: Optional[float] = None
 
     @property
     def passed(self) -> bool:
@@ -111,6 +121,27 @@ class ScenarioResult:
             lines.append("steps:")
             for outcome in self.step_outcomes:
                 lines.append(f"  [{outcome.kind}] {outcome.detail}")
+        if self.chaos_events:
+            lines.append("")
+            lines.append("chaos events (simulated clock):")
+            chaos_rows = [
+                [
+                    f"{event.get('at', 0.0):.3f}s",
+                    event.get("event", "?"),
+                    ", ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(event.items())
+                        if key not in ("event", "at")
+                    ),
+                ]
+                for event in self.chaos_events
+            ]
+            lines.append(format_table(["at", "event", "details"], chaos_rows))
+            if self.faulted_site is not None:
+                line = f"chaos crash interrupted a rebalance at site {self.faulted_site!r}"
+                if self.recovery_seconds is not None:
+                    line += f"; recovered in {self.recovery_seconds:.3f} simulated seconds"
+                lines.append(line)
         if self.metrics_report:
             lines.append("")
             lines.append("per-op latency by cluster phase (simulated ms):")
@@ -201,6 +232,22 @@ def run_scenario(
 
         db.on("rebalance.complete", _on_rebalance_complete)
 
+        chaos_engine = None
+        if spec.chaos is not None and spec.chaos.enabled:
+            # Armed before the trace session starts so the tracer's standing
+            # chaos.* subscription sees every announcement.
+            chaos_engine = db.enable_chaos(**spec.chaos.engine_kwargs())
+
+            def _on_chaos_event(event: Any) -> None:
+                entry: Dict[str, Any] = {
+                    "event": event.name,
+                    "at": db.metrics.clock.now,
+                }
+                entry.update(event.payload)
+                result.chaos_events.append(entry)
+
+            db.on("chaos.*", _on_chaos_event)
+
         trace_session = None
         if spec.trace is not None and spec.trace.enabled:
             trace_session = db.start_trace(
@@ -274,12 +321,23 @@ def run_scenario(
                 try:
                     report = db.rebalance(**kwargs)
                 except FaultInjected as fault:
-                    if not step.expect_fault:
+                    if step.expect_fault:
+                        result.step_outcomes.append(
+                            StepOutcome(
+                                "rebalance",
+                                f"interrupted by injected fault at {fault.site!r} (as expected)",
+                            )
+                        )
+                        continue
+                    if chaos_engine is None:
                         raise
+                    # Spec validation guarantees an un-expect_fault step only
+                    # sees FaultInjected when a chaos crash plan armed it.
+                    result.faulted_site = fault.site
                     result.step_outcomes.append(
                         StepOutcome(
                             "rebalance",
-                            f"interrupted by injected fault at {fault.site!r} (as expected)",
+                            f"interrupted by chaos-injected crash at {fault.site!r}",
                         )
                     )
                 else:
@@ -317,6 +375,10 @@ def run_scenario(
                     or "nothing to recover"
                 )
                 result.step_outcomes.append(StepOutcome("recover", detail))
+                if chaos_engine is not None:
+                    recovered = chaos_engine.recovery_seconds()
+                    if recovered is not None:
+                        result.recovery_seconds = recovered
             elif isinstance(step, QueryStep):
                 answer, report = db.execute(step.plan, plans[step.plan]())
                 query_results.setdefault(step.plan, []).append(answer)
@@ -476,6 +538,47 @@ def _evaluate_checks(
                 if not changed
                 else "changed: "
                 + ", ".join(f"{name} {a} -> {b}" for name, (a, b) in sorted(changed.items())),
+            )
+        )
+    if checks.recovered_within_seconds is not None:
+        if result.faulted_site is None:
+            result.checks.append(
+                CheckResult(
+                    "recovered_within_seconds",
+                    True,
+                    "no chaos crash fired, nothing to recover from",
+                )
+            )
+        elif result.recovery_seconds is None:
+            result.checks.append(
+                CheckResult(
+                    "recovered_within_seconds",
+                    False,
+                    f"chaos crash at {result.faulted_site!r} was never recovered "
+                    "(is there a recover step after the rebalance?)",
+                )
+            )
+        else:
+            result.checks.append(
+                CheckResult(
+                    "recovered_within_seconds",
+                    result.recovery_seconds <= checks.recovered_within_seconds,
+                    f"recovered {result.recovery_seconds:.3f}s after the crash at "
+                    f"{result.faulted_site!r}, budget "
+                    f"{checks.recovered_within_seconds:.3f}s",
+                )
+            )
+    if checks.max_routing_miss_rate is not None:
+        counters = dict(result.snapshot.counters) if result.snapshot is not None else {}
+        misses = int(counters.get("retry.routing_miss", 0))
+        total = int(counters.get("ops.total", 0))
+        rate = misses / total if total else 0.0
+        result.checks.append(
+            CheckResult(
+                "max_routing_miss_rate",
+                rate <= checks.max_routing_miss_rate,
+                f"{misses} routing miss(es) over {total} op(s) = {rate:.4f}, "
+                f"cap {checks.max_routing_miss_rate:.4f}",
             )
         )
     if checks.queries_identical_across_rebalance:

@@ -29,7 +29,10 @@ file.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos import CrashPlan, LoadWindow, PartitionWindow, RetryPolicy, StragglerWindow
 
 from ..common.config import BucketingConfig, ClusterConfig, CostModelConfig, LSMConfig
 from ..common.errors import ConfigError
@@ -37,6 +40,7 @@ from ..common.units import GIB, KIB, MIB
 
 __all__ = [
     "AutopilotSection",
+    "ChaosSection",
     "ChecksSection",
     "ClusterSection",
     "DatasetSection",
@@ -752,6 +756,308 @@ class TraceSection:
         return mapping
 
 
+def _table_array(value: Any, where: str) -> "List[Mapping[str, Any]]":
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ScenarioSpecError(f"{where}: expected an array of tables ([[{where}]])")
+    return [
+        _require_mapping(entry, f"{where}[{position}]")
+        for position, entry in enumerate(value)
+    ]
+
+
+def _chaos_seconds(
+    mapping: Mapping[str, Any],
+    key: str,
+    where: str,
+    default: Any = None,
+    minimum: float = 0.0,
+    exclusive: bool = False,
+) -> Any:
+    value = _get_typed(mapping, key, (int, float), where, default)
+    if value is None:
+        return None
+    value = float(value)
+    if value < minimum or (exclusive and value == minimum):
+        bound = "positive" if exclusive and minimum == 0.0 else f">= {minimum:g}"
+        raise ScenarioSpecError(f"{where}.{key}: must be {bound}, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ChaosSection:
+    """``[chaos]``: deterministic fault injection for the run.
+
+    Presence of the section arms the chaos engine (``enabled = false`` keeps
+    the section but disarms it, for A/B-ing a scenario with and without
+    chaos).  Every fault is declared on the *simulated* clock and every
+    undeclared choice (which node straggles, which protocol site a crash
+    lands on) is drawn from the run's dedicated ``chaos:<seed>`` RNG stream,
+    so a chaos run records and replays exactly like a fault-free one:
+
+    * ``[[chaos.stragglers]]`` — a node whose per-node work is multiplied
+      inside a time window (slowest-node semantics spread the slowdown to
+      every ingest/query/rebalance roll-up that touches it).
+    * ``[[chaos.partitions]]`` — CC↔NC partition windows during which the
+      client's directory view goes stale; lookups that land on a moved
+      bucket pay a routing miss plus an optional timeout/backoff retry loop.
+    * ``[[chaos.crashes]]`` — time-triggered kills at rebalance protocol
+      sites (see ``repro.api.FAULT_SITES``), generalising per-step
+      ``fault_sites``; pair with a recover step.
+    * ``[[chaos.backpressure]]`` / ``[[chaos.bursts]]`` — windows that
+      stretch feed ingestion / client service times by a factor.
+    * ``[chaos.retry]`` — the client retry policy (attempt cap, capped
+      exponential backoff) applied when a partition window forces retries.
+    """
+
+    enabled: bool = True
+    stragglers: "Tuple[StragglerWindow, ...]" = ()
+    random_stragglers: int = 0
+    straggler_horizon_seconds: float = 10.0
+    partitions: "Tuple[PartitionWindow, ...]" = ()
+    crashes: "Tuple[CrashPlan, ...]" = ()
+    backpressure: "Tuple[LoadWindow, ...]" = ()
+    bursts: "Tuple[LoadWindow, ...]" = ()
+    retry: "Optional[RetryPolicy]" = None
+
+    _KEYS = (
+        "enabled",
+        "stragglers",
+        "random_stragglers",
+        "straggler_horizon_seconds",
+        "partitions",
+        "crashes",
+        "backpressure",
+        "bursts",
+        "retry",
+    )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any], where: str = "chaos") -> "ChaosSection":
+        from ..chaos import CrashPlan, LoadWindow, PartitionWindow, RetryPolicy, StragglerWindow
+        from ..rebalance.operation import FAULT_SITES
+
+        _check_keys(mapping, where, cls._KEYS)
+
+        stragglers = []
+        for position, entry in enumerate(
+            _table_array(mapping.get("stragglers", []), f"{where}.stragglers")
+        ):
+            entry_where = f"{where}.stragglers[{position}]"
+            _check_keys(
+                entry,
+                entry_where,
+                ("node", "start", "duration", "multiplier"),
+                ("start", "duration", "multiplier"),
+            )
+            node = _get_typed(entry, "node", str, entry_where)
+            multiplier = _chaos_seconds(entry, "multiplier", entry_where, minimum=1.0)
+            stragglers.append(
+                StragglerWindow(
+                    start=_chaos_seconds(entry, "start", entry_where),
+                    duration=_chaos_seconds(entry, "duration", entry_where, exclusive=True),
+                    multiplier=multiplier,
+                    node=node,
+                )
+            )
+
+        partitions = []
+        for position, entry in enumerate(
+            _table_array(mapping.get("partitions", []), f"{where}.partitions")
+        ):
+            entry_where = f"{where}.partitions[{position}]"
+            _check_keys(
+                entry,
+                entry_where,
+                ("start", "duration", "timeout_probability"),
+                ("start", "duration"),
+            )
+            timeout_probability = _chaos_seconds(
+                entry, "timeout_probability", entry_where, default=0.0
+            )
+            if timeout_probability >= 1.0:
+                raise ScenarioSpecError(
+                    f"{entry_where}.timeout_probability: must be below 1.0 "
+                    "(a certain timeout would retry forever), got "
+                    f"{timeout_probability!r}"
+                )
+            partitions.append(
+                PartitionWindow(
+                    start=_chaos_seconds(entry, "start", entry_where),
+                    duration=_chaos_seconds(entry, "duration", entry_where, exclusive=True),
+                    timeout_probability=timeout_probability,
+                )
+            )
+
+        crashes = []
+        for position, entry in enumerate(
+            _table_array(mapping.get("crashes", []), f"{where}.crashes")
+        ):
+            entry_where = f"{where}.crashes[{position}]"
+            _check_keys(entry, entry_where, ("after_seconds", "site"), ("after_seconds",))
+            site = _get_typed(entry, "site", str, entry_where)
+            if site is not None and site not in FAULT_SITES:
+                raise ScenarioSpecError(
+                    f"{entry_where}.site: unknown site {site!r}; "
+                    f"valid sites: {', '.join(FAULT_SITES)}"
+                )
+            crashes.append(
+                CrashPlan(
+                    after_seconds=_chaos_seconds(entry, "after_seconds", entry_where),
+                    site=site,
+                )
+            )
+
+        load_windows: Dict[str, "List[LoadWindow]"] = {"backpressure": [], "bursts": []}
+        for key, windows in load_windows.items():
+            for position, entry in enumerate(
+                _table_array(mapping.get(key, []), f"{where}.{key}")
+            ):
+                entry_where = f"{where}.{key}[{position}]"
+                _check_keys(
+                    entry,
+                    entry_where,
+                    ("start", "duration", "factor"),
+                    ("start", "duration", "factor"),
+                )
+                windows.append(
+                    LoadWindow(
+                        start=_chaos_seconds(entry, "start", entry_where),
+                        duration=_chaos_seconds(entry, "duration", entry_where, exclusive=True),
+                        factor=_chaos_seconds(entry, "factor", entry_where, exclusive=True),
+                    )
+                )
+
+        retry = None
+        if "retry" in mapping:
+            retry_raw = _require_mapping(mapping["retry"], f"{where}.retry")
+            retry_where = f"{where}.retry"
+            _check_keys(
+                retry_raw,
+                retry_where,
+                ("max_attempts", "backoff_base_seconds", "backoff_cap_seconds"),
+            )
+            max_attempts = _get_typed(retry_raw, "max_attempts", int, retry_where, 3)
+            if max_attempts < 1:
+                raise ScenarioSpecError(f"{retry_where}.max_attempts: must be at least 1")
+            base = _chaos_seconds(
+                retry_raw, "backoff_base_seconds", retry_where, default=0.001, exclusive=True
+            )
+            cap = _chaos_seconds(
+                retry_raw, "backoff_cap_seconds", retry_where, default=0.05, exclusive=True
+            )
+            if cap < base:
+                raise ScenarioSpecError(
+                    f"{retry_where}.backoff_cap_seconds: cap {cap!r} is below the "
+                    f"base delay {base!r}"
+                )
+            retry = RetryPolicy(
+                max_attempts=max_attempts,
+                backoff_base_seconds=base,
+                backoff_cap_seconds=cap,
+            )
+
+        random_stragglers = _get_typed(mapping, "random_stragglers", int, where, 0)
+        if random_stragglers < 0:
+            raise ScenarioSpecError(f"{where}.random_stragglers: must be non-negative")
+        horizon = _chaos_seconds(
+            mapping, "straggler_horizon_seconds", where, default=10.0, exclusive=True
+        )
+        section = cls(
+            enabled=_get_typed(mapping, "enabled", bool, where, True),
+            stragglers=tuple(stragglers),
+            random_stragglers=random_stragglers,
+            straggler_horizon_seconds=horizon,
+            partitions=tuple(partitions),
+            crashes=tuple(crashes),
+            backpressure=tuple(load_windows["backpressure"]),
+            bursts=tuple(load_windows["bursts"]),
+            retry=retry,
+        )
+        if section.enabled and not (
+            section.stragglers
+            or section.random_stragglers
+            or section.partitions
+            or section.crashes
+            or section.backpressure
+            or section.bursts
+        ):
+            raise ScenarioSpecError(
+                f"{where}: the section declares no faults — add stragglers, "
+                "partitions, crashes, backpressure, or bursts (or drop [chaos])"
+            )
+        return section
+
+    def engine_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :meth:`repro.api.Database.enable_chaos`."""
+        kwargs: Dict[str, Any] = {
+            "stragglers": self.stragglers,
+            "random_stragglers": self.random_stragglers,
+            "straggler_horizon_seconds": self.straggler_horizon_seconds,
+            "partitions": self.partitions,
+            "crashes": self.crashes,
+            "backpressure": self.backpressure,
+            "bursts": self.bursts,
+        }
+        if self.retry is not None:
+            kwargs["retry"] = self.retry
+        return kwargs
+
+    def to_mapping(self) -> Dict[str, Any]:
+        from ..chaos import RetryPolicy
+
+        # Like [trace], presence arms the engine, so ``enabled`` always
+        # survives the round trip.
+        mapping: Dict[str, Any] = {"enabled": self.enabled}
+        if self.stragglers:
+            mapping["stragglers"] = [
+                _drop_defaults(
+                    {
+                        "node": w.node,
+                        "start": w.start,
+                        "duration": w.duration,
+                        "multiplier": w.multiplier,
+                    }
+                )
+                for w in self.stragglers
+            ]
+        if self.random_stragglers:
+            mapping["random_stragglers"] = self.random_stragglers
+        if self.straggler_horizon_seconds != ChaosSection().straggler_horizon_seconds:
+            mapping["straggler_horizon_seconds"] = self.straggler_horizon_seconds
+        if self.partitions:
+            mapping["partitions"] = [
+                _drop_defaults(
+                    {
+                        "start": w.start,
+                        "duration": w.duration,
+                        "timeout_probability": w.timeout_probability or None,
+                    }
+                )
+                for w in self.partitions
+            ]
+        if self.crashes:
+            mapping["crashes"] = [
+                _drop_defaults({"after_seconds": plan.after_seconds, "site": plan.site})
+                for plan in self.crashes
+            ]
+        for key in ("backpressure", "bursts"):
+            windows = getattr(self, key)
+            if windows:
+                mapping[key] = [
+                    {"start": w.start, "duration": w.duration, "factor": w.factor}
+                    for w in windows
+                ]
+        if self.retry is not None:
+            defaults = RetryPolicy()
+            retry_mapping = {
+                field_name: getattr(self.retry, field_name)
+                for field_name in ("max_attempts", "backoff_base_seconds", "backoff_cap_seconds")
+                if getattr(self.retry, field_name) != getattr(defaults, field_name)
+            }
+            mapping["retry"] = retry_mapping
+        return mapping
+
+
 @dataclass(frozen=True)
 class SweepSection:
     """``[sweep]``: a parameter grid for ``python -m repro sweep``.
@@ -794,6 +1100,7 @@ class SweepSection:
         "autopilot",
         "tpch",
         "trace",
+        "chaos",
         "steps",
         "checks",
         "datasets",
@@ -1032,6 +1339,13 @@ class ChecksSection:
     #: per phase: the phase's write p99 must not exceed its budget (a phase
     #: that recorded no writes fails — a silent workload is not within SLO).
     write_p99_budget_ms: Mapping[str, float] = field(default_factory=dict)
+    #: Simulated-seconds budget from the last chaos-injected crash to the end
+    #: of the recovery pass that repaired it (trivially passes when no chaos
+    #: crash fired).
+    recovered_within_seconds: Optional[float] = None
+    #: Cap on ``retry.routing_miss / ops.total`` — how often a stale
+    #: directory view may land a lookup on a moved bucket.
+    max_routing_miss_rate: Optional[float] = None
 
     _KEYS = (
         "min_autopilot_rebalances",
@@ -1041,6 +1355,8 @@ class ChecksSection:
         "datasets_unchanged_after_steps",
         "queries_identical_across_rebalance",
         "write_p99_budget_ms",
+        "recovered_within_seconds",
+        "max_routing_miss_rate",
     )
 
     #: Phases a latency budget can be stated over.
@@ -1061,6 +1377,18 @@ class ChecksSection:
                     f"milliseconds, got {budget!r}"
                 )
             budgets[phase] = float(budget)
+        recovered_within = _get_typed(mapping, "recovered_within_seconds", (int, float), where)
+        if recovered_within is not None:
+            recovered_within = float(recovered_within)
+            if recovered_within <= 0:
+                raise ScenarioSpecError(f"{where}.recovered_within_seconds: must be positive")
+        miss_rate = _get_typed(mapping, "max_routing_miss_rate", (int, float), where)
+        if miss_rate is not None:
+            miss_rate = float(miss_rate)
+            if not 0.0 <= miss_rate <= 1.0:
+                raise ScenarioSpecError(
+                    f"{where}.max_routing_miss_rate: a rate must be within [0, 1]"
+                )
         return cls(
             min_autopilot_rebalances=_get_typed(mapping, "min_autopilot_rebalances", int, where),
             expect_nodes=_get_typed(mapping, "expect_nodes", int, where),
@@ -1075,6 +1403,8 @@ class ChecksSection:
                 mapping, "queries_identical_across_rebalance", bool, where, False
             ),
             write_p99_budget_ms=budgets,
+            recovered_within_seconds=recovered_within,
+            max_routing_miss_rate=miss_rate,
         )
 
     def to_mapping(self) -> Dict[str, Any]:
@@ -1101,6 +1431,7 @@ _TOP_LEVEL_KEYS = (
     "workload",
     "autopilot",
     "trace",
+    "chaos",
     "steps",
     "checks",
     "sweep",
@@ -1119,6 +1450,7 @@ class ScenarioSpec:
     workload: Optional[WorkloadSection] = None
     autopilot: Optional[AutopilotSection] = None
     trace: Optional[TraceSection] = None
+    chaos: Optional[ChaosSection] = None
     steps: Tuple[Step, ...] = ()
     checks: ChecksSection = field(default_factory=ChecksSection)
     sweep: Optional[SweepSection] = None
@@ -1182,6 +1514,9 @@ class ScenarioSpec:
             trace=TraceSection.from_mapping(_require_mapping(mapping["trace"], "trace"))
             if "trace" in mapping
             else None,
+            chaos=ChaosSection.from_mapping(_require_mapping(mapping["chaos"], "chaos"))
+            if "chaos" in mapping
+            else None,
             steps=steps,
             checks=ChecksSection.from_mapping(_require_mapping(mapping.get("checks", {}), "checks")),
             sweep=SweepSection.from_mapping(_require_mapping(mapping["sweep"], "sweep"))
@@ -1240,17 +1575,59 @@ class ScenarioSpec:
                     "step (one without expect_fault) — as written the check "
                     "could never pass"
                 )
+        global_hashing_names = ("hashing", "global", "globalhashing", "modulo")
+        strategy_name = self.cluster.strategy.strip().lower()
+        if strategy_name in global_hashing_names:
+            faulted = [
+                position
+                for position, step in enumerate(self.steps)
+                if isinstance(step, RebalanceStep) and step.fault_sites
+            ]
+            if faulted:
+                raise ScenarioSpecError(
+                    f"steps[{faulted[0]}].fault_sites: the global-hashing baseline "
+                    "rebuilds datasets offline and has no Section V protocol "
+                    "sites to fault; use dynahash, statichash, or consistenthash"
+                )
+        chaos_crashes = (
+            self.chaos is not None and self.chaos.enabled and bool(self.chaos.crashes)
+        )
         recover_positions = [
             position for position, step in enumerate(self.steps) if isinstance(step, RecoverStep)
         ]
         for position in recover_positions:
             earlier = self.steps[:position]
-            if not any(
+            if not chaos_crashes and not any(
                 isinstance(step, RebalanceStep) and step.expect_fault for step in earlier
             ):
                 raise ScenarioSpecError(
                     f"steps[{position}]: a recover step needs an earlier rebalance step "
-                    "with expect_fault = true — otherwise there is nothing to recover"
+                    "with expect_fault = true (or [[chaos.crashes]]) — otherwise "
+                    "there is nothing to recover"
+                )
+        if chaos_crashes:
+            if strategy_name in global_hashing_names:
+                raise ScenarioSpecError(
+                    "chaos.crashes: the global-hashing baseline has no "
+                    "interruptible protocol window, so crash plans cannot fire "
+                    "on it; use dynahash, statichash, or consistenthash"
+                )
+            rebalance_positions = [
+                position
+                for position, step in enumerate(self.steps)
+                if isinstance(step, RebalanceStep)
+            ]
+            if not rebalance_positions:
+                raise ScenarioSpecError(
+                    "chaos.crashes: crash plans fire when an explicit [[steps]] "
+                    "rebalance arms them — add a rebalance step (and a recover "
+                    "step after it) or drop the crashes"
+                )
+            if not any(r < position for r in rebalance_positions for position in recover_positions):
+                raise ScenarioSpecError(
+                    "chaos.crashes: a chaos-interrupted rebalance leaves the "
+                    "cluster mid-protocol — add a recover step after the "
+                    "rebalance step"
                 )
         for position, step in enumerate(self.steps):
             if isinstance(step, QueryStep) and self.tpch is None:
@@ -1285,6 +1662,8 @@ class ScenarioSpec:
             mapping["autopilot"] = self.autopilot.to_mapping()
         if self.trace is not None:
             mapping["trace"] = self.trace.to_mapping()
+        if self.chaos is not None:
+            mapping["chaos"] = self.chaos.to_mapping()
         if self.steps:
             mapping["steps"] = [step.to_mapping() for step in self.steps]
         checks = self.checks.to_mapping()
@@ -1310,6 +1689,11 @@ class ScenarioSpec:
                 cluster=replace(spec.cluster, strategy=strategy, strategy_options={}),
             )
             spec.cluster.build_config()  # validate the new name
+            # Re-run the cross-section rules: a strategy swap can invalidate
+            # combinations the original spec passed (fault_sites steps or
+            # chaos crash plans on the global-hashing baseline), and those
+            # must fail here as a spec error, not mid-run as a traceback.
+            spec._validate_cross_section()
         return spec
 
     def scaled_down(

@@ -38,8 +38,9 @@ _CATEGORY_TIDS = {
     "ops": 2,
     "rebalance": 3,
     "autopilot": 4,
+    "chaos": 5,
 }
-_OTHER_TID = 5
+_OTHER_TID = 6
 
 _SECONDS_TO_MICROS = 1_000_000.0
 

@@ -46,6 +46,7 @@ CATEGORY_WORKLOAD = "workload"
 CATEGORY_OPS = "ops"
 CATEGORY_REBALANCE = "rebalance"
 CATEGORY_AUTOPILOT = "autopilot"
+CATEGORY_CHAOS = "chaos"
 
 
 @dataclass
@@ -164,6 +165,7 @@ class Tracer:
             ("autopilot.decision", self._on_autopilot_decision),
             ("autopilot.rebalance.start", self._on_autopilot_rebalance_start),
             ("autopilot.rebalance.complete", self._on_autopilot_rebalance_complete),
+            ("chaos.*", self._on_chaos),
             ("database.close", self._on_database_close),
         )
         events = self.db.events
@@ -536,6 +538,23 @@ class Tracer:
         span.attributes["new_nodes"] = int(event["new_nodes"])
         span.attributes["committed"] = bool(event["committed"])
         self._close(span, self._now() - span.start)
+
+    # ------------------------------------------------------------------ chaos
+
+    def _on_chaos(self, event: Event) -> None:
+        """One leaf per injected fault: window faults span their declared
+        ``[start, start + duration)`` interval on the simulated clock; a
+        crash is an instant mark at the moment it fired."""
+        self._flush_run()
+        kind = event.name[len("chaos."):]
+        payload = dict(event.payload)
+        if "start" in payload and "duration" in payload:
+            start = float(payload.pop("start"))
+            duration = float(payload.pop("duration"))
+        else:  # chaos.crash
+            start = self._now()
+            duration = 0.0
+        self._leaf(f"chaos/{kind}", CATEGORY_CHAOS, start, duration, payload)
 
     # ---------------------------------------------------------------- session
 

@@ -205,6 +205,13 @@ class TimelineRecorder:
         values["write.p99.rolling"] = self._rolling_write_p99()
         values["heat.read.max"] = float(self.heat.max_read())
         values["heat.write.max"] = float(self.heat.max_write())
+        chaos = self.db.cluster.chaos
+        if chaos is not None:
+            # Chaos series exist only on chaos-armed runs, so chaos-free
+            # recordings (and their golden trace payloads) are untouched.
+            values["chaos.stragglers.active"] = float(len(chaos.active_stragglers()))
+            values["retry.routing_miss"] = float(metrics.counter_value("retry.routing_miss"))
+            values["retry.backoff"] = float(metrics.counter_value("retry.backoff"))
         for name, value in values.items():
             series = self._series.get(name)
             if series is None:

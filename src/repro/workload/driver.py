@@ -626,9 +626,13 @@ class WorkloadDriver:
 
         subscription = self.db.on("rebalance.phase", on_protocol_phase)
         try:
+            # Phase-scheduled rebalances are exempt from chaos crash plans
+            # (like autopilot ones): scheduled kills target the scenario's
+            # explicit rebalance steps, which can pair with a recover step.
             result.rebalance_report = self.db.rebalance(
                 **dict(phase.rebalance),
                 concurrent_rows={self.spec.dataset: write_rows} if write_rows else None,
+                arm_chaos=False,
             )
         finally:
             subscription.cancel()

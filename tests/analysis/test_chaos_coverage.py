@@ -1,0 +1,58 @@
+"""reprolint covers the chaos subsystem: discovery, cleanliness, teeth.
+
+Three claims: ``src/repro/chaos`` is inside the linted tree (not skipped by
+any prefix rule), the shipped chaos code is violation-free, and the rules
+still bite on chaos-shaped code — an unseeded RNG draw or an undeclared
+``chaos.*`` emit in a chaos module must fail the lint.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.engine import discover
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHAOS_DIR = REPO_ROOT / "src" / "repro" / "chaos"
+
+
+class TestChaosIsCovered:
+    def test_discovery_includes_every_chaos_module(self):
+        discovered = {path.resolve() for path in discover([REPO_ROOT / "src"], REPO_ROOT)}
+        chaos_files = sorted(CHAOS_DIR.glob("*.py"))
+        assert chaos_files, "src/repro/chaos has no modules?"
+        for path in chaos_files:
+            assert path.resolve() in discovered
+
+    def test_shipped_chaos_code_is_clean(self):
+        assert lint_paths([CHAOS_DIR], repo_root=REPO_ROOT) == []
+
+    def test_unseeded_draw_in_a_chaos_module_is_flagged(self, rules_of):
+        rules = rules_of(
+            """
+            import random
+
+            def pick_site(sites):
+                return sites[random.randrange(len(sites))]
+            """,
+            "src/repro/chaos/bad_draw.py",
+        )
+        assert "det-global-random" in rules
+
+    def test_undeclared_chaos_emit_is_flagged(self, rules_of):
+        rules = rules_of(
+            """
+            def announce(bus):
+                bus.emit("chaos.meteor_strike", node="nc0")
+            """,
+            "src/repro/chaos/bad_emit.py",
+        )
+        assert "evt-undeclared-emit" in rules
+
+    def test_declared_chaos_emit_with_contract_payload_is_clean(self, rules_of):
+        assert rules_of(
+            """
+            def announce(bus, at):
+                bus.emit("chaos.crash", site="cc_fail_after_commit", at=at)
+            """,
+            "src/repro/chaos/good_emit.py",
+        ) == set()

@@ -1,0 +1,78 @@
+"""A chaos recording must be byte-identical across interpreter hash salts.
+
+Every unpinned chaos choice (straggler victims, crash sites, timeout coin
+flips) comes from the dedicated ``chaos:<seed>`` stream, never from anything
+``PYTHONHASHSEED`` salts.  This pins it behaviourally: the same chaos
+scenario — with *random* stragglers and an *unpinned* crash site, the two
+draw paths — recorded in two subprocesses under different hash salts must
+produce identical bytes, trace and chaos log included.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SPEC = """\
+[scenario]
+name = "chaos_hashseed_probe"
+
+[cluster]
+nodes = 3
+partitions_per_node = 2
+seed = 77
+strategy = "dynahash"
+[cluster.lsm]
+memory_component_bytes = "32 KiB"
+
+[workload]
+initial_records = 120
+mix = "A"
+keys = "zipfian"
+
+[[workload.phases]]
+name = "steady"
+ops = 50
+
+[trace]
+enabled = true
+
+[chaos]
+random_stragglers = 2
+straggler_horizon_seconds = 5.0
+partitions = [{ start = 0.0, duration = 10.0, timeout_probability = 0.1 }]
+crashes = [{ after_seconds = 0.0 }]
+
+[[steps]]
+kind = "rebalance"
+remove = 1
+
+[[steps]]
+kind = "recover"
+"""
+
+
+def _record_bytes(tmp_path: Path, hash_seed: str) -> bytes:
+    spec = tmp_path / "probe.toml"
+    spec.write_text(SPEC)
+    recording = tmp_path / f"recording_{hash_seed}.json"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", str(spec), "--record", str(recording), "-q"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert proc.returncode == 0, (
+        f"chaos run failed under PYTHONHASHSEED={hash_seed}:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return recording.read_bytes()
+
+
+class TestChaosHashSeedIndependence:
+    def test_recordings_identical_across_hash_salts(self, tmp_path):
+        assert _record_bytes(tmp_path, "1") == _record_bytes(tmp_path, "4242")

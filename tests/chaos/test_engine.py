@@ -1,0 +1,182 @@
+"""Unit tests for the deterministic chaos engine."""
+
+import pytest
+
+from repro.chaos import ChaosEngine, CrashPlan, LoadWindow, PartitionWindow, RetryPolicy, StragglerWindow
+from repro.cluster.cost_model import CostModel
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ConfigError
+from repro.common.events import EventBus
+from repro.rebalance.operation import FAULT_SITES
+
+NODE_IDS = ("nc0", "nc1", "nc2")
+
+
+def make_engine(seed=7, **kwargs):
+    kwargs.setdefault("node_ids", NODE_IDS)
+    return ChaosEngine(
+        clock=kwargs.pop("clock", SimulatedClock()),
+        cost=CostModel(),
+        events=kwargs.pop("events", EventBus()),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_requires_at_least_one_node(self):
+        with pytest.raises(ConfigError):
+            make_engine(node_ids=())
+
+    def test_unpinned_straggler_gets_a_node_from_the_chaos_stream(self):
+        window = StragglerWindow(start=0.0, duration=5.0, multiplier=2.0)
+        engine = make_engine(stragglers=[window])
+        assert engine.stragglers[0].node in NODE_IDS
+
+    def test_pinned_choices_survive_untouched(self):
+        window = StragglerWindow(start=1.0, duration=2.0, multiplier=4.0, node="nc1")
+        plan = CrashPlan(after_seconds=0.5, site="cc_fail_after_commit")
+        engine = make_engine(stragglers=[window], crashes=[plan])
+        assert engine.stragglers == [window]
+        assert engine.crashes == [plan]
+
+    def test_unknown_crash_site_is_rejected(self):
+        with pytest.raises(ConfigError, match="unknown crash site"):
+            make_engine(crashes=[CrashPlan(after_seconds=0.0, site="nc_explodes")])
+
+    def test_unpinned_crash_site_drawn_from_fault_sites(self):
+        engine = make_engine(crashes=[CrashPlan(after_seconds=0.0)])
+        assert engine.crashes[0].site in FAULT_SITES
+
+    def test_same_seed_same_schedule_different_seed_diverges(self):
+        def schedule(seed):
+            engine = make_engine(
+                seed=seed,
+                stragglers=[StragglerWindow(start=0.0, duration=5.0, multiplier=2.0)],
+                random_stragglers=3,
+                crashes=[CrashPlan(after_seconds=0.0)],
+            )
+            return (tuple(engine.stragglers), tuple(engine.crashes))
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+
+class TestStragglers:
+    def test_scales_only_the_victim_inside_the_window(self):
+        clock = SimulatedClock()
+        engine = make_engine(
+            clock=clock,
+            stragglers=[StragglerWindow(start=0.0, duration=5.0, multiplier=3.0, node="nc0")],
+        )
+        scaled = engine.scale_node_seconds({"nc0": 1.0, "nc1": 1.0})
+        assert scaled == {"nc0": 3.0, "nc1": 1.0}
+        clock.advance(5.0)  # window is half-open: [start, start + duration)
+        untouched = {"nc0": 1.0, "nc1": 1.0}
+        assert engine.scale_node_seconds(untouched) is untouched
+
+    def test_copy_on_write_leaves_caller_mapping_alone(self):
+        engine = make_engine(
+            stragglers=[StragglerWindow(start=0.0, duration=5.0, multiplier=3.0, node="nc0")]
+        )
+        original = {"nc0": 1.0}
+        scaled = engine.scale_node_seconds(original)
+        assert original == {"nc0": 1.0}
+        assert scaled == {"nc0": 3.0}
+
+    def test_announces_exactly_once_per_window(self):
+        events = EventBus()
+        seen = []
+        events.on("chaos.straggler", seen.append)
+        engine = make_engine(
+            events=events,
+            stragglers=[StragglerWindow(start=0.0, duration=5.0, multiplier=3.0, node="nc0")],
+        )
+        engine.scale_node_seconds({"nc0": 1.0})
+        engine.scale_node_seconds({"nc0": 1.0})
+        assert len(seen) == 1
+        assert seen[0]["node"] == "nc0"
+        assert seen[0]["multiplier"] == 3.0
+
+    def test_active_stragglers_is_passive(self):
+        """Timeline sampling reads the window state without emitting events."""
+        events = EventBus()
+        seen = []
+        events.on("chaos.*", seen.append)
+        engine = make_engine(
+            events=events,
+            stragglers=[StragglerWindow(start=0.0, duration=5.0, multiplier=3.0, node="nc0")],
+        )
+        assert engine.active_stragglers() == (("nc0", 3.0),)
+        assert seen == []
+
+
+class TestLoadShaping:
+    def test_factors_multiply_across_open_windows(self):
+        engine = make_engine(
+            backpressure=[
+                LoadWindow(start=0.0, duration=5.0, factor=2.0),
+                LoadWindow(start=0.0, duration=5.0, factor=1.5),
+            ],
+            bursts=[LoadWindow(start=0.0, duration=5.0, factor=1.25)],
+        )
+        assert engine.ingest_factor() == pytest.approx(3.0)
+        assert engine.client_factor() == pytest.approx(1.25)
+
+    def test_factor_is_one_outside_every_window(self):
+        clock = SimulatedClock()
+        engine = make_engine(
+            clock=clock, bursts=[LoadWindow(start=1.0, duration=2.0, factor=4.0)]
+        )
+        assert engine.client_factor() == 1.0
+        clock.advance(1.5)
+        assert engine.client_factor() == 4.0
+        clock.advance(2.0)
+        assert engine.client_factor() == 1.0
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base_seconds=0.01, backoff_cap_seconds=0.05)
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(3) == pytest.approx(0.04)
+        assert policy.delay(4) == pytest.approx(0.05)  # capped
+        assert policy.delay(5) == pytest.approx(0.05)
+
+
+class TestCrashes:
+    def test_due_plans_are_consumed_once_and_announced(self):
+        clock = SimulatedClock()
+        events = EventBus()
+        seen = []
+        events.on("chaos.crash", seen.append)
+        engine = make_engine(
+            clock=clock,
+            events=events,
+            crashes=[
+                CrashPlan(after_seconds=0.0, site="nc_fail_before_prepare"),
+                CrashPlan(after_seconds=10.0, site="cc_fail_after_commit"),
+            ],
+        )
+        assert engine.due_crash_sites() == ["nc_fail_before_prepare"]
+        assert engine.due_crash_sites() == []  # consumed: one plan, one kill
+        assert [plan.site for plan in engine.crashes] == ["cc_fail_after_commit"]
+        clock.advance(10.0)
+        assert engine.due_crash_sites() == ["cc_fail_after_commit"]
+        assert [event["site"] for event in seen] == [
+            "nc_fail_before_prepare",
+            "cc_fail_after_commit",
+        ]
+
+    def test_recovery_seconds_spans_fault_to_recovery(self):
+        clock = SimulatedClock()
+        engine = make_engine(clock=clock, crashes=[CrashPlan(after_seconds=0.0, site="cc_fail_before_commit")])
+        assert engine.recovery_seconds() is None
+        engine.due_crash_sites()
+        clock.advance(1.0)
+        engine.on_fault("cc_fail_before_commit")
+        fault_at = clock.now
+        engine.charge_recovery(outcomes=[object()])
+        assert clock.now > fault_at  # recovery round trips cost time
+        assert engine.recovery_seconds() == pytest.approx(clock.now - fault_at)

@@ -91,6 +91,7 @@ class TestChromeTracePayload:
             2: "ops",
             3: "rebalance",
             4: "autopilot",
+            5: "chaos",
         }
 
     def test_spans_become_complete_events_in_microseconds(self):
