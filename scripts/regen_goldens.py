@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Regenerate every committed golden fixture from the current code, in one go.
+
+Goldens pin behaviour, so they are only ever rewritten deliberately — after a
+change that is *supposed* to alter what the simulator computes.  This script
+is the single place that knows how each committed golden is produced:
+
+* ``tests/integration/fixtures/driver_snapshots_golden.json`` — per-mix
+  workload-driver snapshots (the PR-4 hot-path pins),
+* ``tests/integration/fixtures/traffic_snapshot_golden.json`` — the traffic
+  experiment snapshot at SMOKE scale,
+* ``tests/sim/goldens/<scenario>.interleaved.json`` — full recordings
+  (snapshot + trace + chaos log) of smoke-scale scenarios under the
+  interleaved discrete-event engine.
+
+Usage::
+
+    python scripts/regen_goldens.py            # rewrite all goldens
+    python scripts/regen_goldens.py --check    # exit 1 if any golden is stale
+
+``--check`` regenerates every golden in memory and byte-compares it against
+the committed file — the CI gate that a behaviour-changing PR cannot forget
+to refresh (or deliberately bless) its goldens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+FIXTURES = ROOT / "tests" / "integration" / "fixtures"
+SIM_GOLDENS = ROOT / "tests" / "sim" / "goldens"
+
+#: Scenarios committed as interleaved-engine goldens (smoke scale).
+INTERLEAVED_SCENARIOS = ("chaos_storm", "traced_rebalance")
+
+
+def driver_snapshots_golden() -> str:
+    """Per-mix driver snapshots: tests/integration/test_hotpath_golden.py."""
+    from repro.api import ClusterConfig, Database, WorkloadDriver, WorkloadSpec
+
+    golden: Dict[str, dict] = {}
+    for mix in ("A", "B", "E"):
+        db = Database(ClusterConfig(num_nodes=3, partitions_per_node=2, strategy="dynahash"))
+        spec = WorkloadSpec(dataset="t", initial_records=500, mix=mix, default_ops=600)
+        report = WorkloadDriver(db, spec).run()
+        golden[mix] = json.loads(report.snapshot.to_json())
+        db.close()
+    return json.dumps(golden, indent=1, sort_keys=True) + "\n"
+
+
+def traffic_snapshot_golden() -> str:
+    """SMOKE-scale traffic experiment: tests/integration/test_hotpath_golden.py."""
+    from repro.bench.config import SMOKE
+    from repro.bench.experiments import run_traffic_experiment
+
+    result = run_traffic_experiment(SMOKE)
+    return result.snapshot.to_json(indent=2) + "\n"
+
+
+def interleaved_recording(name: str) -> str:
+    """A smoke-scale interleaved recording: tests/sim/test_goldens.py."""
+    from repro.scenario import load_scenario, recording_payload, run_scenario
+
+    spec = load_scenario(ROOT / "examples" / "scenarios" / f"{name}.toml").scaled_down()
+    result = run_scenario(spec, concurrency="interleaved")
+    return json.dumps(recording_payload(result), sort_keys=True, indent=2) + "\n"
+
+
+def generators() -> Dict[Path, Callable[[], str]]:
+    table: Dict[Path, Callable[[], str]] = {
+        FIXTURES / "driver_snapshots_golden.json": driver_snapshots_golden,
+        FIXTURES / "traffic_snapshot_golden.json": traffic_snapshot_golden,
+    }
+    for name in INTERLEAVED_SCENARIOS:
+        table[SIM_GOLDENS / f"{name}.interleaved.json"] = (
+            lambda name=name: interleaved_recording(name)
+        )
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate in memory and exit 1 if any committed golden differs",
+    )
+    args = parser.parse_args(argv)
+
+    stale = []
+    for path, generate in sorted(generators().items()):
+        rel = path.relative_to(ROOT)
+        content = generate()
+        if args.check:
+            committed = path.read_text() if path.exists() else None
+            if committed != content:
+                state = "missing" if committed is None else "stale"
+                print(f"{state}: {rel}")
+                stale.append(rel)
+            else:
+                print(f"ok: {rel}")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+            print(f"wrote {rel}")
+    if stale:
+        print(
+            f"{len(stale)} golden(s) out of date — rerun `python scripts/regen_goldens.py` "
+            "and commit the result"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ import ast
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
-from . import determinism, event_rules, registry_rules
+from . import determinism, event_rules, heap_rules, registry_rules
 from .context import FileContext
 from .pragmas import collect_pragmas
 from .violations import Violation
@@ -45,7 +45,7 @@ _SKIP_DIR_NAMES = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"
 #: Repo-relative prefixes excluded from discovery (intentionally-bad corpus).
 EXCLUDED_PREFIXES = ("tests/analysis/fixtures",)
 
-_RULE_FAMILIES = (determinism.check, event_rules.check, registry_rules.check)
+_RULE_FAMILIES = (determinism.check, event_rules.check, heap_rules.check, registry_rules.check)
 
 
 def _startswith(relpath: str, prefixes: Iterable[str]) -> bool:

@@ -1,0 +1,69 @@
+"""Heap-determinism rule: heap entries must carry an explicit tiebreak.
+
+* ``det-heap-tiebreak`` — ``heapq.heappush``/``heappushpop``/``heapreplace``
+  of a bare 2-tuple literal ``(timestamp, payload)``.
+
+When two entries share a timestamp, tuple comparison falls through to the
+payload: a ``TypeError`` for unorderable payloads, or — worse — a silently
+order-dependent dispatch that varies with payload contents.  The
+:mod:`repro.sim` scheduler's convention is the fix: a monotone sequence
+number assigned at scheduling time, ``(timestamp, seq, payload)``, which
+makes equal-time ordering *scheduling order by construction* and guarantees
+the payload is never compared.
+
+Only 2-tuple *literals* are flagged: the shape is statically unambiguous,
+and longer tuples already carry a middle element positioned to break ties.
+A genuine 2-tuple of totally ordered scalars can be pragma-allowed with a
+reason (``# reprolint: allow[det-heap-tiebreak] -- ...``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .context import FileContext, resolve_call_target
+from .violations import Violation
+
+__all__ = ["check"]
+
+#: heapq entry points whose pushed item lands in the heap's total order.
+_PUSH_TARGETS = frozenset({"heapq.heappush", "heapq.heappushpop", "heapq.heapreplace"})
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.found: List[Violation] = []
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.found.append(
+            Violation(
+                self.ctx.relpath,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+                rule,
+                message,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = resolve_call_target(self.ctx, node.func)
+        if target in _PUSH_TARGETS and len(node.args) >= 2:
+            item = node.args[1]
+            if isinstance(item, ast.Tuple) and len(item.elts) == 2:
+                name = target.rpartition(".")[2]
+                self._report(
+                    item,
+                    "det-heap-tiebreak",
+                    f"{name} of a 2-tuple compares the payload on equal-time "
+                    "ties; push (timestamp, seq, payload) with a monotone "
+                    "seq counter (the repro.sim.EventScheduler convention)",
+                )
+        self.generic_visit(node)
+
+
+def check(ctx: FileContext) -> List[Violation]:
+    visitor = _Visitor(ctx)
+    visitor.visit(ctx.tree)
+    return visitor.found

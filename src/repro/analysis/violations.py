@@ -39,6 +39,11 @@ RULE_CATALOG: Dict[str, str] = {
         "str/bytes, so seeding or routing through it breaks cross-process "
         "determinism; use `repro.common.hashutil` or `zlib`/`hashlib`"
     ),
+    "det-heap-tiebreak": (
+        "`heapq.heappush`/`heappushpop`/`heapreplace` of a bare 2-tuple — "
+        "equal-time ties fall through to comparing the payload; push "
+        "`(timestamp, seq, payload)` with a monotone seq counter instead"
+    ),
     # event-contract family
     "evt-undeclared-emit": (
         "emits (or probes) an event name not declared in "

@@ -21,6 +21,7 @@ from typing import (
     Any,
     Callable,
     Dict,
+    Generator,
     Iterable,
     Iterator,
     List,
@@ -276,6 +277,46 @@ class Database:
                 chaos.on_fault(fault.site)
             raise
 
+    def rebalance_steps(
+        self,
+        target_nodes: Optional[int] = None,
+        *,
+        add: Optional[int] = None,
+        remove: Optional[int] = None,
+        concurrent_rows: Optional[Mapping[str, Sequence[Mapping[str, Any]]]] = None,
+        fault_sites: Optional[Iterable[str]] = None,
+        arm_chaos: bool = True,
+    ) -> "Generator[Any, None, ClusterRebalanceReport]":
+        """Generator twin of :meth:`rebalance` for the event scheduler.
+
+        Resolves its target size, chaos crash sites, and fault injector with
+        exactly the same logic as :meth:`rebalance`, then yields every
+        :class:`~repro.sim.SimSegment` of the protocol so an
+        :class:`~repro.sim.EventScheduler` actor can interleave foreground
+        traffic inside the movement windows.  The generator's return value is
+        the same :class:`~repro.cluster.reports.ClusterRebalanceReport`.
+        """
+        self._check_open()
+        chosen = [value for value in (target_nodes, add, remove) if value is not None]
+        if len(chosen) != 1:
+            raise ConfigError("pass exactly one of target_nodes=, add=, remove=")
+        if target_nodes is None:
+            target_nodes = self.num_nodes + (add or 0) - (remove or 0)
+        sites = list(fault_sites) if fault_sites else []
+        chaos = self._cluster.chaos
+        if chaos is not None and arm_chaos:
+            sites.extend(chaos.due_crash_sites())
+        injector = FaultInjector(sites) if sites else None
+        try:
+            report = yield from self._cluster.rebalance_to_steps(
+                target_nodes, concurrent_rows=concurrent_rows, fault_injector=injector
+            )
+        except FaultInjected as fault:
+            if chaos is not None:
+                chaos.on_fault(fault.site)
+            raise
+        return report
+
     def add_nodes(self, count: int = 1) -> ClusterRebalanceReport:
         return self.rebalance(add=count)
 
@@ -325,7 +366,11 @@ class Database:
 
     # ----------------------------------------------------------------- tracing
 
-    def start_trace(self, sample_interval_seconds: float = 0.25) -> "TraceSession":
+    def start_trace(
+        self,
+        sample_interval_seconds: float = 0.25,
+        clock_anchored_rebalance: bool = False,
+    ) -> "TraceSession":
         """Attach a tracing session (spans + timeline gauges) to this run.
 
         Everything after this call is recorded into a span tree on the
@@ -335,6 +380,13 @@ class Database:
         :meth:`close`; call ``finish()`` earlier to stop recording mid-run.
         Tracing never changes the metrics state — a traced and an untraced
         run of the same seed produce identical snapshots.
+
+        ``clock_anchored_rebalance`` switches the rebalance subtree to
+        clock-anchored layout, which the interleaved discrete-event engine
+        needs for move spans to genuinely overlap the op spans they ran
+        alongside (see :class:`repro.trace.spans.Tracer`).  Leave it off for
+        the legacy run-to-completion engine, where the protocol-seconds
+        layout is exact.
         """
         self._check_open()
         from ..trace import TraceSession
@@ -342,7 +394,9 @@ class Database:
         if self._trace is not None:
             self._trace.finish()
         self._trace = TraceSession(
-            self, sample_interval_seconds=sample_interval_seconds
+            self,
+            sample_interval_seconds=sample_interval_seconds,
+            clock_anchored_rebalance=clock_anchored_rebalance,
         ).attach()
         return self._trace
 

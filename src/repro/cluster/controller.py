@@ -14,7 +14,7 @@ BEGIN/COMMIT/DONE records drive rebalance recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Generator, List, Mapping, Optional, Sequence
 
 from ..common.clock import LamportClock
 from ..common.config import BucketingConfig, ClusterConfig
@@ -393,6 +393,53 @@ class SimulatedCluster:
         )
         try:
             report = self.strategy.rebalance_cluster(
+                self,
+                target_nodes,
+                concurrent_rows=concurrent_rows,
+                fault_injector=fault_injector,
+            )
+        except Exception as error:
+            self.events.emit(
+                "rebalance.error", target_nodes=target_nodes, error=repr(error)
+            )
+            raise
+        self.events.emit(
+            "rebalance.complete",
+            strategy=report.strategy,
+            old_nodes=report.old_nodes,
+            new_nodes=report.new_nodes,
+            committed=report.committed,
+            report=report,
+        )
+        return report
+
+    def rebalance_to_steps(
+        self,
+        target_nodes: int,
+        concurrent_rows: Optional[Mapping[str, Any]] = None,
+        fault_injector: Optional[object] = None,
+    ) -> "Generator[Any, None, ClusterRebalanceReport]":
+        """Generator twin of :meth:`rebalance_to` for the event scheduler.
+
+        Emits the same ``rebalance.start`` / ``rebalance.error`` /
+        ``rebalance.complete`` events; between them it yields every
+        :class:`~repro.sim.SimSegment` the strategy produces, so the consuming
+        actor can interleave foreground work inside the movement windows.
+        """
+        if target_nodes < 1:
+            raise ConfigError("target_nodes must be at least 1")
+        if self.strategy is None:
+            raise ClusterError(
+                "no rebalancing strategy configured; pass one to SimulatedCluster(strategy=...)"
+            )
+        self.events.emit(
+            "rebalance.start",
+            strategy=getattr(self.strategy, "name", type(self.strategy).__name__),
+            old_nodes=self.num_nodes,
+            target_nodes=target_nodes,
+        )
+        try:
+            report = yield from self.strategy.rebalance_cluster_steps(
                 self,
                 target_nodes,
                 concurrent_rows=concurrent_rows,

@@ -11,6 +11,21 @@ Two clock flavours are provided:
 * :class:`LamportClock` — a logical clock used to order events across
   CC and NC message exchanges (log records, rebalance phases) without needing
   a global physical time.
+
+Discrete-event facade
+---------------------
+The same :class:`SimulatedClock` instance is the facade both execution
+engines share (see :mod:`repro.sim` and ``docs/CONCURRENCY.md``):
+
+* **Legacy run-to-completion callers** keep calling :meth:`SimulatedClock
+  .advance` / :meth:`SimulatedClock.advance_many` exactly as before — one
+  actor implicitly holds the whole timeline, and the numeric behaviour is
+  bit-identical to every recording made before the scheduler existed.
+* **The event scheduler** (:class:`repro.sim.EventScheduler`) treats those
+  same calls as *inline work charged by whichever actor currently holds the
+  clock* and uses :meth:`SimulatedClock.advance_to` when dispatching a
+  parked actor — a no-op when inline work already pushed time past the due
+  point, which is precisely how two actors overlap on one timeline.
 """
 
 from __future__ import annotations
@@ -61,7 +76,10 @@ class SimulatedClock:
         """Move the clock forward to ``timestamp`` if it is in the future.
 
         Used to synchronise a node's local clock with the cluster-wide
-        completion time of a barrier (e.g. "all partitions finished loading").
+        completion time of a barrier (e.g. "all partitions finished loading"),
+        and by :class:`repro.sim.EventScheduler` when dispatching a parked
+        actor — the "already past it" no-op case is what lets inline op
+        latencies overlap a scheduled actor's wait.
         """
         if timestamp > self._now:
             self._now = float(timestamp)

@@ -84,6 +84,11 @@ class ScenarioResult:
     #: Simulated seconds from the last chaos crash to the recovery pass that
     #: repaired it (``None`` when nothing crashed or nothing recovered).
     recovery_seconds: Optional[float] = None
+    #: sha256 fingerprint of every dataset's final contents (rows sorted by
+    #: key, read through the raw partition scan so no metric events fire).
+    #: Engine-independent by construction — the differential harness pins
+    #: legacy == interleaved on these.
+    dataset_fingerprints: Dict[str, str] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -193,19 +198,28 @@ def run_scenario(
     spec: ScenarioSpec,
     seed: Optional[int] = None,
     strategy: Optional[str] = None,
+    concurrency: Optional[str] = None,
 ) -> ScenarioResult:
     """Execute ``spec`` and return its :class:`ScenarioResult`.
 
-    ``seed`` / ``strategy`` override the spec (the CLI's ``--seed`` /
-    ``--strategy``).  Checks are *evaluated*, not raised — the caller decides
-    what a failing check means (the CLI exits non-zero).
+    ``seed`` / ``strategy`` / ``concurrency`` override the spec (the CLI's
+    ``--seed`` / ``--strategy`` / ``--concurrency``).  Checks are
+    *evaluated*, not raised — the caller decides what a failing check means
+    (the CLI exits non-zero).
+
+    With ``concurrency = "interleaved"`` (spec header or override) the
+    workload driver is handed a :class:`repro.sim.EventScheduler` sharing the
+    session's metrics clock, so phase-scheduled rebalances migrate bucket by
+    bucket with foreground traffic paced inside the movement windows.  The
+    legacy mode runs bit-identically to pre-scheduler recordings.
     """
     from ..api import Database, FaultInjected, WorkloadDriver, load_tpch
     from ..api import SecondaryIndexSpec as APISecondaryIndexSpec
+    from ..sim import EventScheduler
     from ..tpch.queries import q1_plan, q3_plan, q6_plan
     from ..tpch.workload import DEFAULT_TABLES
 
-    spec = spec.with_overrides(seed=seed, strategy=strategy)
+    spec = spec.with_overrides(seed=seed, strategy=strategy, concurrency=concurrency)
     config = spec.cluster.build_config()
     result = ScenarioResult(spec=spec, seed=config.seed)
 
@@ -251,7 +265,11 @@ def run_scenario(
         trace_session = None
         if spec.trace is not None and spec.trace.enabled:
             trace_session = db.start_trace(
-                sample_interval_seconds=spec.trace.sample_interval_seconds
+                sample_interval_seconds=spec.trace.sample_interval_seconds,
+                # The interleaved engine advances the clock mid-rebalance, so
+                # the rebalance subtree must be laid out on real clock
+                # readings for move/op overlap to show up in the trace.
+                clock_anchored_rebalance=spec.concurrency == "interleaved",
             )
 
         pilot = None
@@ -291,7 +309,12 @@ def run_scenario(
             )
 
         if spec.workload is not None:
-            driver = WorkloadDriver(db, spec.workload.build_spec())
+            scheduler = (
+                EventScheduler(db.metrics.clock)
+                if spec.concurrency == "interleaved"
+                else None
+            )
+            driver = WorkloadDriver(db, spec.workload.build_spec(), scheduler=scheduler)
             report = driver.run()
             result.workload_summary = report.summary()
             result.total_ops = report.total_ops
@@ -400,6 +423,7 @@ def run_scenario(
                 if reads.count:
                     result.read_p99_seconds[phase] = reads.percentile(0.99)
         result.describe = db.describe()
+        result.dataset_fingerprints = _dataset_fingerprints(db)
         result.snapshot = db.metrics.snapshot()
         if trace_session is not None:
             # Close the trace *after* the snapshot so the session span's end
@@ -417,6 +441,35 @@ def run_scenario(
     finally:
         db.close()
     return result
+
+
+def _dataset_fingerprints(db: Any) -> Dict[str, str]:
+    """sha256 of each dataset's full contents, sorted by primary key.
+
+    Reads go through the raw partition scan (``scan_primary``), not the
+    instrumented :meth:`Dataset.scan` verb — fingerprinting must not emit
+    ``op.scan`` samples or it would perturb the very snapshots the
+    determinism contract compares.
+    """
+    import hashlib
+    import json
+
+    fingerprints: Dict[str, str] = {}
+    for name in sorted(db.dataset_names()):
+        runtime = db.cluster.dataset(name)
+        rows = []
+        for pid in sorted(runtime.partitions):
+            for entry in runtime.partitions[pid].scan_primary():
+                rows.append((entry.key, entry.value))
+        rows.sort(key=lambda pair: pair[0])
+        digest = hashlib.sha256()
+        for key, value in rows:
+            digest.update(
+                json.dumps([key, value], sort_keys=True, default=str).encode("utf-8")
+            )
+            digest.update(b"\n")
+        fingerprints[name] = digest.hexdigest()
+    return fingerprints
 
 
 def _answers_equal(left: Any, right: Any) -> bool:

@@ -1423,6 +1423,9 @@ class ChecksSection:
 # the scenario itself
 # ---------------------------------------------------------------------------
 
+#: Execution engines a scenario may select with ``scenario.concurrency``.
+CONCURRENCY_MODES = ("legacy", "interleaved")
+
 _TOP_LEVEL_KEYS = (
     "scenario",
     "cluster",
@@ -1444,6 +1447,13 @@ class ScenarioSpec:
 
     name: str
     description: str = ""
+    #: Which execution engine runs the scenario: ``"legacy"`` (run to
+    #: completion, bit-identical to pre-scheduler recordings) or
+    #: ``"interleaved"`` (the :mod:`repro.sim` event scheduler — rebalance
+    #: phases migrate bucket by bucket with foreground traffic paced inside
+    #: the movement windows).  Embedded in recordings, so ``replay`` always
+    #: re-runs the engine the recording was made with.
+    concurrency: str = "legacy"
     cluster: ClusterSection = field(default_factory=ClusterSection)
     datasets: Tuple[DatasetSection, ...] = ()
     tpch: Optional[TPCHSection] = None
@@ -1462,10 +1472,16 @@ class ScenarioSpec:
         mapping = _require_mapping(mapping, "scenario document")
         _check_keys(mapping, "scenario document", _TOP_LEVEL_KEYS, ("scenario",))
         header = _require_mapping(mapping["scenario"], "scenario")
-        _check_keys(header, "scenario", ("name", "description"), ("name",))
+        _check_keys(header, "scenario", ("name", "description", "concurrency"), ("name",))
         name = _get_typed(header, "name", str, "scenario")
         if not name:
             raise ScenarioSpecError("scenario.name: must not be empty")
+        concurrency = _get_typed(header, "concurrency", str, "scenario", "legacy")
+        if concurrency not in CONCURRENCY_MODES:
+            raise ScenarioSpecError(
+                f"scenario.concurrency: unknown mode {concurrency!r}; "
+                f"choose one of {sorted(CONCURRENCY_MODES)}"
+            )
 
         datasets_raw = mapping.get("datasets", [])
         if not isinstance(datasets_raw, Sequence) or isinstance(datasets_raw, str):
@@ -1494,6 +1510,7 @@ class ScenarioSpec:
         spec = cls(
             name=name,
             description=_get_typed(header, "description", str, "scenario", ""),
+            concurrency=concurrency,
             cluster=ClusterSection.from_mapping(
                 _require_mapping(mapping.get("cluster", {}), "cluster")
             ),
@@ -1647,7 +1664,13 @@ class ScenarioSpec:
         """The canonical, JSON-serialisable form (round-trips through
         :meth:`from_mapping`; embedded in recordings for ``replay``)."""
         mapping: Dict[str, Any] = {
-            "scenario": _drop_defaults({"name": self.name, "description": self.description or None})
+            "scenario": _drop_defaults(
+                {
+                    "name": self.name,
+                    "description": self.description or None,
+                    "concurrency": None if self.concurrency == "legacy" else self.concurrency,
+                }
+            )
         }
         cluster = self.cluster.to_mapping()
         if cluster:
@@ -1674,13 +1697,23 @@ class ScenarioSpec:
         return mapping
 
     def with_overrides(
-        self, seed: Optional[int] = None, strategy: Optional[str] = None
+        self,
+        seed: Optional[int] = None,
+        strategy: Optional[str] = None,
+        concurrency: Optional[str] = None,
     ) -> "ScenarioSpec":
-        """A copy with the seed and/or strategy replaced (CLI ``--seed`` /
-        ``--strategy``).  A strategy override drops the spec's
-        ``strategy_options`` — they are specific to the strategy they were
-        written for."""
+        """A copy with the seed, strategy, and/or concurrency mode replaced
+        (CLI ``--seed`` / ``--strategy`` / ``--concurrency``).  A strategy
+        override drops the spec's ``strategy_options`` — they are specific to
+        the strategy they were written for."""
         spec = self
+        if concurrency is not None:
+            if concurrency not in CONCURRENCY_MODES:
+                raise ScenarioSpecError(
+                    f"scenario.concurrency: unknown mode {concurrency!r}; "
+                    f"choose one of {sorted(CONCURRENCY_MODES)}"
+                )
+            spec = replace(spec, concurrency=concurrency)
         if seed is not None:
             spec = replace(spec, cluster=replace(spec.cluster, seed=seed))
         if strategy is not None and strategy != spec.cluster.strategy:

@@ -30,9 +30,10 @@ class TraceSession:
         self,
         db: "Database",
         sample_interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        clock_anchored_rebalance: bool = False,
     ) -> None:
         self.db = db
-        self.tracer = Tracer(db)
+        self.tracer = Tracer(db, clock_anchored_rebalance=clock_anchored_rebalance)
         self.recorder = TimelineRecorder(db, interval_seconds=sample_interval_seconds)
         self._finished = False
 

@@ -26,6 +26,25 @@ laid out sequentially from the dataset span's start; bucket moves are laid
 out inside the data-movement phase proportional to their payload bytes.
 Everything is derived from deterministic values, so the span list is
 bit-identical across runs and hash seeds.
+
+Under the interleaved engine (``concurrency = "interleaved"``, see
+:mod:`repro.sim` and ``docs/CONCURRENCY.md``) that reconstruction is wrong:
+the clock genuinely advances *during* the data-movement phase — concurrent
+writes and foreground driver ops charge latency between bucket moves — so
+laying phases out from protocol seconds would place move spans far before
+the op spans they actually overlapped.  ``clock_anchored_rebalance=True``
+switches the rebalance subtree to *clock-anchored* layout: a phase span
+whose ``rebalance.phase`` event arrives after the clock moved past the
+cursor spans the real window instead of the nominal seconds, each buffered
+bucket move is anchored at the clock reading its ``rebalance.bucket_move``
+event fired and extends to the next move's anchor (the last one to the end
+of the phase), and the enclosing ``rebalance`` span closes at the real
+clock rather than the report's summed protocol seconds.  Phases during
+which the clock did not move (initialization, finalization, and every
+phase of a coarse run-to-completion fallback) keep the legacy layout, so
+anchored traces degrade gracefully to the protocol picture wherever no
+interleaving happened.  The layout is still deterministic — it is derived
+from the same deterministic clock readings the metrics registry records.
 """
 
 from __future__ import annotations
@@ -121,8 +140,9 @@ class _OpRun:
 class Tracer:
     """Builds the span tree of one session by listening to its event bus."""
 
-    def __init__(self, db: "Database") -> None:
+    def __init__(self, db: "Database", *, clock_anchored_rebalance: bool = False) -> None:
         self.db = db
+        self.clock_anchored_rebalance = clock_anchored_rebalance
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._subscriptions: List[Subscription] = []
@@ -364,7 +384,12 @@ class Tracer:
     def _on_bucket_move(self, event: Event) -> None:
         state = self._datasets.get(event["dataset"])
         if state is not None:
-            state.pending_moves.append(dict(event.payload))
+            move = dict(event.payload)
+            if self.clock_anchored_rebalance:
+                # Anchor for clock-anchored layout; stripped before the move
+                # span's attributes are built.
+                move["_at"] = self._now()
+            state.pending_moves.append(move)
 
     def _on_rebalance_phase(self, event: Event) -> None:
         self._flush_run()
@@ -373,36 +398,59 @@ class Tracer:
             return
         seconds = float(event["seconds"])
         phase = event["phase"]
+        now = self._now()
+        # Clock-anchored: the phase event arriving after the clock moved past
+        # the cursor means other work interleaved into this phase — span the
+        # real window.  A phase the clock slept through keeps nominal seconds.
+        anchored = self.clock_anchored_rebalance and now > state.cursor
+        duration = now - state.cursor if anchored else seconds
         span = self._leaf(
             f"phase/{phase}",
             CATEGORY_REBALANCE,
             state.cursor,
-            seconds,
+            duration,
             {"phase": phase, "dataset": event["dataset"]},
             parent_id=state.span.span_id,
         )
         if phase == "data_movement" and state.pending_moves:
-            self._layout_moves(state.pending_moves, span)
+            self._layout_moves(state.pending_moves, span, anchored=anchored)
             state.pending_moves = []
-        state.cursor += seconds
+        state.cursor += duration
 
-    def _layout_moves(self, moves: List[Dict[str, Any]], phase_span: Span) -> None:
+    def _layout_moves(
+        self, moves: List[Dict[str, Any]], phase_span: Span, *, anchored: bool = False
+    ) -> None:
         """Lay buffered bucket moves across the data-movement phase span.
 
-        Move events carry no timing of their own (the whole phase is charged
-        as one block of simulated work), so each move gets a slice of the
-        phase proportional to its payload bytes — a faithful picture of
-        where the phase's time went, and deterministic because the move
-        order and byte counts are.
+        Legacy layout: move events carry no timing of their own (the whole
+        phase is charged as one block of simulated work), so each move gets a
+        slice of the phase proportional to its payload bytes — a faithful
+        picture of where the phase's time went, and deterministic because the
+        move order and byte counts are.
+
+        Clock-anchored layout (``anchored=True`` and every buffered move has
+        an ``_at`` clock stamp): each move span starts at the clock reading
+        its ``rebalance.bucket_move`` event fired and runs to the next move's
+        anchor — the last to the end of the phase — so a move's span covers
+        the concurrent writes and foreground ops that genuinely interleaved
+        with it.
         """
+        anchored = anchored and all("_at" in move for move in moves)
         weights = [max(0, int(move.get("payload_bytes", 0))) for move in moves]
         total = sum(weights)
         if total <= 0:
             weights = [1] * len(moves)
             total = len(moves)
         cursor = phase_span.start
-        for move, weight in zip(moves, weights, strict=True):
-            duration = phase_span.duration * (weight / total)
+        for index, (move, weight) in enumerate(zip(moves, weights, strict=True)):
+            if anchored:
+                cursor = float(move["_at"])
+                next_edge = (
+                    float(moves[index + 1]["_at"]) if index + 1 < len(moves) else phase_span.end
+                )
+                duration = max(0.0, next_edge - cursor)
+            else:
+                duration = phase_span.duration * (weight / total)
             attributes: Dict[str, Any] = {
                 "bucket": move["bucket"],
                 "source": move["source"],
@@ -472,7 +520,13 @@ class Tracer:
         bytes_shipped = getattr(report, "bytes_shipped", None)
         if bytes_shipped is not None:
             span.attributes["bytes_shipped"] = int(bytes_shipped)
-        duration = float(seconds) if seconds is not None else self._now() - span.start
+        if self.clock_anchored_rebalance or seconds is None:
+            # Interleaved runs advance the clock past the protocol's summed
+            # segment seconds; closing at the report total would end the
+            # parent before its clock-anchored children.
+            duration = self._now() - span.start
+        else:
+            duration = float(seconds)
         self._close(span, duration)
 
     def _on_rebalance_error(self, event: Event) -> None:

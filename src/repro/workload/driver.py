@@ -32,6 +32,18 @@ resize, respecting the paper's Section V-A concurrency control:
   directory is still live and the source partitions still serve every moved
   bucket until the commit point, exactly as the protocol promises.
 
+When the driver is handed an :class:`~repro.sim.EventScheduler`
+(``scheduler=``, what ``concurrency = "interleaved"`` in a scenario spec
+selects), the rebalance phase runs as a scheduler actor instead: the protocol
+is consumed segment by segment through :meth:`Database.rebalance_steps`, and
+the foreground reads/scans are paced evenly across the bucket-move windows —
+every move yields the clock back to the driver, not just the two legacy
+callback points.  Both engines draw the phase plan from the same RNG in the
+same order (see :meth:`WorkloadDriver._draw_rebalance_plan`), so interleaving
+changes *when* ops execute but never *which* ops — final dataset contents and
+per-verb counts are engine-independent, which the differential test harness
+pins.
+
 Autopilot
 ---------
 When the session has an :class:`~repro.control.autopilot.Autopilot` attached
@@ -63,6 +75,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.dataset import Dataset
     from ..cluster.reports import ClusterRebalanceReport
     from ..control.autopilot import AutopilotDecision
+    from ..sim import EventScheduler
 
 
 @dataclass(frozen=True)
@@ -209,11 +222,17 @@ class WorkloadDriver:
         db: "Database",
         spec: Optional[WorkloadSpec] = None,
         seed: Optional[int] = None,
+        *,
+        scheduler: "Optional[EventScheduler]" = None,
         **spec_overrides: Any,
     ) -> None:
         if spec is not None and spec_overrides:
             raise ValueError("pass either a WorkloadSpec or keyword overrides, not both")
         self.db = db
+        #: When set, rebalance phases run interleaved on this event scheduler
+        #: (the ``concurrency = "interleaved"`` engine); None keeps the legacy
+        #: run-to-completion path, bit-identical to pre-scheduler recordings.
+        self.scheduler = scheduler
         self.spec = spec or WorkloadSpec(**spec_overrides)
         #: Every stochastic choice (op draws, key draws, batch jitter) comes
         #: from this one RNG, seeded from the cluster config by default.
@@ -565,18 +584,23 @@ class WorkloadDriver:
 
     # ------------------------------------------------- traffic during resize
 
-    def _run_rebalance_phase(self, phase: Phase) -> PhaseResult:
-        assert phase.rebalance is not None
-        mix = make_mix(phase.mix) if phase.mix is not None else self._mix
-        keys = self._phase_keys(phase)
-        result = PhaseResult(name=phase.name)
-        self._flush_inserts()
+    def _draw_rebalance_plan(
+        self, phase: Phase, mix: OperationMix, keys: KeyGenerator, result: PhaseResult
+    ) -> Tuple[List[Dict[str, Any]], List[Tuple[str, int]]]:
+        """Partition the phase's draws into replicated writes and foreground.
 
-        # Partition the phase's draws: writes ride the replication path,
-        # reads/scans execute inside the protocol-phase event callbacks.
-        # Draws target the keyspace durable at phase start — keys allocated
-        # to this phase's concurrent inserts are only applied mid-movement,
-        # so reads probing them would mostly miss.
+        Writes ride the replication path, reads/scans execute mid-protocol.
+        Deletes are downgraded to upserts: the rebalance replication channel
+        carries upserting log records only (Section V-A).  Draws target the
+        keyspace durable at phase start — keys allocated to this phase's
+        concurrent inserts are only applied mid-movement, so reads probing
+        them would mostly miss.
+
+        Both engines call this with the driver RNG at the same position and
+        consume it in the same order, so the legacy and interleaved paths see
+        bit-identical write rows and foreground ops — the invariant the
+        differential harness pins.
+        """
         durable = self.durable_keys
         write_rows: List[Dict[str, Any]] = []
         foreground: List[Tuple[str, int]] = []
@@ -588,8 +612,6 @@ class WorkloadDriver:
                 self.next_key += 1
                 result.inserts += 1
             elif op in ("update", "delete"):
-                # Deletes are downgraded to upserts: the rebalance replication
-                # channel carries upserting log records only (Section V-A).
                 key = keys.next_index(self.rng, durable)
                 write_rows.append(self._row(key))
                 result.updates += 1
@@ -597,22 +619,35 @@ class WorkloadDriver:
                 foreground.append(("scan", keys.next_index(self.rng, durable)))
             else:
                 foreground.append(("read", keys.next_index(self.rng, durable)))
+        return write_rows, foreground
 
+    def _run_rebalance_foreground(
+        self, pending: List[Tuple[str, int]], count: int, result: PhaseResult
+    ) -> None:
+        """Execute up to ``count`` queued foreground reads/scans, in order."""
+        dataset = self.dataset
+        for _ in range(min(count, len(pending))):
+            op, key = pending.pop(0)
+            if op == "scan":
+                rows = list(dataset.scan(low=key, high=key + self.spec.scan_span))
+                result.scans += 1
+                result.scan_rows += len(rows)
+            else:
+                record = dataset.get(key)
+                result.reads += 1
+                if record is not None:
+                    result.reads_found += 1
+
+    def _run_rebalance_phase(self, phase: Phase) -> PhaseResult:
+        assert phase.rebalance is not None
+        if self.scheduler is not None:
+            return self._run_rebalance_phase_interleaved(phase)
+        mix = make_mix(phase.mix) if phase.mix is not None else self._mix
+        keys = self._phase_keys(phase)
+        result = PhaseResult(name=phase.name)
+        self._flush_inserts()
+        write_rows, foreground = self._draw_rebalance_plan(phase, mix, keys, result)
         pending = list(foreground)
-
-        def run_foreground(count: int) -> None:
-            dataset = self.dataset
-            for _ in range(min(count, len(pending))):
-                op, key = pending.pop(0)
-                if op == "scan":
-                    rows = list(dataset.scan(low=key, high=key + self.spec.scan_span))
-                    result.scans += 1
-                    result.scan_rows += len(rows)
-                else:
-                    record = dataset.get(key)
-                    result.reads += 1
-                    if record is not None:
-                        result.reads_found += 1
 
         def on_protocol_phase(event: Any) -> None:
             # Run half the foreground ops after initialization and the rest
@@ -620,9 +655,9 @@ class WorkloadDriver:
             # (the directory swap and bucket cleanup happen at commit, so the
             # sources still serve; finalization fires after the commit).
             if event.get("phase") == "initialization":
-                run_foreground((len(pending) + 1) // 2)
+                self._run_rebalance_foreground(pending, (len(pending) + 1) // 2, result)
             elif event.get("phase") == "data_movement":
-                run_foreground(len(pending))
+                self._run_rebalance_foreground(pending, len(pending), result)
 
         subscription = self.db.on("rebalance.phase", on_protocol_phase)
         try:
@@ -639,7 +674,60 @@ class WorkloadDriver:
         # Foreground ops the protocol produced no window for (e.g. a strategy
         # that emits no phase events) still execute, tagged with the phase the
         # registry is in by then.
-        run_foreground(len(pending))
+        self._run_rebalance_foreground(pending, len(pending), result)
+        return result
+
+    def _run_rebalance_phase_interleaved(self, phase: Phase) -> PhaseResult:
+        """The rebalance phase as an event-scheduler actor.
+
+        The protocol is consumed segment by segment through
+        :meth:`~repro.api.database.Database.rebalance_steps`; after each
+        bucket-move window the actor runs an even quota of the queued
+        foreground reads/scans (``ceil(pending / (remaining_moves + 1))``),
+        and drains the rest inside the trailing concurrent-writes window —
+        the last interleavable point before the commit swaps the directory.
+        Strategies with no interleavable windows (the offline ``Hashing``
+        baseline, aborted runs) fall through to the post-protocol drain,
+        mirroring the legacy no-phase-events path.
+        """
+        assert phase.rebalance is not None and self.scheduler is not None
+        mix = make_mix(phase.mix) if phase.mix is not None else self._mix
+        keys = self._phase_keys(phase)
+        result = PhaseResult(name=phase.name)
+        self._flush_inserts()
+        write_rows, foreground = self._draw_rebalance_plan(phase, mix, keys, result)
+        pending = list(foreground)
+        scheduler = self.scheduler
+
+        def rebalance_actor() -> Any:
+            steps = self.db.rebalance_steps(
+                **dict(phase.rebalance),
+                concurrent_rows={self.spec.dataset: write_rows} if write_rows else None,
+                arm_chaos=False,
+            )
+            try:
+                segment = next(steps)
+                while True:
+                    # Charge the protocol segment to the shared timeline; the
+                    # scheduler re-dispatches this actor once the clock
+                    # reaches the end of the window.
+                    yield segment
+                    kind = getattr(segment, "kind", None)
+                    if kind == "move" and pending:
+                        windows = getattr(segment, "remaining", 0) + 1
+                        quota = -(-len(pending) // windows)
+                        self._run_rebalance_foreground(pending, quota, result)
+                    elif kind == "concurrent_writes":
+                        self._run_rebalance_foreground(pending, len(pending), result)
+                    segment = next(steps)
+            except StopIteration as done:
+                result.rebalance_report = done.value
+
+        scheduler.spawn(f"rebalance:{phase.name}", rebalance_actor())
+        scheduler.run()
+        # Foreground ops the protocol produced no window for still execute,
+        # tagged with the phase the registry is in by then.
+        self._run_rebalance_foreground(pending, len(pending), result)
         return result
 
 

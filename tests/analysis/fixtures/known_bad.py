@@ -7,6 +7,7 @@ it exists to be *parsed* by the linter and to make
 ``python -m repro lint tests/analysis/fixtures/known_bad.py`` exit non-zero.
 """
 
+import heapq
 import os
 import random
 import time
@@ -41,6 +42,13 @@ def salted_table_seed(seed: int, table: str, scale: float) -> random.Random:
 
 def salted_route(key: str, partitions: int) -> int:
     return hash(key) % partitions
+
+
+def untied_heap_entry(heap: list, timestamp: float, event: object) -> None:
+    # Two events due at the same timestamp fall through to comparing the
+    # event objects — TypeError or insertion-luck ordering; the scheduler
+    # convention is (timestamp, seq, event).
+    heapq.heappush(heap, (timestamp, event))
 
 
 def typo_strategy() -> object:

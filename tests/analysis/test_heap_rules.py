@@ -1,0 +1,82 @@
+"""det-heap-tiebreak: heap entries must carry an explicit sequence tiebreak."""
+
+
+class TestHeapTiebreak:
+    def test_heappush_of_bare_2_tuple_is_flagged(self, rules_of):
+        assert "det-heap-tiebreak" in rules_of(
+            """
+            import heapq
+
+            def schedule(heap, timestamp, event):
+                heapq.heappush(heap, (timestamp, event))
+            """
+        )
+
+    def test_heappushpop_and_heapreplace_are_flagged(self, rules_of):
+        source = """
+            import heapq
+
+            def rotate(heap, timestamp, event):
+                heapq.heappushpop(heap, (timestamp, event))
+                heapq.heapreplace(heap, (timestamp, event))
+            """
+        assert "det-heap-tiebreak" in rules_of(source)
+
+    def test_from_import_alias_is_resolved(self, rules_of):
+        assert "det-heap-tiebreak" in rules_of(
+            """
+            from heapq import heappush
+
+            def schedule(heap, timestamp, event):
+                heappush(heap, (timestamp, event))
+            """
+        )
+
+    def test_three_tuple_with_seq_passes(self, rules_of):
+        assert "det-heap-tiebreak" not in rules_of(
+            """
+            import heapq
+
+            def schedule(heap, timestamp, seq, event):
+                heapq.heappush(heap, (timestamp, seq, event))
+            """
+        )
+
+    def test_non_tuple_item_passes(self, rules_of):
+        assert "det-heap-tiebreak" not in rules_of(
+            """
+            import heapq
+
+            def schedule(heap, timestamp):
+                heapq.heappush(heap, timestamp)
+            """
+        )
+
+    def test_heappop_is_not_a_push(self, rules_of):
+        assert "det-heap-tiebreak" not in rules_of(
+            """
+            import heapq
+
+            def drain(heap):
+                return heapq.heappop(heap)
+            """
+        )
+
+    def test_pragma_with_reason_suppresses(self, rules_of):
+        assert "det-heap-tiebreak" not in rules_of(
+            """
+            import heapq
+
+            def schedule(heap, timestamp, seq):
+                heapq.heappush(heap, (timestamp, seq))  # reprolint: allow[det-heap-tiebreak] -- both elements are ints
+            """
+        )
+
+    def test_the_shipped_scheduler_passes(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_file
+
+        root = Path(__file__).resolve().parents[2]
+        scheduler = root / "src" / "repro" / "sim" / "scheduler.py"
+        assert [v for v in lint_file(scheduler, root) if v.rule == "det-heap-tiebreak"] == []
